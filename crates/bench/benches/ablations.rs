@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! replacement policy, DDIO way limit, slice count, eviction-set
+//! construction, and the decode window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_cache::{
+    AccessKind, CacheGeometry, DdioMode, Hierarchy, PhysAddr, ReplacementPolicy, SlicedCache,
+};
+use pc_core::covert::{lfsr_symbols, run_channel, ChannelConfig};
+use pc_core::{TestBed, TestBedConfig};
+use pc_probe::{build_eviction_sets_for_index, AddressPool};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw access throughput of the cache model under each replacement
+/// policy (LRU is the default; PLRU approximates real parts).
+fn replacement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_replacement");
+    group.sample_size(10);
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut llc = SlicedCache::with_policy_and_seed(
+                        CacheGeometry::tiny(),
+                        DdioMode::enabled(),
+                        policy,
+                        1,
+                    );
+                    let mut rng = SmallRng::seed_from_u64(2);
+                    for i in 0..50_000u64 {
+                        let addr = PhysAddr::new(rng.gen_range(0..4096) * 64);
+                        let kind = if i % 4 == 0 { AccessKind::IoWrite } else { AccessKind::CpuRead };
+                        llc.access(addr, kind, i);
+                    }
+                    llc.stats()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// How the DDIO way limit changes the leak (CPU lines evicted by I/O).
+fn ddio_ways(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ddio_way_limit");
+    group.sample_size(10);
+    for limit in [1u8, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            b.iter(|| {
+                let mut h = Hierarchy::new(
+                    CacheGeometry::xeon_e5_2660(),
+                    DdioMode::Enabled { io_way_limit: limit },
+                );
+                let mut rng = SmallRng::seed_from_u64(3);
+                // CPU working set, then an I/O storm.
+                for _ in 0..5_000 {
+                    h.cpu_read(PhysAddr::new(rng.gen_range(0..65_536) * 64));
+                }
+                for _ in 0..5_000 {
+                    h.io_write(PhysAddr::new(rng.gen_range(0..65_536) * 64));
+                }
+                h.llc().stats().io_evicted_cpu
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Timing-based eviction-set construction cost (the attack's setup
+/// phase) for one page-aligned set index.
+fn eviction_set_construction(c: &mut Criterion) {
+    c.bench_function("ablation_eviction_set_build_one_index", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+            let pool = AddressPool::allocate(5, 8192);
+            let thr = h.latencies().miss_threshold();
+            build_eviction_sets_for_index(&mut h, &pool, 0, 20, 8, thr)
+        });
+    });
+}
+
+/// Covert-channel decode window width (the paper uses 3).
+fn decode_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_decode_window");
+    group.sample_size(10);
+    for window in [2u8, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
+            b.iter(|| {
+                let mut bed = TestBedConfig::paper_baseline();
+                bed.driver.ring_size = 16;
+                let mut tb = TestBed::new(bed);
+                let pool = AddressPool::allocate(6, 12288);
+                let symbols = lfsr_symbols(pc_core::covert::Encoding::Ternary, 20, 0x99);
+                let cfg = ChannelConfig {
+                    monitored_buffers: 1,
+                    packet_rate_fps: 100_000,
+                    probe_rate_hz: 28_000,
+                    window,
+                    ..ChannelConfig::paper_defaults()
+                };
+                run_channel(&mut tb, &pool, &symbols, &cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = replacement, ddio_ways, eviction_set_construction, decode_window
+}
+criterion_main!(benches);

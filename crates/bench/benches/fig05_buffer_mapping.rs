@@ -1,0 +1,23 @@
+//! Figure 5 bench: one driver init's buffer → page-aligned-set histogram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_bench::experiments;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig05_buffer_mapping", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let hist = experiments::fig5(seed);
+            assert_eq!(hist.iter().sum::<usize>(), 256);
+            hist
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

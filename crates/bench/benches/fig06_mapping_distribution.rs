@@ -1,0 +1,20 @@
+//! Figure 6 bench: buffers-per-set distribution over repeated driver
+//! initializations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_cache::CacheGeometry;
+use pc_core::footprint::mapping_distribution;
+
+fn bench(c: &mut Criterion) {
+    let geom = CacheGeometry::xeon_e5_2660();
+    c.bench_function("fig06_mapping_distribution_20_instances", |b| {
+        b.iter(|| mapping_distribution(&geom, 20, 7));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

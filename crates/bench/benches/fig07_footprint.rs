@@ -1,0 +1,34 @@
+//! Figure 7 bench: the footprint-discovery sampling loop (monitor all
+//! 256 page-aligned sets while broadcast frames arrive).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_core::footprint::{build_monitor, page_aligned_targets, watch};
+use pc_core::{TestBed, TestBedConfig};
+use pc_net::{ArrivalSchedule, ConstantSize, LineRate};
+use pc_probe::AddressPool;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig07_watch_256_sets_50_samples", |b| {
+        b.iter(|| {
+            let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+            let geom = tb.hierarchy().llc().geometry();
+            let pool = AddressPool::allocate(1, 12288);
+            let monitor = build_monitor(tb.hierarchy().llc(), &pool, &page_aligned_targets(&geom));
+            let mut rng = SmallRng::seed_from_u64(2);
+            let frames = ArrivalSchedule::new(LineRate::gigabit())
+                .frames_per_second(200_000)
+                .generate(&mut ConstantSize::blocks(2), tb.now() + 1, 5_000, &mut rng);
+            tb.enqueue(frames);
+            watch(&mut tb, &monitor, 50, 400_000)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

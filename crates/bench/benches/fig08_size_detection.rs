@@ -1,0 +1,40 @@
+//! Figure 8 bench: size detection via block-row monitoring for one
+//! packet size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_cache::SliceSet;
+use pc_core::footprint::{block_row_targets, build_monitor, watch};
+use pc_core::{TestBed, TestBedConfig};
+use pc_net::{ArrivalSchedule, ConstantSize, LineRate};
+use pc_probe::AddressPool;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_size_detection");
+    group.sample_size(10);
+    for blocks in [1u32, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
+            b.iter(|| {
+                let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+                let geom = tb.hierarchy().llc().geometry();
+                let mut targets: Vec<SliceSet> = Vec::new();
+                for row in 0..4 {
+                    targets.extend(block_row_targets(&geom, row));
+                }
+                let pool = AddressPool::allocate(3, 16384);
+                let monitor = build_monitor(tb.hierarchy().llc(), &pool, &targets);
+                let mut rng = SmallRng::seed_from_u64(4);
+                let frames = ArrivalSchedule::new(LineRate::gigabit())
+                    .frames_per_second(200_000)
+                    .generate(&mut ConstantSize::blocks(blocks), tb.now() + 1, 1_500, &mut rng);
+                tb.enqueue(frames);
+                watch(&mut tb, &monitor, 15, 1_500_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

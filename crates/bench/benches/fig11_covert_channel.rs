@@ -1,0 +1,37 @@
+//! Figure 11 bench: a short covert transmission end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_core::covert::{lfsr_symbols, run_channel, ChannelConfig, Encoding};
+use pc_core::{TestBed, TestBedConfig};
+use pc_probe::AddressPool;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_covert_channel");
+    group.sample_size(10);
+    for probe_khz in [7u64, 28] {
+        group.bench_with_input(
+            BenchmarkId::new("ternary_30_symbols", probe_khz),
+            &probe_khz,
+            |b, &khz| {
+                b.iter(|| {
+                    let mut bed = TestBedConfig::paper_baseline();
+                    bed.driver.ring_size = 16;
+                    let mut tb = TestBed::new(bed);
+                    let pool = AddressPool::allocate(4, 12288);
+                    let symbols = lfsr_symbols(Encoding::Ternary, 30, 0x77);
+                    let cfg = ChannelConfig {
+                        monitored_buffers: 1,
+                        packet_rate_fps: 100_000,
+                        probe_rate_hz: khz * 1_000,
+                        ..ChannelConfig::paper_defaults()
+                    };
+                    run_channel(&mut tb, &pool, &symbols, &cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 12 bench: the multi-buffer channel (a/b) and the full chased
+//! channel (c/d) at small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_core::covert::{lfsr_symbols, run_chased_channel, run_channel, ChannelConfig, Encoding};
+use pc_core::{TestBed, TestBedConfig};
+use pc_probe::AddressPool;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for buffers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("multibuffer", buffers),
+            &buffers,
+            |b, &n| {
+                b.iter(|| {
+                    let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+                    let pool = AddressPool::allocate(5, 12288);
+                    let symbols = lfsr_symbols(Encoding::Ternary, 20 * n, 0x31);
+                    let cfg = ChannelConfig {
+                        monitored_buffers: n,
+                        probe_rate_hz: 28_000,
+                        window: 2,
+                        ..ChannelConfig::paper_defaults()
+                    };
+                    run_channel(&mut tb, &pool, &symbols, &cfg)
+                });
+            },
+        );
+    }
+    group.bench_function("chased_160kbps_500_symbols", |b| {
+        b.iter(|| {
+            let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+            let pool = AddressPool::allocate(6, 16384);
+            let symbols = lfsr_symbols(Encoding::Ternary, 500, 0x51);
+            run_chased_channel(&mut tb, &pool, &symbols, 100_000)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

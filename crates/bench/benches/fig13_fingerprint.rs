@@ -1,0 +1,58 @@
+//! Figure 13 / §V bench: one trace capture through the cache plus
+//! classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_core::chasing::ChasingSpy;
+use pc_core::fingerprint::{capture_trace, CaptureConfig, EditDistanceClassifier};
+use pc_core::{TestBed, TestBedConfig};
+use pc_net::ClosedWorld;
+use pc_probe::AddressPool;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let world = ClosedWorld::paper_five_sites();
+    let cfg = CaptureConfig { trace_len: 60, ..CaptureConfig::paper_defaults() };
+    c.bench_function("fig13_capture_one_page_load", |b| {
+        let pool = AddressPool::allocate(8, 16384);
+        let mut rng = SmallRng::seed_from_u64(8);
+        b.iter(|| {
+            let mut bed = TestBedConfig::paper_baseline();
+            bed.driver.ring_size = 32;
+            let mut tb = TestBed::new(bed);
+            let mut spy = ChasingSpy::for_ring(tb.hierarchy().llc(), &pool, tb.driver());
+            let frames = world.sites()[0].page_load(0.2, &mut rng);
+            capture_trace(&mut tb, &mut spy, &frames, &cfg)
+        });
+    });
+    c.bench_function("fig13_classify_trace", |b| {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let training: Vec<Vec<Vec<u8>>> = world
+            .sites()
+            .iter()
+            .map(|s| {
+                (0..4)
+                    .map(|_| {
+                        pc_core::fingerprint::true_size_classes(&s.page_load(0.2, &mut rng), 100)
+                    })
+                    .collect()
+            })
+            .collect();
+        let clf = EditDistanceClassifier::train(
+            world.sites().iter().map(|s| s.name().to_owned()).collect(),
+            training,
+        );
+        let probe = pc_core::fingerprint::true_size_classes(
+            &world.sites()[2].page_load(0.2, &mut rng),
+            100,
+        );
+        b.iter(|| clf.classify(&probe));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 14 bench: Nginx requests under DDIO vs the adaptive partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_cache::DdioMode;
+use pc_defense::workloads::{nginx, NginxConfig, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_nginx_200_requests");
+    group.sample_size(10);
+    for (name, mode) in [("ddio", DdioMode::enabled()), ("adaptive", DdioMode::adaptive())] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            let cfg = NginxConfig::paper_defaults();
+            b.iter(|| {
+                let mut bench = Workbench::paper_machine(mode, 3);
+                nginx(&mut bench, &cfg, 200)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 15 bench: the three I/O workloads under each DDIO mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_cache::DdioMode;
+use pc_defense::workloads::{file_copy, tcp_recv, Workbench};
+
+fn bench(c: &mut Criterion) {
+    let modes = [
+        ("no_ddio", DdioMode::Disabled),
+        ("ddio", DdioMode::enabled()),
+        ("adaptive", DdioMode::adaptive()),
+    ];
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::new("tcp_recv_2k", name), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut bench = Workbench::paper_machine(mode, 6);
+                tcp_recv(&mut bench, 2_000)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("file_copy_1mb", name), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut bench = Workbench::paper_machine(mode, 6);
+                file_copy(&mut bench, 1)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table I bench: the SEQUENCER pipeline — graph construction and the
+//! ring walk — plus a scaled end-to-end window recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_cache::SliceSet;
+use pc_core::footprint::page_aligned_targets;
+use pc_core::sequencer::{recover_window, EdgeGraph, SequencerConfig};
+use pc_core::{TestBed, TestBedConfig};
+use pc_net::{ArrivalSchedule, ConstantSize, LineRate};
+use pc_probe::{AddressPool, SampleMatrix};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A synthetic activity matrix for a 32-node ring, 40k samples.
+fn synthetic_matrix() -> SampleMatrix {
+    let n = 32;
+    let mut m = SampleMatrix::new((0..n).collect());
+    for r in 0..40_000 {
+        let mut row = vec![false; n];
+        if r % 3 != 2 {
+            row[(r / 3) % n] = true;
+        }
+        m.push(row);
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let matrix = synthetic_matrix();
+    c.bench_function("table1_build_graph_40k_samples", |b| {
+        b.iter(|| EdgeGraph::build(&matrix));
+    });
+    c.bench_function("table1_make_sequence", |b| {
+        let graph = EdgeGraph::build(&matrix);
+        b.iter(|| graph.clone().make_sequence(2, 128));
+    });
+    c.bench_function("table1_end_to_end_12_sets", |b| {
+        b.iter(|| {
+            let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(9));
+            let geom = tb.hierarchy().llc().geometry();
+            let targets: Vec<SliceSet> =
+                page_aligned_targets(&geom).into_iter().take(12).collect();
+            let pool = AddressPool::allocate(9, 12288);
+            let mut rng = SmallRng::seed_from_u64(9);
+            let frames = ArrivalSchedule::new(LineRate::gigabit())
+                .frames_per_second(40_000)
+                .generate(&mut ConstantSize::blocks(2), tb.now() + 1, 10_000, &mut rng);
+            tb.enqueue(frames);
+            let cfg = SequencerConfig {
+                samples: 8_000,
+                interval: 41_000,
+                ..SequencerConfig::paper_defaults()
+            };
+            recover_window(&mut tb, &pool, &targets, &cfg)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # pc-bench — reproduction harness
+//!
+//! [`experiments`] hosts one function per paper table/figure, shared by
+//! the `repro` binary (full printouts) and the Criterion benches
+//! (scaled-down timed runs). Each function returns plain row structs so
+//! callers decide how to render them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,637 @@
+//! The remote covert channel (§IV): receiving packets without network
+//! access.
+//!
+//! A trojan on the same physical network sends broadcast frames whose
+//! *sizes* encode symbols; the spy — no network stack, no privileges —
+//! decodes them by watching the cache sets of one (or more) ring
+//! buffers. The first block of the buffer acts as a clock (every packet
+//! lights it); blocks 2 and 3 carry the data.
+//!
+//! All covert frames are at most 256 bytes, i.e. at or below the IGB
+//! copybreak, so buffers are recycled in place and never flip half-pages
+//! — the monitored sets stay fixed for the whole transmission.
+
+use crate::footprint::{label_of, ring_histogram};
+use crate::testbed::TestBed;
+use pc_cache::{Cycles, SlicedCache};
+use pc_net::{ArrivalSchedule, EthernetFrame, Lfsr15, LineRate, ScheduledFrame, TraceReplay};
+use pc_nic::IgbDriver;
+use pc_probe::{oracle_eviction_sets, AddressPool, PrimeProbe};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Symbol alphabet of the channel.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Encoding {
+    /// One bit per packet: 64 B ("0") vs 256 B ("1").
+    Binary,
+    /// A ternary symbol per packet: 64 B ("0"), 192 B ("1"), 256 B ("2").
+    Ternary,
+}
+
+impl Encoding {
+    /// Number of distinct symbols.
+    pub fn alphabet(self) -> u8 {
+        match self {
+            Encoding::Binary => 2,
+            Encoding::Ternary => 3,
+        }
+    }
+
+    /// Information per symbol in bits.
+    pub fn bits_per_symbol(self) -> f64 {
+        f64::from(self.alphabet()).log2()
+    }
+
+    /// The frame that encodes `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is outside the alphabet.
+    pub fn frame_for(self, symbol: u8) -> EthernetFrame {
+        assert!(symbol < self.alphabet(), "symbol {symbol} outside alphabet");
+        match (self, symbol) {
+            (Encoding::Binary, 0) | (Encoding::Ternary, 0) => EthernetFrame::with_blocks(1),
+            (Encoding::Binary, 1) => EthernetFrame::with_blocks(4),
+            (Encoding::Ternary, 1) => EthernetFrame::with_blocks(3),
+            (Encoding::Ternary, 2) => EthernetFrame::with_blocks(4),
+            _ => unreachable!("validated above"),
+        }
+    }
+
+    /// Decodes block-2/block-3 activity into a symbol.
+    pub fn decode(self, b2: bool, b3: bool) -> u8 {
+        match self {
+            // Binary "1" is a 4-block packet: both sets fire. Requiring
+            // both makes binary slightly more robust than ternary
+            // (paper §IV-b).
+            Encoding::Binary => u8::from(b2 && b3),
+            Encoding::Ternary => {
+                if b3 {
+                    2
+                } else if b2 {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// A pseudo-random symbol stream from the paper's 15-bit LFSR
+/// methodology.
+pub fn lfsr_symbols(encoding: Encoding, count: usize, seed: u16) -> Vec<u8> {
+    let mut lfsr = Lfsr15::new(seed);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        match encoding {
+            Encoding::Binary => out.push(lfsr.next_bit()),
+            Encoding::Ternary => {
+                let v = (lfsr.next_bit() << 1) | lfsr.next_bit();
+                if v < 3 {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Channel parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct ChannelConfig {
+    /// Symbol alphabet.
+    pub encoding: Encoding,
+    /// How many ring buffers the spy monitors (1, 2, 4, 8, 16 in
+    /// Figure 12a/b). The trojan sends `ring_size / monitored_buffers`
+    /// packets per symbol.
+    pub monitored_buffers: usize,
+    /// Trojan's frame rate (bounded by line rate).
+    pub packet_rate_fps: u64,
+    /// Spy's probe rate in Hz (7 k / 14 k / 28 k in Figure 11).
+    pub probe_rate_hz: u64,
+    /// Decoding window in samples (the paper uses 3).
+    pub window: u8,
+    /// Background memory activity of unrelated processes, in accesses
+    /// per second, biased toward page-aligned lines (structure headers,
+    /// allocator metadata). Longer probe intervals accumulate more of
+    /// this noise per sample — the mechanism behind Figure 11's error
+    /// falling as the probe rate rises.
+    pub background_noise_aps: u64,
+}
+
+impl ChannelConfig {
+    /// Figure 10/11 setup: one monitored buffer, near-line-rate sender,
+    /// 14 kHz probes, ternary.
+    pub fn paper_defaults() -> Self {
+        ChannelConfig {
+            encoding: Encoding::Ternary,
+            monitored_buffers: 1,
+            packet_rate_fps: 500_000,
+            probe_rate_hz: 14_000,
+            window: 3,
+            background_noise_aps: 40_000,
+        }
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig::paper_defaults()
+    }
+}
+
+/// Outcome of one covert transmission.
+#[derive(Clone, Debug)]
+pub struct ChannelReport {
+    /// Symbols the trojan sent.
+    pub sent_symbols: usize,
+    /// Symbols the spy decoded, in order.
+    pub received: Vec<u8>,
+    /// Levenshtein error rate against the sent stream.
+    pub error_rate: f64,
+    /// Raw channel bandwidth in bits/second (sent bits over elapsed
+    /// simulated time).
+    pub bandwidth_bps: f64,
+    /// Simulated cycles the transmission took.
+    pub elapsed_cycles: Cycles,
+}
+
+/// Picks `n` ring buffers for the spy — the §IV-c selection procedure:
+/// buffers whose page-aligned set hosts exactly one buffer (unambiguous
+/// signal), one per *symbol arc* of the ring.
+///
+/// The trojan emits `ring / n` packets per symbol, so symbol `i` of a
+/// ring pass occupies slots `[i·ring/n, (i+1)·ring/n)` relative to the
+/// ring cursor; picking one buffer per arc (as central as possible) sees
+/// each symbol exactly once. When an arc has no unique-set buffer a
+/// shared-set one is used — noisier, which is part of why the paper's
+/// error rate jumps at 16 monitored buffers.
+///
+/// Returns ring indices in arc order (symbol observation order).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds the ring size.
+pub fn pick_monitored_buffers(llc: &SlicedCache, driver: &IgbDriver, n: usize) -> Vec<usize> {
+    assert!(n > 0, "monitor at least one buffer");
+    let hist = ring_histogram(llc, driver);
+    let geom = llc.geometry();
+    let pages = driver.ring().page_addresses();
+    let ring = pages.len();
+    assert!(n <= ring, "cannot monitor more buffers than the ring holds");
+    let phase = driver.ring().next_index();
+    let arc = ring / n;
+    let is_unique = |i: usize| hist[label_of(&geom, llc.locate(pages[i]))] == 1;
+    let mut chosen: Vec<usize> = Vec::with_capacity(n);
+    for k in 0..n {
+        let arc_slots = (0..arc).map(|j| (phase + k * arc + j) % ring);
+        let center = arc / 2;
+        let best = arc_slots
+            .clone()
+            .enumerate()
+            .filter(|(_, slot)| is_unique(*slot))
+            .min_by_key(|(j, _)| j.abs_diff(center))
+            .or_else(|| arc_slots.enumerate().min_by_key(|(j, _)| j.abs_diff(center)))
+            .map(|(_, slot)| slot)
+            .expect("arc is non-empty");
+        chosen.push(best);
+    }
+    chosen
+}
+
+/// Builds the trojan's arrival schedule for `symbols`.
+///
+/// Each symbol is repeated `packets_per_symbol` times (256/n in the
+/// paper) so that it passes over every monitored buffer exactly once.
+pub fn trojan_schedule(
+    symbols: &[u8],
+    encoding: Encoding,
+    packets_per_symbol: usize,
+    rate_fps: u64,
+    start: Cycles,
+    seed: u64,
+) -> Vec<ScheduledFrame> {
+    assert!(packets_per_symbol > 0, "need at least one packet per symbol");
+    let sizes: Vec<u32> = symbols
+        .iter()
+        .flat_map(|&s| {
+            std::iter::repeat_n(encoding.frame_for(s).bytes(), packets_per_symbol)
+        })
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let count = sizes.len();
+    let mut gen = TraceReplay::new(sizes);
+    ArrivalSchedule::new(LineRate::gigabit())
+        .frames_per_second(rate_fps)
+        .jitter(0.02)
+        // Broadcast floods start re-ordering well before nominal line
+        // rate (switch queueing): the effect behind Figure 12d's error
+        // jump at 640 kbps.
+        .reordering(0.55, 0.1)
+        .generate(&mut gen, start, count, &mut rng)
+}
+
+/// Report for the sequence-chasing channel variant (Figure 12c/d): the
+/// spy follows *every* buffer in ring order and decodes one symbol per
+/// packet.
+#[derive(Clone, Debug)]
+pub struct ChasedReport {
+    /// Symbols the trojan sent (one per packet).
+    pub sent_symbols: usize,
+    /// Symbols decoded, in observation order.
+    pub decoded: Vec<u8>,
+    /// Levenshtein error rate over the synchronized (observed) stream.
+    pub error_rate: f64,
+    /// Out-of-sync events per sent packet.
+    pub out_of_sync_rate: f64,
+    /// Offered bandwidth in bits/second.
+    pub bandwidth_bps: f64,
+}
+
+/// Maps a chasing size class (1..=4 blocks) back to a ternary symbol:
+/// 1-block packets light blocks 0–1 (driver prefetch) → class ≤ 2 → "0";
+/// 3 blocks → "1"; 4 blocks → "2".
+pub fn class_to_ternary(size_class: u8) -> u8 {
+    match size_class {
+        0..=2 => 0,
+        3 => 1,
+        _ => 2,
+    }
+}
+
+/// Runs the Figure 12c/d experiment: ternary symbols, one per packet,
+/// chased buffer-to-buffer with the full ring sequence.
+pub fn run_chased_channel(
+    tb: &mut TestBed,
+    pool: &AddressPool,
+    symbols: &[u8],
+    packet_rate_fps: u64,
+) -> ChasedReport {
+    let mut spy = crate::chasing::ChasingSpy::for_ring(tb.hierarchy().llc(), pool, tb.driver());
+    spy.prime_all(tb);
+    let frames = trojan_schedule(
+        symbols,
+        Encoding::Ternary,
+        1,
+        packet_rate_fps,
+        tb.now() + 10_000,
+        0xc4a5ed,
+    );
+    let t0 = tb.now();
+    tb.enqueue(frames);
+
+    // Probe fast relative to the packet gap; wait at most a few gaps
+    // before declaring the packet missed, then wait out a full ring wrap
+    // to resynchronize (§IV-c).
+    let gap = pc_net::CPU_FREQ_HZ / packet_rate_fps;
+    let interval = (gap / 4).max(1_000);
+    let max_wait = 16usize;
+    let ring = tb.driver().ring().len() as u64;
+    let wrap_wait = ((2 * ring * gap) / interval.max(1)) as usize + max_wait;
+
+    // Keep receiving until the wire is idle AND no latched evidence
+    // remains: when the spy runs slower than the line it builds a backlog
+    // of latched evictions it can still read out after the last frame.
+    let mut decoded = Vec::with_capacity(symbols.len());
+    loop {
+        match spy.observe_next(tb, interval, max_wait) {
+            Some(obs) => decoded.push(class_to_ternary(obs.size_class)),
+            None if tb.pending_frames() == 0 => break,
+            None => {
+                // Lost the stream mid-flight: camp on this buffer until
+                // the ring comes back around.
+                if let Some(obs) = spy.observe_next(tb, interval, wrap_wait) {
+                    decoded.push(class_to_ternary(obs.size_class));
+                } else if tb.pending_frames() == 0 {
+                    break;
+                }
+            }
+        }
+        if decoded.len() > symbols.len() * 2 {
+            break; // runaway guard against pathological noise
+        }
+    }
+    let elapsed = tb.now() - t0;
+    let seconds = elapsed as f64 / pc_net::CPU_FREQ_HZ as f64;
+    ChasedReport {
+        sent_symbols: symbols.len(),
+        error_rate: crate::levenshtein::error_rate(&decoded, symbols),
+        decoded,
+        out_of_sync_rate: spy.out_of_syncs() as f64 / symbols.len().max(1) as f64,
+        bandwidth_bps: symbols.len() as f64 * Encoding::Ternary.bits_per_symbol()
+            / seconds.max(1e-12),
+    }
+}
+
+/// Unrelated processes sharing the LLC: random reads biased toward
+/// page-aligned lines (structure headers, allocator metadata live
+/// there), which is exactly where they collide with the spy's monitored
+/// sets. The paper's noise discussion in §IV-b.
+#[derive(Clone, Debug)]
+pub struct BackgroundNoise {
+    accesses_per_second: u64,
+    rng: SmallRng,
+    carry: f64,
+}
+
+/// First page of the noise tenants' region (disjoint from NIC, app and
+/// attacker regions).
+const NOISE_FIRST_PAGE: u64 = 1 << 21;
+const NOISE_PAGES: u64 = 1 << 19;
+
+impl BackgroundNoise {
+    /// Noise at `accesses_per_second` (0 disables it).
+    pub fn new(accesses_per_second: u64, seed: u64) -> Self {
+        BackgroundNoise { accesses_per_second, rng: SmallRng::seed_from_u64(seed), carry: 0.0 }
+    }
+
+    /// Issues the noise accesses that fall within a `window_cycles`-long
+    /// interval.
+    pub fn run(&mut self, tb: &mut TestBed, window_cycles: Cycles) {
+        if self.accesses_per_second == 0 {
+            return;
+        }
+        self.carry += self.accesses_per_second as f64 * window_cycles as f64
+            / pc_net::CPU_FREQ_HZ as f64;
+        while self.carry >= 1.0 {
+            self.carry -= 1.0;
+            let page = NOISE_FIRST_PAGE + self.rng.gen_range(0..NOISE_PAGES);
+            let block = self.rng.gen_range(0..4u64);
+            tb.hierarchy_mut()
+                .cpu_read(pc_cache::PhysAddr::new(page * 4096 + block * 64));
+        }
+    }
+}
+
+/// Per-buffer decoding state machine (window-of-3 merging of wide
+/// peaks, as in Figure 10's discussion).
+#[derive(Clone, Debug)]
+struct Decoder {
+    clock: PrimeProbe,
+    b1: PrimeProbe,
+    b2: PrimeProbe,
+    b3: PrimeProbe,
+    collecting: Option<(u8, bool, bool)>,
+    cooldown: u8,
+}
+
+impl Decoder {
+    fn sample(&mut self, tb: &mut TestBed, window: u8, encoding: Encoding) -> Option<u8> {
+        let h = tb.hierarchy_mut();
+        // A real packet lights blocks 0 AND 1 (DMA plus the driver's
+        // unconditional second-block prefetch); requiring both rejects
+        // stray background hits on the clock set.
+        let c = self.clock.probe(h).activity() && self.b1.probe(h).activity();
+        let b2 = self.b2.probe(h).activity();
+        let b3 = self.b3.probe(h).activity();
+        if let Some((remaining, acc2, acc3)) = self.collecting.as_mut() {
+            *acc2 |= b2;
+            *acc3 |= b3;
+            if *remaining > 0 {
+                *remaining -= 1;
+                return None;
+            }
+            let symbol = encoding.decode(*acc2, *acc3);
+            self.collecting = None;
+            return Some(symbol);
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        if c {
+            self.collecting = Some((window.saturating_sub(2), b2, b3));
+        }
+        None
+    }
+}
+
+/// Runs a full covert transmission end to end and reports quality.
+///
+/// The spy setup (buffer choice + eviction sets) uses the offline-phase
+/// ground truth; the *transmission* is pure PRIME+PROBE.
+pub fn run_channel(
+    tb: &mut TestBed,
+    pool: &AddressPool,
+    symbols: &[u8],
+    cfg: &ChannelConfig,
+) -> ChannelReport {
+    let ring = tb.driver().ring().len();
+    assert!(
+        cfg.monitored_buffers <= ring,
+        "cannot monitor more buffers than the ring holds"
+    );
+    let packets_per_symbol = ring / cfg.monitored_buffers;
+    let threshold = tb.hierarchy().latencies().miss_threshold();
+
+    // Spy setup.
+    let chosen = pick_monitored_buffers(tb.hierarchy().llc(), tb.driver(), cfg.monitored_buffers);
+    let pages = tb.driver().ring().page_addresses();
+    let mut decoders: Vec<Decoder> = chosen
+        .iter()
+        .map(|&i| {
+            let page = pages[i];
+            let llc = tb.hierarchy().llc();
+            let targets = [
+                llc.locate(page),
+                llc.locate(page.add_blocks(1)),
+                llc.locate(page.add_blocks(2)),
+                llc.locate(page.add_blocks(3)),
+            ];
+            let mut sets = oracle_eviction_sets(llc, pool, &targets).into_iter();
+            Decoder {
+                clock: PrimeProbe::new(sets.next().expect("clock set"), threshold),
+                b1: PrimeProbe::new(sets.next().expect("b1 set"), threshold),
+                b2: PrimeProbe::new(sets.next().expect("b2 set"), threshold),
+                b3: PrimeProbe::new(sets.next().expect("b3 set"), threshold),
+                collecting: None,
+                cooldown: 0,
+            }
+        })
+        .collect();
+
+    // Trojan transmission.
+    let start = tb.now() + 10_000;
+    let frames = trojan_schedule(
+        symbols,
+        cfg.encoding,
+        packets_per_symbol,
+        cfg.packet_rate_fps,
+        start,
+        0xbeef,
+    );
+    // The channel occupies the wire from the first to the last frame;
+    // that span is what bandwidth is measured over.
+    let span = frames.last().map(|f| f.at - frames[0].at).unwrap_or(0).max(1);
+    tb.enqueue(frames);
+
+    for d in &decoders {
+        d.clock.prime(tb.hierarchy_mut());
+        d.b1.prime(tb.hierarchy_mut());
+        d.b2.prime(tb.hierarchy_mut());
+        d.b3.prime(tb.hierarchy_mut());
+    }
+
+    // Receive loop, with other tenants' memory activity in the
+    // background.
+    let interval = pc_net::CPU_FREQ_HZ / cfg.probe_rate_hz;
+    let mut noise = BackgroundNoise::new(cfg.background_noise_aps, 0x2017);
+    let mut received = Vec::with_capacity(symbols.len());
+    let mut idle_slack = 50usize;
+    let mut next = tb.now() + interval;
+    while tb.pending_frames() > 0 || idle_slack > 0 {
+        if tb.pending_frames() == 0 {
+            idle_slack -= 1;
+        }
+        tb.advance_to(next);
+        noise.run(tb, interval);
+        for d in decoders.iter_mut() {
+            if let Some(sym) = d.sample(tb, cfg.window, cfg.encoding) {
+                received.push(sym);
+            }
+        }
+        next = tb.now() + interval;
+    }
+    let elapsed = span;
+
+    let error_rate = crate::levenshtein::error_rate(&received, symbols);
+    let seconds = elapsed as f64 / pc_net::CPU_FREQ_HZ as f64;
+    let bandwidth_bps =
+        symbols.len() as f64 * cfg.encoding.bits_per_symbol() / seconds.max(1e-12);
+    ChannelReport {
+        sent_symbols: symbols.len(),
+        received,
+        error_rate,
+        bandwidth_bps,
+        elapsed_cycles: elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{TestBed, TestBedConfig};
+
+    #[test]
+    fn encoding_round_trips() {
+        for enc in [Encoding::Binary, Encoding::Ternary] {
+            for s in 0..enc.alphabet() {
+                let f = enc.frame_for(s);
+                let blocks = f.cache_blocks();
+                // Decode what the spy would see: blocks 2/3 active iff the
+                // frame spans them.
+                let decoded = enc.decode(blocks >= 3, blocks >= 4);
+                assert_eq!(decoded, s, "{enc:?} symbol {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits_per_symbol() {
+        assert_eq!(Encoding::Binary.bits_per_symbol(), 1.0);
+        assert!((Encoding::Ternary.bits_per_symbol() - 1.585).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn invalid_symbol_panics() {
+        Encoding::Binary.frame_for(2);
+    }
+
+    #[test]
+    fn lfsr_symbols_are_in_alphabet_and_balanced() {
+        let syms = lfsr_symbols(Encoding::Ternary, 3000, 0x1234);
+        assert_eq!(syms.len(), 3000);
+        for &s in &syms {
+            assert!(s < 3);
+        }
+        let zeros = syms.iter().filter(|&&s| s == 0).count();
+        assert!((700..1400).contains(&zeros), "unbalanced: {zeros} zeros");
+    }
+
+    #[test]
+    fn trojan_schedule_repeats_symbols() {
+        let sched = trojan_schedule(&[0, 2], Encoding::Ternary, 4, 100_000, 0, 1);
+        assert_eq!(sched.len(), 8);
+        for f in &sched[..4] {
+            assert_eq!(f.frame.cache_blocks(), 1);
+        }
+        for f in &sched[4..] {
+            assert_eq!(f.frame.cache_blocks(), 4);
+        }
+    }
+
+    #[test]
+    fn pick_monitored_buffers_one_per_arc() {
+        let tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(5));
+        let n = 8;
+        let chosen = pick_monitored_buffers(tb.hierarchy().llc(), tb.driver(), n);
+        assert_eq!(chosen.len(), n);
+        let ring = tb.driver().ring().len();
+        let arc = ring / n;
+        let hist = ring_histogram(tb.hierarchy().llc(), tb.driver());
+        let geom = tb.hierarchy().llc().geometry();
+        let pages = tb.driver().ring().page_addresses();
+        let mut unique = 0;
+        for (k, &slot) in chosen.iter().enumerate() {
+            // Fresh bed: phase is 0, so arc k covers [k*arc, (k+1)*arc).
+            assert!(
+                (k * arc..(k + 1) * arc).contains(&slot),
+                "buffer {slot} outside arc {k}"
+            );
+            let lbl = label_of(&geom, tb.hierarchy().llc().locate(pages[slot]));
+            unique += usize::from(hist[lbl] == 1);
+        }
+        assert!(unique >= n - 1, "only {unique}/{n} unique-set buffers chosen");
+    }
+
+    #[test]
+    fn short_ternary_transmission_decodes() {
+        let mut cfg_bed = TestBedConfig::paper_baseline().with_seed(6);
+        cfg_bed.driver.ring_size = 16; // keep the test fast
+        let mut tb = TestBed::new(cfg_bed);
+        let pool = AddressPool::allocate(71, 12288);
+        let symbols = lfsr_symbols(Encoding::Ternary, 40, 0x7ace);
+        let cfg = ChannelConfig {
+            encoding: Encoding::Ternary,
+            monitored_buffers: 1,
+            packet_rate_fps: 100_000,
+            probe_rate_hz: 28_000,
+            window: 3,
+            background_noise_aps: 0,
+        };
+        let report = run_channel(&mut tb, &pool, &symbols, &cfg);
+        assert!(
+            report.error_rate < 0.15,
+            "error {} too high; received {:?}",
+            report.error_rate,
+            report.received
+        );
+        assert!(report.bandwidth_bps > 0.0);
+    }
+
+    #[test]
+    fn binary_is_no_worse_than_ternary() {
+        let mut cfg_bed = TestBedConfig::paper_baseline().with_seed(7);
+        cfg_bed.driver.ring_size = 16;
+        let pool = AddressPool::allocate(72, 12288);
+        let run = |enc: Encoding| {
+            let mut tb = TestBed::new(cfg_bed);
+            let symbols = lfsr_symbols(enc, 30, 0x2bad);
+            let cfg = ChannelConfig {
+                encoding: enc,
+                monitored_buffers: 1,
+                packet_rate_fps: 100_000,
+                probe_rate_hz: 28_000,
+                window: 3,
+                background_noise_aps: 0,
+            };
+            run_channel(&mut tb, &pool, &symbols, &cfg).error_rate
+        };
+        let bin = run(Encoding::Binary);
+        let ter = run(Encoding::Ternary);
+        assert!(bin <= ter + 0.05, "binary {bin} vs ternary {ter}");
+    }
+}

@@ -1,0 +1,204 @@
+//! The offline discovery phase (§III-B): finding the ring's cache
+//! footprint.
+//!
+//! The key insight: rx buffers start on page (or half-page) boundaries,
+//! so their first blocks can only live in the 256 *page-aligned*
+//! set-slices (32 page-aligned indices per slice × 8 slices). Monitoring
+//! those — instead of all 16 384 sets — is what makes the attack's probe
+//! rate feasible.
+
+use crate::testbed::TestBed;
+use pc_cache::{CacheGeometry, Cycles, SliceSet, SlicedCache};
+use pc_nic::{DriverConfig, IgbDriver, PageAllocator};
+use pc_probe::{oracle_eviction_sets, AddressPool, Monitor, MonitorTarget, SampleMatrix};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The spy's numbering of a page-aligned set-slice: `0..256` on the
+/// paper's machine, ordering sets within a slice first.
+pub fn label_of(geom: &CacheGeometry, ss: SliceSet) -> usize {
+    debug_assert!(geom.is_page_aligned_set(ss.set & !63));
+    ss.slice * geom.page_aligned_sets_per_slice() + (ss.set >> 6)
+}
+
+/// All page-aligned set-slices, in label order — the candidate locations
+/// of every rx buffer's first block.
+pub fn page_aligned_targets(geom: &CacheGeometry) -> Vec<SliceSet> {
+    block_row_targets(geom, 0)
+}
+
+/// The set-slices that can hold block `block` (0..64) of any page: set
+/// indices congruent to `block` mod 64. Row `k` of Figure 8 monitors
+/// `block_row_targets(geom, k)`.
+///
+/// # Panics
+///
+/// Panics if `block >= 64` (a page holds 64 lines).
+pub fn block_row_targets(geom: &CacheGeometry, block: usize) -> Vec<SliceSet> {
+    assert!(block < 64, "a 4 KiB page has 64 cache lines");
+    let mut out = Vec::with_capacity(geom.page_aligned_set_slices());
+    for slice in 0..geom.slices() {
+        for i in 0..geom.page_aligned_sets_per_slice() {
+            out.push(SliceSet::new(slice, geom.page_aligned_set_index(i) + block));
+        }
+    }
+    out
+}
+
+/// Builds a labelled monitor over `targets` using oracle eviction sets
+/// (experiment setup; see `pc-probe` docs on the instrumentation
+/// boundary). Labels are positions in `targets`.
+pub fn build_monitor(llc: &SlicedCache, pool: &AddressPool, targets: &[SliceSet]) -> Monitor {
+    let threshold = pc_cache::LatencyModel::server_defaults().miss_threshold();
+    let sets = oracle_eviction_sets(llc, pool, targets);
+    let targets = sets
+        .into_iter()
+        .enumerate()
+        .map(|(label, set)| MonitorTarget::new(label, set, threshold))
+        .collect();
+    Monitor::new(targets)
+}
+
+/// Samples `monitor` every `interval` cycles for `samples` rounds while
+/// the test bed delivers whatever traffic is queued — the Figure 7
+/// heat-map loop.
+pub fn watch(
+    tb: &mut TestBed,
+    monitor: &Monitor,
+    samples: usize,
+    interval: Cycles,
+) -> SampleMatrix {
+    let mut matrix = monitor.matrix();
+    monitor.prime_all(tb.hierarchy_mut());
+    let mut next = tb.now() + interval;
+    for _ in 0..samples {
+        tb.advance_to(next);
+        matrix.push(monitor.sample(tb.hierarchy_mut()));
+        next += interval;
+    }
+    matrix
+}
+
+/// Ground truth for Figure 5: how many of the driver's rx buffer *pages*
+/// map to each page-aligned set label.
+///
+/// (The paper gets this by instrumenting the driver to print buffer
+/// physical addresses.)
+pub fn ring_histogram(llc: &SlicedCache, driver: &IgbDriver) -> Vec<usize> {
+    let geom = llc.geometry();
+    let mut counts = vec![0usize; geom.page_aligned_set_slices()];
+    for page in driver.ring().page_addresses() {
+        counts[label_of(&geom, llc.locate(page))] += 1;
+    }
+    counts
+}
+
+/// The Figure 6 experiment: allocate the ring `instances` times and
+/// histogram how many page-aligned sets end up with 0, 1, 2, … buffers.
+///
+/// Returns `dist` where `dist[k]` = total number of (instance, set) pairs
+/// with exactly `k` buffers mapped.
+pub fn mapping_distribution(geom: &CacheGeometry, instances: usize, seed: u64) -> Vec<usize> {
+    let hash = pc_cache::SliceHash::for_slices(geom.slices() as u32);
+    let mut dist: Vec<usize> = Vec::new();
+    for inst in 0..instances {
+        let mut rng = SmallRng::seed_from_u64(seed + inst as u64);
+        let alloc = PageAllocator::new(
+            seed.wrapping_add((inst as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let driver = IgbDriver::new(DriverConfig::paper_defaults(), alloc, &mut rng);
+        let mut counts = vec![0usize; geom.page_aligned_set_slices()];
+        for page in driver.ring().page_addresses() {
+            let ss = SliceSet::new(hash.slice_of(page), geom.set_index(page));
+            counts[label_of(geom, ss)] += 1;
+        }
+        for c in counts {
+            if c >= dist.len() {
+                dist.resize(c + 1, 0);
+            }
+            dist[c] += 1;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestBedConfig;
+    use pc_net::{ArrivalSchedule, ConstantSize, LineRate};
+
+    #[test]
+    fn labels_cover_0_to_255() {
+        let geom = CacheGeometry::xeon_e5_2660();
+        let targets = page_aligned_targets(&geom);
+        assert_eq!(targets.len(), 256);
+        let labels: Vec<usize> = targets.iter().map(|t| label_of(&geom, *t)).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..256).collect::<Vec<_>>());
+        assert_eq!(labels, (0..256).collect::<Vec<_>>(), "targets are in label order");
+    }
+
+    #[test]
+    fn block_rows_shift_set_index() {
+        let geom = CacheGeometry::xeon_e5_2660();
+        let row0 = block_row_targets(&geom, 0);
+        let row3 = block_row_targets(&geom, 3);
+        for (a, b) in row0.iter().zip(&row3) {
+            assert_eq!(b.set, a.set + 3);
+            assert_eq!(b.slice, a.slice);
+        }
+    }
+
+    #[test]
+    fn ring_histogram_sums_to_ring_size() {
+        let tb = TestBed::new(TestBedConfig::paper_baseline());
+        let hist = ring_histogram(tb.hierarchy().llc(), tb.driver());
+        assert_eq!(hist.len(), 256);
+        assert_eq!(hist.iter().sum::<usize>(), 256);
+        // Nonuniform: some sets empty, some multiply loaded.
+        assert!(hist.contains(&0));
+        assert!(hist.iter().any(|&c| c >= 2));
+    }
+
+    #[test]
+    fn mapping_distribution_matches_poisson_shape() {
+        let geom = CacheGeometry::xeon_e5_2660();
+        let dist = mapping_distribution(&geom, 50, 99);
+        let total: usize = dist.iter().sum();
+        assert_eq!(total, 50 * 256);
+        // ~e^-1 of sets empty (paper: "around 35%").
+        let empty_frac = dist[0] as f64 / total as f64;
+        assert!((0.30..0.45).contains(&empty_frac), "empty fraction {empty_frac}");
+        // >4 buffers per set is rare (paper: 5 in 1000).
+        let heavy: usize = dist.iter().skip(5).sum();
+        assert!((heavy as f64) < total as f64 * 0.01);
+    }
+
+    #[test]
+    fn watch_sees_receiving_vs_idle() {
+        let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+        let geom = tb.hierarchy().llc().geometry();
+        // Monitor a modest subset to keep the test fast.
+        let targets: Vec<SliceSet> = page_aligned_targets(&geom).into_iter().take(32).collect();
+        let pool = AddressPool::allocate(41, 12288);
+        let monitor = build_monitor(tb.hierarchy().llc(), &pool, &targets);
+
+        // Phase 1: idle.
+        let idle = watch(&mut tb, &monitor, 20, 100_000);
+        let idle_events: usize = idle.activity_counts().iter().sum();
+
+        // Phase 2: broadcast frames arriving.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let frames = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(200_000)
+            .generate(&mut ConstantSize::blocks(4), tb.now(), 2000, &mut rng);
+        tb.enqueue(frames);
+        let busy = watch(&mut tb, &monitor, 20, 100_000);
+        let busy_events: usize = busy.activity_counts().iter().sum();
+
+        assert_eq!(idle_events, 0, "idle phase must be clean");
+        assert!(busy_events > 10, "receiving phase must light up ({busy_events} events)");
+    }
+}

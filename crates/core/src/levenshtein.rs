@@ -1,0 +1,160 @@
+//! Levenshtein (edit) distance — the paper's metric for both sequence
+//! recovery quality (Table I) and covert-channel error rates (§IV-a).
+
+/// Edit distance between two sequences: the minimum number of
+/// single-element insertions, deletions or substitutions turning `a`
+/// into `b`.
+///
+/// ```
+/// use pc_core::levenshtein::levenshtein;
+/// assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+/// assert_eq!(levenshtein(&[1, 2, 3], &[1, 3]), 1);
+/// ```
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row DP.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ai) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, bj) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ai != bj);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Edit distance treating `a` as a *ring*: the minimum
+/// [`levenshtein`] over all rotations of `a`.
+///
+/// The recovered buffer sequence has an arbitrary starting point ("the
+/// choice of the starting node doesn't change the outcome"), so Table I's
+/// distance is computed against the best alignment.
+pub fn cyclic_levenshtein<T: PartialEq + Clone>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return levenshtein(a, b);
+    }
+    let mut best = usize::MAX;
+    let mut rotated: Vec<T> = a.to_vec();
+    for _ in 0..a.len() {
+        best = best.min(levenshtein(&rotated, b));
+        rotated.rotate_left(1);
+    }
+    best
+}
+
+/// Length of the longest run of consecutive mismatches in the optimal
+/// (greedy, rotation-aligned) element-wise comparison — Table I's
+/// "Longest Mismatch" row.
+pub fn longest_mismatch_run<T: PartialEq + Clone>(recovered: &[T], truth: &[T]) -> usize {
+    if recovered.is_empty() || truth.is_empty() {
+        return recovered.len().max(truth.len());
+    }
+    // Align by the rotation that minimizes plain Hamming-style mismatch.
+    let n = recovered.len().min(truth.len());
+    let mut best_run = usize::MAX;
+    let mut rotated = recovered.to_vec();
+    for _ in 0..recovered.len() {
+        let mut run = 0usize;
+        let mut longest = 0usize;
+        for i in 0..n {
+            if rotated[i] != truth[i] {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        longest = longest.max(recovered.len().abs_diff(truth.len()));
+        best_run = best_run.min(longest);
+        rotated.rotate_left(1);
+    }
+    best_run
+}
+
+/// Error rate in `[0, 1]`: edit distance normalized by the reference
+/// length (the paper's "Error Rate (%)" rows).
+pub fn error_rate<T: PartialEq>(received: &[T], reference: &[T]) -> f64 {
+    if reference.is_empty() {
+        return if received.is_empty() { 0.0 } else { 1.0 };
+    }
+    levenshtein(received, reference) as f64 / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_zero() {
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+        assert_eq!(cyclic_levenshtein(b"abc", b"abc"), 0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(levenshtein::<u8>(&[], &[]), 0);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"flaw", b"lawn"), 2);
+        assert_eq!(levenshtein(b"ab", b"ba"), 2);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(levenshtein(b"hello", b"world"), levenshtein(b"world", b"hello"));
+    }
+
+    #[test]
+    fn cyclic_finds_rotation() {
+        // "cdeab" is "abcde" rotated; plain distance is large, cyclic 0.
+        assert!(levenshtein(b"cdeab", b"abcde") > 0);
+        assert_eq!(cyclic_levenshtein(b"cdeab", b"abcde"), 0);
+    }
+
+    #[test]
+    fn cyclic_counts_real_edits() {
+        // one substitution survives every rotation
+        assert_eq!(cyclic_levenshtein(b"cdxab", b"abcde"), 1);
+    }
+
+    #[test]
+    fn error_rate_normalizes() {
+        assert_eq!(error_rate(b"abcd", b"abcd"), 0.0);
+        assert!((error_rate(b"abxd", b"abcd") - 0.25).abs() < 1e-12);
+        assert_eq!(error_rate::<u8>(&[], &[]), 0.0);
+        assert_eq!(error_rate(b"a", b""), 1.0);
+    }
+
+    #[test]
+    fn mismatch_run_detects_burst() {
+        let truth = [1, 2, 3, 4, 5, 6, 7, 8];
+        let recovered = [1, 2, 9, 9, 9, 6, 7, 8];
+        assert_eq!(longest_mismatch_run(&recovered, &truth), 3);
+        assert_eq!(longest_mismatch_run(&truth, &truth), 0);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let seqs: [&[u8]; 4] = [b"abc", b"abd", b"xbd", b"xyz"];
+        for a in seqs {
+            for b in seqs {
+                for c in seqs {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+}

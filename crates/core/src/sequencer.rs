@@ -1,0 +1,491 @@
+//! Algorithm 1: recovering the ring-buffer fill order from cache samples.
+//!
+//! The spy monitors a window of page-aligned sets while packets stream
+//! in. Because the ring is filled strictly in order, consecutive
+//! activity observations are (noisy) adjacent pairs of the cyclic buffer
+//! sequence. The paper's SEQUENCER builds a *second-order* transition
+//! graph — edges keyed by `(prev, curr) → cand` so that two different
+//! buffers sharing one cache set can be told apart by their successors —
+//! then walks the heaviest edges to read the ring order back out.
+
+use crate::footprint::{build_monitor, label_of};
+use crate::levenshtein::{cyclic_levenshtein, longest_mismatch_run};
+use crate::testbed::TestBed;
+use pc_cache::{Cycles, SliceSet, SlicedCache};
+use pc_nic::IgbDriver;
+use pc_probe::{AddressPool, SampleMatrix};
+
+/// Tuning for the sequence-recovery procedure.
+#[derive(Copy, Clone, Debug)]
+pub struct SequencerConfig {
+    /// Samples to collect per monitoring window.
+    pub samples: usize,
+    /// Cycles between samples (probe period).
+    pub interval: Cycles,
+    /// Stop the graph walk when the best outgoing edge weighs less than
+    /// this.
+    pub weight_cutoff: u32,
+    /// GET_CLEAN_SAMPLES: a set active in more than this fraction of
+    /// samples is considered always-miss and swapped for the page's
+    /// second block.
+    pub activity_cutoff: f64,
+    /// Safety cap on recovered-sequence length (a multiple of the number
+    /// of monitored sets).
+    pub max_length_factor: usize,
+}
+
+impl SequencerConfig {
+    /// Defaults mirroring Table I's parameters, scaled to the simulator:
+    /// 100 k samples per window is the paper's number; tests use fewer.
+    pub fn paper_defaults() -> Self {
+        SequencerConfig {
+            samples: 100_000,
+            interval: 120_000,
+            weight_cutoff: 2,
+            activity_cutoff: 0.9,
+            max_length_factor: 4,
+        }
+    }
+}
+
+impl Default for SequencerConfig {
+    fn default() -> Self {
+        SequencerConfig::paper_defaults()
+    }
+}
+
+/// The second-order transition graph: `weight[(prev, curr)][cand]`.
+#[derive(Clone, Debug)]
+pub struct EdgeGraph {
+    n: usize,
+    w: Vec<u32>, // flattened n³
+}
+
+impl EdgeGraph {
+    /// BUILD_GRAPH over an activity matrix (columns are monitor labels).
+    pub fn build(matrix: &SampleMatrix) -> Self {
+        let n = matrix.labels().len();
+        let mut g = EdgeGraph { n, w: vec![0; n * n * n] };
+        let (mut prev, mut curr) = (0usize, 0usize);
+        let mut started = false;
+        for row in matrix.rows() {
+            for (cand, &active) in row.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                if !started {
+                    prev = cand;
+                    curr = cand;
+                    started = true;
+                    continue;
+                }
+                if cand == curr {
+                    // Wide peak: the same packet's activity spanning two
+                    // samples — not a transition.
+                    continue;
+                }
+                if curr != prev {
+                    g.w[(prev * n + curr) * n + cand] += 1;
+                }
+                prev = curr;
+                curr = cand;
+            }
+        }
+        g
+    }
+
+    /// Number of monitored sets (columns).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the graph is over zero sets.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Edge weight for `(prev, curr) → cand`.
+    pub fn weight(&self, prev: usize, curr: usize, cand: usize) -> u32 {
+        self.w[(prev * self.n + curr) * self.n + cand]
+    }
+
+    fn weight_mut(&mut self, prev: usize, curr: usize, cand: usize) -> &mut u32 {
+        &mut self.w[(prev * self.n + curr) * self.n + cand]
+    }
+
+    /// The heaviest `(prev, curr)` edges — candidate traversal roots, by
+    /// descending weight.
+    fn roots(&self, limit: usize) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<((usize, usize), u64)> = Vec::new();
+        for p in 0..self.n {
+            for c in 0..self.n {
+                let total: u64 =
+                    (0..self.n).map(|x| u64::from(self.weight(p, c, x))).sum();
+                if total > 0 {
+                    pairs.push(((p, c), total));
+                }
+            }
+        }
+        pairs.sort_by_key(|&(_, total)| std::cmp::Reverse(total));
+        pairs.into_iter().take(limit).map(|(pc, _)| pc).collect()
+    }
+
+    /// MAKE_SEQUENCE: walk the heaviest edges from a root until the walk
+    /// returns to it (one full ring) or weights drop below `cutoff`.
+    /// Returns monitor-column indices in ring order.
+    ///
+    /// The paper notes the starting node doesn't change the outcome *on a
+    /// clean graph*; with sampling noise a walk can strand early, so we
+    /// try several heavy roots and keep the longest recovered cycle.
+    pub fn make_sequence(self, cutoff: u32, max_len: usize) -> Vec<usize> {
+        let mut best: Vec<usize> = Vec::new();
+        for root in self.roots(8) {
+            let seq = self.clone().walk_from(root, cutoff, max_len);
+            if seq.len() > best.len() {
+                best = seq;
+            }
+        }
+        best
+    }
+
+    fn walk_from(mut self, root: (usize, usize), cutoff: u32, max_len: usize) -> Vec<usize> {
+        let (mut prev, mut curr) = root;
+        let mut sequence = Vec::new();
+        loop {
+            sequence.push(curr);
+            if sequence.len() >= max_len {
+                break;
+            }
+            let next = (0..self.n)
+                .max_by_key(|&x| self.weight(prev, curr, x))
+                .expect("graph has columns");
+            let weight = self.weight(prev, curr, next);
+            if weight < cutoff {
+                break;
+            }
+            *self.weight_mut(prev, curr, next) = 0; // mark visited
+            prev = curr;
+            curr = next;
+            if (prev, curr) == root {
+                break;
+            }
+        }
+        sequence
+    }
+}
+
+/// Recovers the ring order of the monitored `targets` (by label index in
+/// `targets`) from one sampling window.
+///
+/// The caller must have traffic queued on the test bed (the paper uses a
+/// cooperating remote sender, but *any* steady packet stream works —
+/// "noise in this step only helps the spy").
+pub fn recover_window(
+    tb: &mut TestBed,
+    pool: &AddressPool,
+    targets: &[SliceSet],
+    cfg: &SequencerConfig,
+) -> Vec<usize> {
+    let matrix = sample_targets(tb, pool, targets, cfg);
+    let graph = EdgeGraph::build(&matrix);
+    graph.make_sequence(cfg.weight_cutoff, targets.len() * cfg.max_length_factor)
+}
+
+/// Extends a recovered window to the full target list — the paper's
+/// §III-C procedure: "we first find the sequence for 32 cache sets, then
+/// we repeat the SEQUENCER procedure with the first 31 nodes plus a
+/// candidate node and we try to find the location of the candidate in
+/// the sequence", splicing each candidate between the neighbors the
+/// window run reveals.
+///
+/// The caller must keep enough traffic queued on the test bed: every
+/// candidate costs one full sampling window.
+///
+/// Returns indices into `targets` in ring order. Candidates that never
+/// fire (their set hosts no buffer) are correctly absent; candidates
+/// whose neighbors cannot be matched are appended to the end and counted
+/// in the second return value (`unplaced`).
+pub fn recover_ring_sequence(
+    tb: &mut TestBed,
+    pool: &AddressPool,
+    targets: &[SliceSet],
+    window: usize,
+    cfg: &SequencerConfig,
+) -> (Vec<usize>, usize) {
+    assert!(window >= 3, "window must hold at least three sets");
+    let window = window.min(targets.len());
+    // Base sequence over the first `window` targets (global indices
+    // 0..window coincide with local ones).
+    let mut seq = recover_window(tb, pool, &targets[..window], cfg);
+    let mut unplaced = 0usize;
+
+    for cand in window..targets.len() {
+        // Monitor the first window-1 base sets plus the candidate.
+        let mut mon: Vec<SliceSet> = targets[..window - 1].to_vec();
+        mon.push(targets[cand]);
+        let sub = recover_window(tb, pool, &mon, cfg);
+        let cand_local = window - 1;
+        let Some(p) = sub.iter().position(|&x| x == cand_local) else {
+            continue; // candidate set hosts no buffer (or was missed)
+        };
+        if sub.len() < 3 {
+            unplaced += 1;
+            seq.push(cand);
+            continue;
+        }
+        let pred = sub[(p + sub.len() - 1) % sub.len()];
+        let succ = sub[(p + 1) % sub.len()];
+        // `pred`/`succ` are indices into the shared window prefix, which
+        // are global indices too. Find that adjacency in the base
+        // sequence — the (prev, curr) pair disambiguates duplicate sets.
+        let n = seq.len();
+        let slot = (0..n).find(|&j| seq[j] == pred && seq[(j + 1) % n] == succ);
+        match slot.or_else(|| (0..n).find(|&j| seq[j] == pred)) {
+            Some(j) => seq.insert((j + 1) % n.max(1), cand),
+            None => {
+                unplaced += 1;
+                seq.push(cand);
+            }
+        }
+    }
+    (seq, unplaced)
+}
+
+/// GET_CLEAN_SAMPLES: samples `targets`, swapping any always-miss target
+/// for the page's second block and resampling once.
+pub fn sample_targets(
+    tb: &mut TestBed,
+    pool: &AddressPool,
+    targets: &[SliceSet],
+    cfg: &SequencerConfig,
+) -> SampleMatrix {
+    let mut working: Vec<SliceSet> = targets.to_vec();
+    for _attempt in 0..2 {
+        let monitor = build_monitor(tb.hierarchy().llc(), pool, &working);
+        let matrix = crate::footprint::watch(tb, &monitor, cfg.samples, cfg.interval);
+        let noisy: Vec<usize> = matrix
+            .activity_fractions()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f > cfg.activity_cutoff)
+            .map(|(i, _)| i)
+            .collect();
+        if noisy.is_empty() {
+            return matrix;
+        }
+        for i in noisy {
+            // Replace with the second cache block of the page.
+            working[i] = SliceSet::new(working[i].slice, working[i].set + 1);
+        }
+    }
+    let monitor = build_monitor(tb.hierarchy().llc(), pool, &working);
+    crate::footprint::watch(tb, &monitor, cfg.samples, cfg.interval)
+}
+
+/// Ground truth: the cyclic label sequence the monitored sets *should*
+/// produce — ring slots in order, keeping only buffers whose page maps
+/// to a monitored target, emitting that target's index.
+pub fn ground_truth_sequence(
+    llc: &SlicedCache,
+    driver: &IgbDriver,
+    targets: &[SliceSet],
+) -> Vec<usize> {
+    let geom = llc.geometry();
+    let target_labels: Vec<usize> = targets.iter().map(|t| label_of(&geom, *t)).collect();
+    let mut out = Vec::new();
+    for page in driver.ring().page_addresses() {
+        let lbl = label_of(&geom, llc.locate(page));
+        if let Some(idx) = target_labels.iter().position(|&t| t == lbl) {
+            out.push(idx);
+        }
+    }
+    out
+}
+
+/// Table I's quality metrics for a recovered sequence.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SequenceQuality {
+    /// Cyclic edit distance to ground truth.
+    pub levenshtein: usize,
+    /// Distance normalized by ground-truth length.
+    pub error_rate: f64,
+    /// Longest run of consecutive mismatches.
+    pub longest_mismatch: usize,
+    /// Recovered sequence length.
+    pub recovered_len: usize,
+    /// Ground-truth sequence length.
+    pub truth_len: usize,
+    /// Simulated cycles the recovery took.
+    pub elapsed_cycles: Cycles,
+}
+
+impl SequenceQuality {
+    /// Compares a recovered sequence against ground truth.
+    pub fn evaluate(recovered: &[usize], truth: &[usize], elapsed_cycles: Cycles) -> Self {
+        let lev = cyclic_levenshtein(recovered, truth);
+        SequenceQuality {
+            levenshtein: lev,
+            error_rate: if truth.is_empty() { 0.0 } else { lev as f64 / truth.len() as f64 },
+            longest_mismatch: longest_mismatch_run(recovered, truth),
+            recovered_len: recovered.len(),
+            truth_len: truth.len(),
+            elapsed_cycles,
+        }
+    }
+
+    /// Recovery time in simulated minutes at the modelled clock (Table
+    /// I's "Time (Minutes)" row).
+    pub fn minutes(&self) -> f64 {
+        self.elapsed_cycles as f64 / pc_net::CPU_FREQ_HZ as f64 / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::page_aligned_targets;
+    use crate::testbed::TestBedConfig;
+    use pc_net::{ArrivalSchedule, ConstantSize, LineRate};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Synthetic matrix: a clean cyclic pattern 0→1→…→n-1→0.
+    fn clean_matrix(n: usize, rounds: usize) -> SampleMatrix {
+        let mut m = SampleMatrix::new((0..n).collect());
+        for r in 0..rounds * n {
+            let active = r % n;
+            let mut row = vec![false; n];
+            row[active] = true;
+            m.push(row);
+        }
+        m
+    }
+
+    #[test]
+    fn clean_cycle_is_recovered_exactly() {
+        let m = clean_matrix(8, 20);
+        let seq = EdgeGraph::build(&m).make_sequence(2, 32);
+        assert_eq!(seq.len(), 8, "one full ring: {seq:?}");
+        let truth: Vec<usize> = (0..8).collect();
+        assert_eq!(cyclic_levenshtein(&seq, &truth), 0, "recovered {seq:?}");
+    }
+
+    #[test]
+    fn wide_peaks_are_deduplicated() {
+        // Each activity spans two samples (the "wide peak" case of
+        // Figure 10); the sequence must not contain doubled entries.
+        let n = 6;
+        let mut m = SampleMatrix::new((0..n).collect());
+        for r in 0..n * 15 {
+            let active = r % n;
+            let mut row = vec![false; n];
+            row[active] = true;
+            m.push(row.clone());
+            m.push(row); // duplicate sample
+        }
+        let seq = EdgeGraph::build(&m).make_sequence(2, 24);
+        let truth: Vec<usize> = (0..n).collect();
+        assert_eq!(cyclic_levenshtein(&seq, &truth), 0, "recovered {seq:?}");
+    }
+
+    #[test]
+    fn shared_sets_resolved_by_history() {
+        // Ring: 0 1 2 1 3 — set 1 hosts two buffers (like cache set 2 in
+        // the paper's Figure 9). First-order inference cannot recover
+        // this; the (prev, curr) keyed graph can.
+        let ring = [0usize, 1, 2, 1, 3];
+        let n = 4;
+        let mut m = SampleMatrix::new((0..n).collect());
+        for r in 0..ring.len() * 40 {
+            let active = ring[r % ring.len()];
+            let mut row = vec![false; n];
+            row[active] = true;
+            m.push(row);
+        }
+        let seq = EdgeGraph::build(&m).make_sequence(2, 20);
+        assert_eq!(cyclic_levenshtein(&seq, &ring), 0, "recovered {seq:?}");
+    }
+
+    #[test]
+    fn empty_matrix_gives_empty_sequence() {
+        let m = SampleMatrix::new(vec![0, 1, 2]);
+        let seq = EdgeGraph::build(&m).make_sequence(2, 12);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn quality_metrics_on_perfect_recovery() {
+        let truth: Vec<usize> = (0..16).collect();
+        let mut recovered = truth.clone();
+        recovered.rotate_left(5);
+        let q = SequenceQuality::evaluate(&recovered, &truth, 3_300_000_000 * 60);
+        assert_eq!(q.levenshtein, 0);
+        assert_eq!(q.error_rate, 0.0);
+        assert_eq!(q.longest_mismatch, 0);
+        assert!((q.minutes() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_extension_places_candidates() {
+        let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(88));
+        let geom = tb.hierarchy().llc().geometry();
+        let targets: Vec<SliceSet> = page_aligned_targets(&geom).into_iter().take(16).collect();
+        let pool = AddressPool::allocate(56, 12288);
+        let mut rng = SmallRng::seed_from_u64(6);
+        // Enough traffic for the base window plus 8 extension windows.
+        let frames = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(40_000)
+            .jitter(0.01)
+            .generate(&mut ConstantSize::blocks(2), tb.now() + 1000, 110_000, &mut rng);
+        tb.enqueue(frames);
+        let cfg = SequencerConfig {
+            samples: 7_000,
+            interval: pc_net::CPU_FREQ_HZ / 40_000 / 2,
+            ..SequencerConfig::paper_defaults()
+        };
+        let (seq, unplaced) = recover_ring_sequence(&mut tb, &pool, &targets, 8, &cfg);
+        let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
+        let q = SequenceQuality::evaluate(&seq, &truth, 0);
+        assert!(
+            q.error_rate < 0.40,
+            "extension too lossy: {q:?} seq={seq:?} truth={truth:?} unplaced={unplaced}"
+        );
+        assert!(unplaced <= 3, "{unplaced} candidates unplaced");
+    }
+
+    #[test]
+    fn end_to_end_window_recovery() {
+        // Full pipeline on the simulator: monitor 12 page-aligned sets
+        // while a constant packet stream loops the ring, then check the
+        // recovered order against driver ground truth.
+        let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(77));
+        let geom = tb.hierarchy().llc().geometry();
+        let targets: Vec<SliceSet> = page_aligned_targets(&geom).into_iter().take(12).collect();
+        let pool = AddressPool::allocate(55, 12288);
+
+        // Traffic: 2-block broadcast frames, steady rate. Choose the rate
+        // and probe interval so roughly one monitored buffer fires per
+        // sample window (the paper's tuning discussion).
+        let mut rng = SmallRng::seed_from_u64(4);
+        let frames = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(40_000)
+            .jitter(0.01)
+            .generate(&mut ConstantSize::blocks(2), tb.now() + 1000, 12_000, &mut rng);
+        tb.enqueue(frames);
+
+        let cfg = SequencerConfig {
+            samples: 9_000,
+            interval: pc_net::CPU_FREQ_HZ / 40_000 / 2, // 2 samples per packet
+            ..SequencerConfig::paper_defaults()
+        };
+        let recovered = recover_window(&mut tb, &pool, &targets, &cfg);
+        let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
+        assert!(!truth.is_empty());
+        let q = SequenceQuality::evaluate(&recovered, &truth, 0);
+        assert!(
+            q.error_rate < 0.35,
+            "recovery too poor: {:?} truth={truth:?} recovered={recovered:?}",
+            q
+        );
+    }
+}

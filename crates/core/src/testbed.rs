@@ -1,0 +1,332 @@
+//! The simulated machine the attack runs on: hierarchy + driver +
+//! scheduled arrivals, all sharing one clock.
+
+use pc_cache::{CacheGeometry, Cycles, DdioMode, Hierarchy, LatencyModel, PhysAddr};
+use pc_net::ScheduledFrame;
+use pc_nic::{DeferredReads, DriverConfig, IgbDriver, PageAllocator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Everything needed to stand up a [`TestBed`].
+#[derive(Copy, Clone, Debug)]
+pub struct TestBedConfig {
+    /// LLC shape (default: the paper's Xeon E5-2660).
+    pub geometry: CacheGeometry,
+    /// DDIO mode under test.
+    pub ddio: DdioMode,
+    /// Driver configuration (ring size, copybreak, defenses…).
+    pub driver: DriverConfig,
+    /// Component latencies.
+    pub latencies: LatencyModel,
+    /// Master seed for the bed's stochastic pieces (page placement,
+    /// driver decisions).
+    pub seed: u64,
+    /// Record every received packet as ground truth (cheap; on by
+    /// default).
+    pub record_rx: bool,
+}
+
+impl TestBedConfig {
+    /// The paper's vulnerable baseline: DDIO on, stock IGB driver.
+    pub fn paper_baseline() -> Self {
+        TestBedConfig {
+            geometry: CacheGeometry::xeon_e5_2660(),
+            ddio: DdioMode::enabled(),
+            driver: DriverConfig::paper_defaults(),
+            latencies: LatencyModel::server_defaults(),
+            seed: 0x9ac4e7,
+            record_rx: true,
+        }
+    }
+
+    /// Same machine with DDIO disabled (§IV-d / §V "without DDIO").
+    pub fn no_ddio() -> Self {
+        TestBedConfig { ddio: DdioMode::Disabled, ..TestBedConfig::paper_baseline() }
+    }
+
+    /// Same machine under the adaptive partitioning defense (§VII).
+    pub fn adaptive_defense() -> Self {
+        TestBedConfig { ddio: DdioMode::adaptive(), ..TestBedConfig::paper_baseline() }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for TestBedConfig {
+    fn default() -> Self {
+        TestBedConfig::paper_baseline()
+    }
+}
+
+/// Ground-truth record of one received frame.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct RxRecord {
+    /// Cycle the driver processed the frame.
+    pub at: Cycles,
+    /// Ring descriptor index it landed in.
+    pub buffer_index: usize,
+    /// DMA address of the buffer's first block.
+    pub buffer_addr: PhysAddr,
+    /// Cache blocks written.
+    pub blocks: u32,
+}
+
+/// The victim machine: one hierarchy, one NIC driver, a queue of future
+/// frame arrivals, and the deferred payload reads of the no-DDIO path.
+///
+/// The spy and the experiments drive time forward through
+/// [`TestBed::advance_to`] and probe through
+/// [`TestBed::hierarchy_mut`]; frames scheduled with
+/// [`TestBed::enqueue`] are delivered whenever the clock passes their
+/// arrival time.
+#[derive(Clone, Debug)]
+pub struct TestBed {
+    h: Hierarchy,
+    driver: IgbDriver,
+    pending: VecDeque<ScheduledFrame>,
+    deferred: DeferredReads,
+    rng: SmallRng,
+    records: Vec<RxRecord>,
+    record_rx: bool,
+}
+
+impl TestBed {
+    /// Builds the machine.
+    pub fn new(cfg: TestBedConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let llc = pc_cache::SlicedCache::new(cfg.geometry, cfg.ddio);
+        let h = Hierarchy::with_llc(llc).with_latencies(cfg.latencies);
+        let alloc = PageAllocator::new(cfg.seed ^ 0x5eed_1a7e);
+        let driver = IgbDriver::new(cfg.driver, alloc, &mut rng);
+        TestBed {
+            h,
+            driver,
+            pending: VecDeque::new(),
+            deferred: DeferredReads::new(),
+            rng,
+            records: Vec::new(),
+            record_rx: cfg.record_rx,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycles {
+        self.h.now()
+    }
+
+    /// The hierarchy, for the spy's probes.
+    pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
+        &mut self.h
+    }
+
+    /// Read-only hierarchy view.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.h
+    }
+
+    /// The driver (ground-truth ring inspection).
+    pub fn driver(&self) -> &IgbDriver {
+        &self.driver
+    }
+
+    /// Ground-truth receive log (empty when `record_rx` is off).
+    pub fn records(&self) -> &[RxRecord] {
+        &self.records
+    }
+
+    /// Clears the receive log.
+    pub fn clear_records(&mut self) {
+        self.records.clear();
+    }
+
+    /// Frames still waiting to arrive.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queues future arrivals. Frames must be sorted by time; they are
+    /// merged with whatever is already pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is not sorted by arrival time.
+    pub fn enqueue(&mut self, frames: Vec<ScheduledFrame>) {
+        assert!(
+            frames.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival stream must be sorted"
+        );
+        if self.pending.is_empty() {
+            self.pending = frames.into();
+        } else {
+            let existing: Vec<ScheduledFrame> = self.pending.drain(..).collect();
+            self.pending = pc_net::merge_schedules(existing, frames).into();
+        }
+    }
+
+    /// Delivers every frame whose arrival time has passed and runs due
+    /// deferred reads. Returns the number of frames delivered.
+    pub fn deliver_due(&mut self) -> usize {
+        let mut delivered = 0;
+        while let Some(front) = self.pending.front() {
+            if front.at > self.h.now() {
+                break;
+            }
+            let sf = self.pending.pop_front().expect("peeked");
+            self.receive_now(sf);
+            delivered += 1;
+        }
+        self.deferred.run_due(&mut self.h);
+        delivered
+    }
+
+    /// Advances the clock to `target`, delivering arrivals on the way.
+    /// (If the clock is already past `target` this only delivers due
+    /// work.)
+    pub fn advance_to(&mut self, target: Cycles) {
+        loop {
+            let next_arrival = self.pending.front().map(|f| f.at);
+            match next_arrival {
+                Some(at) if at <= target => {
+                    if at > self.h.now() {
+                        let gap = at - self.h.now();
+                        self.h.advance(gap);
+                    }
+                    let sf = self.pending.pop_front().expect("peeked");
+                    self.receive_now(sf);
+                    self.deferred.run_due(&mut self.h);
+                }
+                _ => break,
+            }
+        }
+        if target > self.h.now() {
+            let gap = target - self.h.now();
+            self.h.advance(gap);
+        }
+        self.deferred.run_due(&mut self.h);
+    }
+
+    /// Runs until every queued frame has been delivered.
+    pub fn drain(&mut self) {
+        while let Some(front) = self.pending.front() {
+            let at = front.at;
+            self.advance_to(at);
+        }
+        self.deferred.drain_all(&mut self.h);
+    }
+
+    fn receive_now(&mut self, sf: ScheduledFrame) {
+        let ev = self.driver.receive(&mut self.h, sf.frame, &mut self.rng);
+        self.deferred.extend(ev.deferred_reads.iter().copied());
+        if self.record_rx {
+            self.records.push(RxRecord {
+                at: self.h.now(),
+                buffer_index: ev.buffer_index,
+                buffer_addr: ev.buffer_addr,
+                blocks: ev.blocks,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_net::{ArrivalSchedule, ConstantSize, LineRate};
+
+    fn bed() -> TestBed {
+        TestBed::new(TestBedConfig::paper_baseline())
+    }
+
+    fn schedule(count: usize, start: u64) -> Vec<ScheduledFrame> {
+        let mut rng = SmallRng::seed_from_u64(9);
+        ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(100_000)
+            .generate(&mut ConstantSize::blocks(3), start, count, &mut rng)
+    }
+
+    #[test]
+    fn frames_deliver_when_clock_passes() {
+        let mut tb = bed();
+        tb.enqueue(schedule(10, 0));
+        assert_eq!(tb.pending_frames(), 10);
+        let last = 10 * pc_net::CPU_FREQ_HZ / 100_000 + 100_000;
+        tb.advance_to(last);
+        assert_eq!(tb.pending_frames(), 0);
+        assert_eq!(tb.records().len(), 10);
+        assert_eq!(tb.driver().packets_received(), 10);
+    }
+
+    #[test]
+    fn partial_advance_delivers_partially() {
+        let mut tb = bed();
+        let frames = schedule(10, 0);
+        let t5 = frames[4].at;
+        tb.enqueue(frames);
+        tb.advance_to(t5);
+        assert_eq!(tb.records().len(), 5);
+        assert_eq!(tb.pending_frames(), 5);
+    }
+
+    #[test]
+    fn drain_delivers_everything() {
+        let mut tb = bed();
+        tb.enqueue(schedule(25, 1_000_000));
+        tb.drain();
+        assert_eq!(tb.pending_frames(), 0);
+        assert_eq!(tb.records().len(), 25);
+    }
+
+    #[test]
+    fn records_follow_ring_order() {
+        let mut tb = bed();
+        tb.enqueue(schedule(8, 0));
+        tb.drain();
+        for (i, r) in tb.records().iter().enumerate() {
+            assert_eq!(r.buffer_index, i);
+            assert_eq!(r.blocks, 3);
+        }
+    }
+
+    #[test]
+    fn enqueue_merges_sorted_streams() {
+        let mut tb = bed();
+        tb.enqueue(schedule(5, 0));
+        tb.enqueue(schedule(5, 7_777));
+        let times: Vec<u64> = tb.pending.iter().map(|f| f.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(tb.pending_frames(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_enqueue_panics() {
+        let mut tb = bed();
+        let mut frames = schedule(3, 0);
+        frames.reverse();
+        tb.enqueue(frames);
+    }
+
+    #[test]
+    fn no_ddio_bed_runs_deferred_reads() {
+        let mut tb = TestBed::new(TestBedConfig::no_ddio());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let frames = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(50_000)
+            .generate(
+                &mut ConstantSize::new(pc_net::EthernetFrame::mtu_sized()),
+                0,
+                5,
+                &mut rng,
+            );
+        tb.enqueue(frames);
+        tb.drain();
+        // After draining, payload blocks are in the cache via CPU reads.
+        let r = tb.records()[0];
+        assert!(tb.hierarchy().llc().contains(r.buffer_addr.add_blocks(5)));
+    }
+}

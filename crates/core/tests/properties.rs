@@ -1,0 +1,120 @@
+//! Property-based tests for the attack core's algorithms.
+
+use pc_core::covert::{class_to_ternary, lfsr_symbols, Encoding};
+use pc_core::levenshtein::{cyclic_levenshtein, error_rate, levenshtein, longest_mismatch_run};
+use pc_core::sequencer::EdgeGraph;
+use pc_probe::SampleMatrix;
+use proptest::prelude::*;
+
+fn seq_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Metric axioms: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(a in seq_strategy(), b in seq_strategy(), c in seq_strategy()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Distance is bounded by the longer length and at least the length
+    /// difference.
+    #[test]
+    fn levenshtein_bounds(a in seq_strategy(), b in seq_strategy()) {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d <= a.len().max(b.len()));
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+    }
+
+    /// Any rotation of a sequence has cyclic distance zero to it.
+    #[test]
+    fn cyclic_distance_ignores_rotation(a in proptest::collection::vec(0u8..5, 1..30), rot in 0usize..30) {
+        let mut rotated = a.clone();
+        rotated.rotate_left(rot % a.len());
+        prop_assert_eq!(cyclic_levenshtein(&rotated, &a), 0);
+    }
+
+    /// Cyclic distance never exceeds plain distance.
+    #[test]
+    fn cyclic_never_worse(a in seq_strategy(), b in seq_strategy()) {
+        prop_assert!(cyclic_levenshtein(&a, &b) <= levenshtein(&a, &b));
+    }
+
+    /// Error rate is a normalized distance in [0, max(1, ...)] and zero
+    /// iff equal (for non-empty references).
+    #[test]
+    fn error_rate_normalization(a in seq_strategy(), b in proptest::collection::vec(0u8..5, 1..40)) {
+        let e = error_rate(&a, &b);
+        prop_assert!(e >= 0.0);
+        if a == b {
+            prop_assert_eq!(e, 0.0);
+        }
+    }
+
+    /// Longest mismatch run is bounded by the longer sequence and zero
+    /// for identical sequences.
+    #[test]
+    fn mismatch_run_bounds(a in proptest::collection::vec(0u8..5, 1..30)) {
+        prop_assert_eq!(longest_mismatch_run(&a, &a), 0);
+        let mut b = a.clone();
+        b.reverse();
+        prop_assert!(longest_mismatch_run(&b, &a) <= a.len());
+    }
+
+    /// The sequencer recovers any noise-free ring exactly (up to
+    /// rotation) when every node is distinct.
+    #[test]
+    fn sequencer_recovers_random_rings(n in 3usize..24, rounds in 5usize..20, seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut ring: Vec<usize> = (0..n).collect();
+        ring.shuffle(&mut rng);
+        let mut m = SampleMatrix::new((0..n).collect());
+        for r in 0..n * rounds {
+            let mut row = vec![false; n];
+            row[ring[r % n]] = true;
+            m.push(row);
+        }
+        let seq = EdgeGraph::build(&m).make_sequence(2, n * 4);
+        prop_assert_eq!(cyclic_levenshtein(&seq, &ring), 0, "ring {:?} -> {:?}", ring, seq);
+    }
+
+    /// Encoding round trip: every symbol's frame decodes back to the
+    /// symbol via the block-activity rule, for both alphabets.
+    #[test]
+    fn covert_encoding_round_trips(symbol in 0u8..3) {
+        for enc in [Encoding::Binary, Encoding::Ternary] {
+            if symbol >= enc.alphabet() {
+                continue;
+            }
+            let frame = enc.frame_for(symbol);
+            let blocks = frame.cache_blocks();
+            let decoded = enc.decode(blocks >= 3, blocks >= 4);
+            prop_assert_eq!(decoded, symbol);
+        }
+    }
+
+    /// Chasing size classes map onto ternary symbols consistently with
+    /// the encoder (1-block packets read as class 2 via the prefetch).
+    #[test]
+    fn class_mapping_consistent(symbol in 0u8..3) {
+        let frame = Encoding::Ternary.frame_for(symbol);
+        let class = (frame.cache_blocks().clamp(2, 4)) as u8;
+        prop_assert_eq!(class_to_ternary(class), symbol);
+    }
+
+    /// LFSR symbol streams stay in-alphabet and roughly balanced.
+    #[test]
+    fn lfsr_streams_in_alphabet(count in 30usize..300, seed in 1u16..0x7fff) {
+        for enc in [Encoding::Binary, Encoding::Ternary] {
+            let syms = lfsr_symbols(enc, count, seed);
+            prop_assert_eq!(syms.len(), count);
+            prop_assert!(syms.iter().all(|&s| s < enc.alphabet()));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Physical addresses and the line/page arithmetic used throughout the
+//! reproduction.
+
+use std::fmt;
+
+/// Cache line size in bytes (64 on every Intel machine the paper targets).
+pub const LINE_SIZE: usize = 64;
+/// `log2(LINE_SIZE)`.
+pub const LINE_SIZE_LOG2: u32 = 6;
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+/// `log2(PAGE_SIZE)`.
+pub const PAGE_SIZE_LOG2: u32 = 12;
+
+/// A physical memory address.
+///
+/// The Packet Chasing attack reasons about physical addresses because both
+/// the NIC's DMA engine and the LLC index operate on them. The newtype
+/// keeps them from being confused with virtual addresses, loop counters or
+/// cycle counts.
+///
+/// ```
+/// use pc_cache::PhysAddr;
+/// let a = PhysAddr::new(0x12345);
+/// assert_eq!(a.page_base().raw(), 0x12000);
+/// assert_eq!(a.block_in_page(), 0xD);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address rounded down to the containing cache line.
+    pub const fn line_base(self) -> Self {
+        PhysAddr(self.0 & !((LINE_SIZE as u64) - 1))
+    }
+
+    /// The address rounded down to the containing 4 KiB page.
+    pub const fn page_base(self) -> Self {
+        PhysAddr(self.0 & !((PAGE_SIZE as u64) - 1))
+    }
+
+    /// The physical page frame number (address divided by the page size).
+    pub const fn page_number(self) -> u64 {
+        self.0 >> PAGE_SIZE_LOG2
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn offset_in_page(self) -> usize {
+        (self.0 & ((PAGE_SIZE as u64) - 1)) as usize
+    }
+
+    /// Index of the containing cache line within its page (0..64).
+    pub const fn block_in_page(self) -> usize {
+        self.offset_in_page() >> LINE_SIZE_LOG2
+    }
+
+    /// `true` when the address is page aligned (low 12 bits zero).
+    ///
+    /// Page-aligned addresses are the key to the attack: the IGB driver's
+    /// rx buffers start on page (or half-page) boundaries, so only the
+    /// 256 page-aligned set-slices can hold a buffer's first block.
+    pub const fn is_page_aligned(self) -> bool {
+        self.0 & ((PAGE_SIZE as u64) - 1) == 0
+    }
+
+    /// `true` when the address is cache-line aligned.
+    pub const fn is_line_aligned(self) -> bool {
+        self.0 & ((LINE_SIZE as u64) - 1) == 0
+    }
+
+    /// The address `blocks` cache lines after `self`.
+    ///
+    /// Used to derive the addresses of blocks 1..=3 of a packet buffer from
+    /// the buffer's base, exactly as the spy does in §IV-b of the paper.
+    pub const fn add_blocks(self, blocks: u64) -> Self {
+        PhysAddr(self.0 + blocks * LINE_SIZE as u64)
+    }
+
+    /// The address `bytes` bytes after `self`.
+    pub const fn add_bytes(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(addr: PhysAddr) -> Self {
+        addr.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_base_masks_low_bits() {
+        assert_eq!(PhysAddr::new(0x1fff).line_base(), PhysAddr::new(0x1fc0));
+        assert_eq!(PhysAddr::new(0x1fc0).line_base(), PhysAddr::new(0x1fc0));
+    }
+
+    #[test]
+    fn page_base_and_offset_recompose() {
+        let a = PhysAddr::new(0xdead_beef);
+        assert_eq!(a.page_base().raw() + a.offset_in_page() as u64, a.raw());
+    }
+
+    #[test]
+    fn page_alignment_detection() {
+        assert!(PhysAddr::new(0).is_page_aligned());
+        assert!(PhysAddr::new(0x7000).is_page_aligned());
+        assert!(!PhysAddr::new(0x7040).is_page_aligned());
+        assert!(PhysAddr::new(0x7040).is_line_aligned());
+        assert!(!PhysAddr::new(0x7041).is_line_aligned());
+    }
+
+    #[test]
+    fn block_in_page_counts_lines() {
+        assert_eq!(PhysAddr::new(0x1000).block_in_page(), 0);
+        assert_eq!(PhysAddr::new(0x1040).block_in_page(), 1);
+        assert_eq!(PhysAddr::new(0x1fc0).block_in_page(), 63);
+    }
+
+    #[test]
+    fn add_blocks_advances_by_lines() {
+        let base = PhysAddr::new(0x4000);
+        assert_eq!(base.add_blocks(3).raw(), 0x40c0);
+        assert_eq!(base.add_blocks(3).block_in_page(), 3);
+    }
+
+    #[test]
+    fn half_page_buffer_second_half() {
+        // The IGB driver packs two 2048-byte buffers into one page; the
+        // second half starts at block 32.
+        let page = PhysAddr::new(0x9000);
+        let second_half = page.add_bytes(2048);
+        assert_eq!(second_half.block_in_page(), 32);
+        assert!(second_half.is_line_aligned());
+        assert!(!second_half.is_page_aligned());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a: PhysAddr = 0x42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0x42);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_hex() {
+        let s = format!("{:?}", PhysAddr::new(0x1234));
+        assert!(s.contains("0x1234"));
+        assert_eq!(format!("{:x}", PhysAddr::new(0xab)), "ab");
+        assert_eq!(format!("{:X}", PhysAddr::new(0xab)), "AB");
+        assert_eq!(format!("{:b}", PhysAddr::new(0b101)), "101");
+        assert_eq!(format!("{:o}", PhysAddr::new(0o17)), "17");
+    }
+}

@@ -1,0 +1,228 @@
+//! Cache geometry: how a physical address splits into tag / set index /
+//! block offset, and how many slices, sets and ways the LLC has.
+
+use crate::addr::{PhysAddr, LINE_SIZE_LOG2, PAGE_SIZE_LOG2};
+
+/// The shape of a sliced, set-associative last-level cache.
+///
+/// Figure 2 of the paper shows Intel's complex indexing: the low 6 bits of
+/// a physical address are the block offset, the next 11 bits select one of
+/// 2048 sets *within a slice*, and an undocumented hash of (mostly upper)
+/// address bits selects the slice. `CacheGeometry` captures everything
+/// except the hash, which lives in [`crate::SliceHash`].
+///
+/// ```
+/// use pc_cache::CacheGeometry;
+/// let g = CacheGeometry::xeon_e5_2660();
+/// assert_eq!(g.total_bytes(), 20 * 1024 * 1024);
+/// assert_eq!(g.page_aligned_sets_per_slice(), 32);
+/// assert_eq!(g.page_aligned_set_slices(), 256);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct CacheGeometry {
+    sets_per_slice_log2: u32,
+    slices: u32,
+    ways: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry with `2^sets_per_slice_log2` sets per slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero or not a power of two, if `ways` is zero,
+    /// or if `sets_per_slice_log2` exceeds 24 (an absurd cache).
+    pub fn new(sets_per_slice_log2: u32, slices: u32, ways: u32) -> Self {
+        assert!(slices > 0 && slices.is_power_of_two(), "slices must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        assert!(sets_per_slice_log2 <= 24, "sets_per_slice_log2 too large");
+        CacheGeometry { sets_per_slice_log2, slices, ways }
+    }
+
+    /// The paper's evaluation machine: Xeon E5-2660, 20 MiB LLC,
+    /// 8 slices × 2048 sets × 20 ways × 64 B lines (16384 sets total).
+    pub fn xeon_e5_2660() -> Self {
+        CacheGeometry::new(11, 8, 20)
+    }
+
+    /// The same slice/set shape with a different capacity in MiB, used by
+    /// the paper's Figure 14 LLC-size sensitivity study (20/11/8 MiB).
+    ///
+    /// One way of this geometry is exactly 1 MiB, so capacity in MiB equals
+    /// the number of ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mib` is zero.
+    pub fn xeon_scaled_mib(mib: u32) -> Self {
+        assert!(mib > 0, "capacity must be non-zero");
+        CacheGeometry::new(11, 8, mib)
+    }
+
+    /// A tiny geometry for fast unit tests: 2 slices × 16 sets × 4 ways.
+    pub fn tiny() -> Self {
+        CacheGeometry::new(4, 2, 4)
+    }
+
+    /// Number of sets in each slice.
+    pub fn sets_per_slice(&self) -> usize {
+        1usize << self.sets_per_slice_log2
+    }
+
+    /// `log2` of the number of sets per slice.
+    pub fn sets_per_slice_log2(&self) -> u32 {
+        self.sets_per_slice_log2
+    }
+
+    /// Number of slices.
+    pub fn slices(&self) -> usize {
+        self.slices as usize
+    }
+
+    /// Associativity (ways per set).
+    pub fn ways(&self) -> usize {
+        self.ways as usize
+    }
+
+    /// Total number of sets across all slices.
+    pub fn total_sets(&self) -> usize {
+        self.sets_per_slice() * self.slices()
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total_sets() * self.ways() * crate::LINE_SIZE
+    }
+
+    /// Set index (within a slice) for an address: bits
+    /// `[6 .. 6 + sets_per_slice_log2)`.
+    pub fn set_index(&self, addr: PhysAddr) -> usize {
+        ((addr.raw() >> LINE_SIZE_LOG2) & ((1 << self.sets_per_slice_log2) - 1)) as usize
+    }
+
+    /// Tag for an address: everything above the set-index bits.
+    pub fn tag(&self, addr: PhysAddr) -> u64 {
+        addr.raw() >> (LINE_SIZE_LOG2 + self.sets_per_slice_log2)
+    }
+
+    /// Number of distinct set indices a page-aligned address can map to,
+    /// per slice.
+    ///
+    /// A page-aligned address has its low 12 bits zero, so the low
+    /// `12 - 6 = 6` bits of its set index are zero, leaving
+    /// `sets_per_slice / 64` possibilities (32 for the Xeon geometry).
+    pub fn page_aligned_sets_per_slice(&self) -> usize {
+        let page_index_bits = PAGE_SIZE_LOG2 - LINE_SIZE_LOG2; // 6
+        if self.sets_per_slice_log2 <= page_index_bits {
+            1
+        } else {
+            1usize << (self.sets_per_slice_log2 - page_index_bits)
+        }
+    }
+
+    /// Total number of (set, slice) pairs a page-aligned address can map
+    /// to: 256 on the paper's machine — the sets the spy must monitor.
+    pub fn page_aligned_set_slices(&self) -> usize {
+        self.page_aligned_sets_per_slice() * self.slices()
+    }
+
+    /// The `i`-th page-aligned set index within a slice
+    /// (`i < page_aligned_sets_per_slice()`): `i * 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn page_aligned_set_index(&self, i: usize) -> usize {
+        assert!(i < self.page_aligned_sets_per_slice(), "page-aligned set out of range");
+        i << (PAGE_SIZE_LOG2 - LINE_SIZE_LOG2)
+    }
+
+    /// `true` if `set_index` is one a page-aligned address can map to.
+    pub fn is_page_aligned_set(&self, set_index: usize) -> bool {
+        set_index < self.sets_per_slice()
+            && set_index & ((1 << (PAGE_SIZE_LOG2 - LINE_SIZE_LOG2)) - 1) == 0
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        CacheGeometry::xeon_e5_2660()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_geometry_matches_paper() {
+        let g = CacheGeometry::xeon_e5_2660();
+        assert_eq!(g.sets_per_slice(), 2048);
+        assert_eq!(g.slices(), 8);
+        assert_eq!(g.ways(), 20);
+        assert_eq!(g.total_sets(), 16384); // "20 MB last level cache with 16384 sets"
+        assert_eq!(g.total_bytes(), 20 << 20);
+    }
+
+    #[test]
+    fn page_aligned_candidates_are_256() {
+        let g = CacheGeometry::xeon_e5_2660();
+        assert_eq!(g.page_aligned_sets_per_slice(), 32);
+        assert_eq!(g.page_aligned_set_slices(), 256);
+    }
+
+    #[test]
+    fn set_index_uses_bits_6_to_17() {
+        let g = CacheGeometry::xeon_e5_2660();
+        assert_eq!(g.set_index(PhysAddr::new(0)), 0);
+        assert_eq!(g.set_index(PhysAddr::new(0x40)), 1);
+        assert_eq!(g.set_index(PhysAddr::new(0x1000)), 64); // page stride = 64 sets
+        assert_eq!(g.set_index(PhysAddr::new(0x2_0000)), 0); // wraps at 2048 sets
+    }
+
+    #[test]
+    fn tag_ignores_index_and_offset() {
+        let g = CacheGeometry::xeon_e5_2660();
+        let a = PhysAddr::new(0xabc2_0040);
+        let b = PhysAddr::new(0xabc2_0000);
+        assert_eq!(g.tag(a), g.tag(b));
+        assert_ne!(g.tag(a), g.tag(PhysAddr::new(0x1_abc2_0040)));
+    }
+
+    #[test]
+    fn page_aligned_set_enumeration() {
+        let g = CacheGeometry::xeon_e5_2660();
+        assert_eq!(g.page_aligned_set_index(0), 0);
+        assert_eq!(g.page_aligned_set_index(1), 64);
+        assert_eq!(g.page_aligned_set_index(31), 1984);
+        assert!(g.is_page_aligned_set(64));
+        assert!(!g.is_page_aligned_set(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned set out of range")]
+    fn page_aligned_set_index_bounds() {
+        CacheGeometry::xeon_e5_2660().page_aligned_set_index(32);
+    }
+
+    #[test]
+    fn scaled_capacity_tracks_ways() {
+        assert_eq!(CacheGeometry::xeon_scaled_mib(11).total_bytes(), 11 << 20);
+        assert_eq!(CacheGeometry::xeon_scaled_mib(8).total_bytes(), 8 << 20);
+    }
+
+    #[test]
+    fn page_aligned_addresses_land_on_page_aligned_sets() {
+        let g = CacheGeometry::xeon_e5_2660();
+        for page in 0..1000u64 {
+            let idx = g.set_index(PhysAddr::new(page * 4096));
+            assert!(g.is_page_aligned_set(idx));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slices must be a power of two")]
+    fn rejects_non_power_of_two_slices() {
+        CacheGeometry::new(11, 3, 20);
+    }
+}

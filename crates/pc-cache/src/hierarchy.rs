@@ -1,0 +1,230 @@
+//! The memory hierarchy facade: one cycle clock, one LLC, one memory
+//! controller.
+//!
+//! Every crate in the reproduction talks to the machine through this
+//! type: the NIC driver model issues `io_write`s for arriving packet
+//! blocks, the spy issues `cpu_read`s to prime and probe, and the defense
+//! workloads issue both. Latencies are returned *and* accumulated on the
+//! shared clock, so interleaving (who runs when) falls out naturally.
+
+use crate::addr::PhysAddr;
+use crate::geometry::CacheGeometry;
+use crate::llc::{AccessKind, DdioMode, SlicedCache};
+use crate::memory::MemoryStats;
+use crate::Cycles;
+
+/// Latency (in cycles) of the modelled components.
+///
+/// Absolute values are calibrated to a ~3.3 GHz server-class part; only
+/// the *gap* between `llc_hit` and `dram` matters for the attack (that gap
+/// is the PRIME+PROBE signal).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct LatencyModel {
+    /// LLC hit latency.
+    pub llc_hit: Cycles,
+    /// DRAM access latency (LLC miss penalty).
+    pub dram: Cycles,
+    /// Cost of non-memory attacker work per probed address (pointer
+    /// chasing overhead, timer reads).
+    pub op: Cycles,
+}
+
+impl LatencyModel {
+    /// Defaults: 40-cycle LLC hit, 200-cycle DRAM, 2-cycle ALU op.
+    pub fn server_defaults() -> Self {
+        LatencyModel { llc_hit: 40, dram: 200, op: 2 }
+    }
+
+    /// The threshold a timing attacker would use to call an access a miss:
+    /// halfway between hit and miss latency.
+    pub fn miss_threshold(&self) -> Cycles {
+        (self.llc_hit + self.dram) / 2
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::server_defaults()
+    }
+}
+
+/// The simulated machine: clock + LLC + memory controller.
+///
+/// ```
+/// use pc_cache::{CacheGeometry, DdioMode, Hierarchy, PhysAddr};
+/// let mut h = Hierarchy::new(CacheGeometry::tiny(), DdioMode::enabled());
+/// let t0 = h.now();
+/// h.io_write(PhysAddr::new(0x2000)); // a packet block lands in the LLC
+/// assert!(h.now() > t0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    llc: SlicedCache,
+    mem: MemoryStats,
+    lat: LatencyModel,
+    clock: Cycles,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy with default latencies and a default-seeded
+    /// LLC.
+    pub fn new(geom: CacheGeometry, mode: DdioMode) -> Self {
+        Hierarchy::with_llc(SlicedCache::new(geom, mode))
+    }
+
+    /// Wraps an explicitly configured cache.
+    pub fn with_llc(llc: SlicedCache) -> Self {
+        Hierarchy { llc, mem: MemoryStats::new(), lat: LatencyModel::server_defaults(), clock: 0 }
+    }
+
+    /// Overrides the latency model (builder style).
+    pub fn with_latencies(mut self, lat: LatencyModel) -> Self {
+        self.lat = lat;
+        self
+    }
+
+    /// Current cycle count.
+    pub fn now(&self) -> Cycles {
+        self.clock
+    }
+
+    /// The latency model in use.
+    pub fn latencies(&self) -> LatencyModel {
+        self.lat
+    }
+
+    /// Advances the clock without touching memory (spinning, sleeping,
+    /// waiting for the next probe slot).
+    pub fn advance(&mut self, cycles: Cycles) {
+        self.clock += cycles;
+    }
+
+    /// Read-only view of the LLC (ground truth / instrumentation).
+    pub fn llc(&self) -> &SlicedCache {
+        &self.llc
+    }
+
+    /// Mutable view of the LLC, for experiment setup (flushes etc.).
+    pub fn llc_mut(&mut self) -> &mut SlicedCache {
+        &mut self.llc
+    }
+
+    /// Memory-controller traffic so far.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.mem
+    }
+
+    /// Resets LLC and memory statistics (contents and clock unchanged).
+    pub fn reset_stats(&mut self) {
+        self.mem = MemoryStats::new();
+        self.llc.reset_stats();
+    }
+
+    fn run(&mut self, addr: PhysAddr, kind: AccessKind) -> Cycles {
+        let out = self.llc.access(addr, kind, self.clock);
+        self.mem.reads += out.dram_reads as u64;
+        self.mem.writes += out.dram_writes as u64;
+        let latency = if out.hit {
+            self.lat.llc_hit
+        } else {
+            match kind {
+                // Misses pay DRAM; DDIO-allocating writes complete at
+                // cache speed (the whole point of DDIO).
+                AccessKind::IoWrite if self.llc.mode().allocates_in_llc() => self.lat.llc_hit,
+                _ => self.lat.dram,
+            }
+        };
+        self.clock += latency;
+        latency
+    }
+
+    /// CPU load; returns its latency. This is what the spy times.
+    pub fn cpu_read(&mut self, addr: PhysAddr) -> Cycles {
+        self.run(addr, AccessKind::CpuRead)
+    }
+
+    /// CPU store; returns its latency.
+    pub fn cpu_write(&mut self, addr: PhysAddr) -> Cycles {
+        self.run(addr, AccessKind::CpuWrite)
+    }
+
+    /// DMA write of one cache line from an I/O device (a packet block).
+    pub fn io_write(&mut self, addr: PhysAddr) -> Cycles {
+        self.run(addr, AccessKind::IoWrite)
+    }
+
+    /// DMA read of one cache line by an I/O device.
+    pub fn io_read(&mut self, addr: PhysAddr) -> Cycles {
+        self.run(addr, AccessKind::IoRead)
+    }
+
+    /// `true` if `latency` would be classified as an LLC miss by a timing
+    /// attacker using this hierarchy's latency model.
+    pub fn is_miss_latency(&self, latency: Cycles) -> bool {
+        latency >= self.lat.miss_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(mode: DdioMode) -> Hierarchy {
+        Hierarchy::new(CacheGeometry::tiny(), mode)
+    }
+
+    #[test]
+    fn clock_advances_with_every_access() {
+        let mut h = h(DdioMode::enabled());
+        let t0 = h.now();
+        h.cpu_read(PhysAddr::new(0x1000));
+        let t1 = h.now();
+        assert!(t1 > t0);
+        h.advance(100);
+        assert_eq!(h.now(), t1 + 100);
+    }
+
+    #[test]
+    fn hit_is_faster_than_miss() {
+        let mut h = h(DdioMode::enabled());
+        let a = PhysAddr::new(0x3000);
+        let miss = h.cpu_read(a);
+        let hit = h.cpu_read(a);
+        assert!(h.is_miss_latency(miss));
+        assert!(!h.is_miss_latency(hit));
+    }
+
+    #[test]
+    fn ddio_write_is_cache_speed_and_counts_no_dram() {
+        let mut h = h(DdioMode::enabled());
+        let lat = h.io_write(PhysAddr::new(0x5000));
+        assert_eq!(lat, h.latencies().llc_hit);
+        assert_eq!(h.memory_stats().total(), 0, "DDIO bypasses DRAM entirely");
+    }
+
+    #[test]
+    fn non_ddio_write_hits_dram() {
+        let mut h = h(DdioMode::Disabled);
+        h.io_write(PhysAddr::new(0x5000));
+        assert_eq!(h.memory_stats().writes, 1);
+        // Subsequent CPU read demand-fetches from DRAM.
+        h.cpu_read(PhysAddr::new(0x5000));
+        assert_eq!(h.memory_stats().reads, 1);
+    }
+
+    #[test]
+    fn reset_stats_clears_traffic() {
+        let mut h = h(DdioMode::Disabled);
+        h.io_write(PhysAddr::new(0x5000));
+        h.reset_stats();
+        assert_eq!(h.memory_stats().total(), 0);
+        assert_eq!(h.llc().stats().total_accesses(), 0);
+    }
+
+    #[test]
+    fn miss_threshold_separates_latencies() {
+        let lat = LatencyModel::server_defaults();
+        assert!(lat.llc_hit < lat.miss_threshold());
+        assert!(lat.dram >= lat.miss_threshold());
+    }
+}

@@ -1,0 +1,37 @@
+//! Main-memory traffic accounting.
+//!
+//! Figure 15 of the paper compares *normalized memory read/write traffic*
+//! of No-DDIO vs DDIO vs adaptive partitioning; these counters are what
+//! that experiment reads out.
+
+/// Read/write traffic to main memory, in cache-line-sized transfers.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct MemoryStats {
+    /// Lines read from DRAM (demand fills and DMA reads).
+    pub reads: u64,
+    /// Lines written to DRAM (writebacks and non-DDIO DMA writes).
+    pub writes: u64,
+}
+
+impl MemoryStats {
+    /// All counters zero.
+    pub fn new() -> Self {
+        MemoryStats::default()
+    }
+
+    /// Total transfers in either direction.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let m = MemoryStats { reads: 3, writes: 4 };
+        assert_eq!(m.total(), 7);
+    }
+}

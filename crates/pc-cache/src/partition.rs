@@ -1,0 +1,111 @@
+//! Configuration for the paper's adaptive I/O cache-partitioning defense
+//! (§VII).
+//!
+//! The defense associates two counters with every LLC set:
+//!
+//! * `io_lines` — the size of the set's I/O partition (a saturating
+//!   counter clamped to `[min_io_lines, max_io_lines]`, 1..=3 in the
+//!   paper). I/O fills may only displace lines inside the I/O partition,
+//!   so incoming packets can never evict a CPU (spy) line.
+//! * `io_activity` — how much I/O traffic the set saw during the current
+//!   adaptation period. Every `period` cycles the boundary is
+//!   re-evaluated: activity above `t_high` grows the I/O partition,
+//!   activity below `t_low` shrinks it, and displaced lines are
+//!   invalidated (with writeback if dirty).
+//!
+//! **Deviation from the paper, documented:** the hardware proposal
+//! increments `io_activity` every *cycle* in which a valid I/O line is
+//! present in the set. Sampling 16 384 sets every cycle is infeasible in
+//! an event-driven simulator, so we count *I/O accesses to the set per
+//! period* instead. Both are monotone proxies for "sustained I/O traffic
+//! hits this set"; only the threshold units change (events instead of
+//! cycles). The defaults below correspond to the paper's
+//! `p = 10 000` cycles, `T_high = 0.5 p`, `T_low = 0.2 p` regime rescaled
+//! to event counts at the paper's packet rates.
+
+use crate::Cycles;
+
+/// Tuning knobs for [`crate::DdioMode::Adaptive`].
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct AdaptiveConfig {
+    /// Adaptation period in cycles (`p` in the paper; 10 k by default).
+    pub period: Cycles,
+    /// Grow the I/O partition when a set's per-period I/O activity is at
+    /// least this many accesses.
+    pub t_high: u32,
+    /// Shrink the I/O partition when activity is strictly below this.
+    pub t_low: u32,
+    /// Hard lower bound on the I/O partition size (paper: 1).
+    pub min_io_lines: u8,
+    /// Hard upper bound on the I/O partition size (paper: 3).
+    pub max_io_lines: u8,
+}
+
+impl AdaptiveConfig {
+    /// The paper's configuration: `p = 10k` cycles, partition ∈ `[1, 3]`.
+    ///
+    /// The paper's hardware increments a per-set counter every *cycle* a
+    /// valid I/O line is present, so a set's partition grows within one
+    /// period of the first DMA fill — before a second conflicting fill
+    /// arrives. Our event-based proxy reproduces that timing by growing
+    /// on *any* I/O activity in a period (`t_high = 1`) and shrinking
+    /// after a fully idle period (`t_low = 1`, i.e. shrink when activity
+    /// is 0). This keeps idle sets at a 1-line partition (19/20 ways for
+    /// the CPU) while I/O-hot sets quickly reach DDIO's 2 or 3 ways —
+    /// the combination behind the paper's twin results of "within 2 % of
+    /// DDIO traffic" and "< 2.7 % throughput loss".
+    pub fn paper_defaults() -> Self {
+        AdaptiveConfig { period: 10_000, t_high: 1, t_low: 1, min_io_lines: 1, max_io_lines: 3 }
+    }
+
+    /// Validates invariants; called by the cache at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`, `min_io_lines == 0`,
+    /// `min_io_lines > max_io_lines`, or `t_low > t_high`.
+    pub(crate) fn validate(&self, ways: usize) {
+        assert!(self.period > 0, "adaptation period must be non-zero");
+        assert!(self.min_io_lines > 0, "I/O partition must keep at least one line");
+        assert!(self.min_io_lines <= self.max_io_lines, "min_io_lines > max_io_lines");
+        assert!(self.t_low <= self.t_high, "t_low must not exceed t_high");
+        assert!(
+            (self.max_io_lines as usize) < ways,
+            "I/O partition must leave room for CPU lines"
+        );
+    }
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        AdaptiveConfig::paper_defaults().validate(20);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for CPU lines")]
+    fn partition_cannot_swallow_cache() {
+        AdaptiveConfig { max_io_lines: 4, ..AdaptiveConfig::paper_defaults() }.validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn min_io_lines_nonzero() {
+        AdaptiveConfig { min_io_lines: 0, ..AdaptiveConfig::paper_defaults() }.validate(20);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_low")]
+    fn thresholds_ordered() {
+        AdaptiveConfig { t_low: 5, t_high: 2, ..AdaptiveConfig::paper_defaults() }.validate(20);
+    }
+}

@@ -1,0 +1,205 @@
+//! Replacement policies for the simulated LLC.
+//!
+//! The attack's observable — "did an I/O fill evict one of my primed
+//! lines?" — depends on the victim-selection policy, so the simulator
+//! supports true LRU (the default, and the policy PRIME+PROBE literature
+//! assumes), tree pseudo-LRU (closer to real Intel parts), and random
+//! (an ablation). The `ablation_replacement` bench compares them.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Which replacement policy a [`crate::SlicedCache`] uses.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Binary-tree pseudo-LRU (as in real Intel L1/L2 and, approximately,
+    /// pre-Ivy-Bridge LLCs).
+    TreePlru,
+    /// Uniformly random victim.
+    Random,
+}
+
+/// Per-set replacement state.
+///
+/// Kept separate from the line array so `CacheSet` can consult line
+/// validity/domain while the policy only tracks recency.
+#[derive(Clone, Debug)]
+pub(crate) enum ReplacementState {
+    Lru {
+        /// `stamps[way]` = logical time of last touch; smallest is LRU.
+        stamps: Vec<u64>,
+        clock: u64,
+    },
+    TreePlru {
+        /// Flattened binary tree of direction bits; 1-indexed heap layout.
+        bits: Vec<bool>,
+        ways: usize,
+    },
+    Random,
+}
+
+impl ReplacementState {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+        match policy {
+            ReplacementPolicy::Lru => ReplacementState::Lru { stamps: vec![0; ways], clock: 0 },
+            ReplacementPolicy::TreePlru => {
+                let leaves = ways.next_power_of_two();
+                ReplacementState::TreePlru { bits: vec![false; leaves.max(2)], ways }
+            }
+            ReplacementPolicy::Random => ReplacementState::Random,
+        }
+    }
+
+    /// Records a touch (hit or fill) of `way`.
+    pub(crate) fn touch(&mut self, way: usize) {
+        match self {
+            ReplacementState::Lru { stamps, clock } => {
+                *clock += 1;
+                stamps[way] = *clock;
+            }
+            ReplacementState::TreePlru { bits, ways } => {
+                // Walk from the root to the leaf for `way`, flipping each
+                // internal node away from the path taken.
+                let leaves = (*ways).next_power_of_two();
+                let mut node = 1usize;
+                let mut lo = 0usize;
+                let mut hi = leaves;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if way < mid {
+                        bits[node] = false; // next victim search goes right
+                        hi = mid;
+                        node *= 2;
+                    } else {
+                        bits[node] = true; // next victim search goes left
+                        lo = mid;
+                        node = node * 2 + 1;
+                    }
+                }
+            }
+            ReplacementState::Random => {}
+        }
+    }
+
+    /// Chooses a victim among the ways for which `eligible(way)` is true.
+    ///
+    /// Returns `None` when no way is eligible (the caller then widens the
+    /// eligibility set; see `CacheSet::fill`).
+    pub(crate) fn victim<F>(&self, ways: usize, rng: &mut SmallRng, eligible: F) -> Option<usize>
+    where
+        F: Fn(usize) -> bool,
+    {
+        match self {
+            ReplacementState::Lru { stamps, .. } => (0..ways)
+                .filter(|&w| eligible(w))
+                .min_by_key(|&w| stamps[w]),
+            ReplacementState::TreePlru { bits, .. } => {
+                // Follow the direction bits; if the indicated leaf is not
+                // eligible, fall back to the eligible way with the smallest
+                // index (PLRU has no total order to consult).
+                let leaves = ways.next_power_of_two();
+                let mut node = 1usize;
+                let mut lo = 0usize;
+                let mut hi = leaves;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if bits[node] {
+                        hi = mid;
+                        node *= 2;
+                    } else {
+                        lo = mid;
+                        node = node * 2 + 1;
+                    }
+                }
+                let leaf = lo.min(ways - 1);
+                if eligible(leaf) {
+                    Some(leaf)
+                } else {
+                    (0..ways).find(|&w| eligible(w))
+                }
+            }
+            ReplacementState::Random => {
+                let candidates: Vec<usize> = (0..ways).filter(|&w| eligible(w)).collect();
+                if candidates.is_empty() {
+                    None
+                } else {
+                    Some(candidates[rng.gen_range(0..candidates.len())])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        for w in 0..4 {
+            st.touch(w);
+        }
+        st.touch(0); // order now: 1 (oldest), 2, 3, 0
+        assert_eq!(st.victim(4, &mut rng(), |_| true), Some(1));
+        st.touch(1);
+        assert_eq!(st.victim(4, &mut rng(), |_| true), Some(2));
+    }
+
+    #[test]
+    fn lru_respects_eligibility() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        for w in 0..4 {
+            st.touch(w);
+        }
+        assert_eq!(st.victim(4, &mut rng(), |w| w >= 2), Some(2));
+        assert_eq!(st.victim(4, &mut rng(), |_| false), None);
+    }
+
+    #[test]
+    fn plru_never_picks_most_recent() {
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 8);
+        for w in 0..8 {
+            st.touch(w);
+        }
+        for last in 0..8 {
+            st.touch(last);
+            let v = st.victim(8, &mut rng(), |_| true).unwrap();
+            assert_ne!(v, last, "PLRU picked the most recently touched way");
+        }
+    }
+
+    #[test]
+    fn plru_handles_non_power_of_two_ways() {
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 20);
+        for w in 0..20 {
+            st.touch(w);
+        }
+        let v = st.victim(20, &mut rng(), |_| true).unwrap();
+        assert!(v < 20);
+    }
+
+    #[test]
+    fn random_picks_only_eligible() {
+        let st = ReplacementState::new(ReplacementPolicy::Random, 8);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = st.victim(8, &mut r, |w| w == 3 || w == 5).unwrap();
+            assert!(v == 3 || v == 5);
+        }
+    }
+
+    #[test]
+    fn random_with_no_eligible_is_none() {
+        let st = ReplacementState::new(ReplacementPolicy::Random, 8);
+        assert_eq!(st.victim(8, &mut rng(), |_| false), None);
+    }
+}

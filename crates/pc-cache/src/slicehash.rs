@@ -1,0 +1,140 @@
+//! The undocumented physical-address → slice hash.
+//!
+//! Starting with Sandy Bridge, Intel distributes LLC lines over per-core
+//! slices with an unpublished hash of the physical address (paper §II-D,
+//! Figure 2). The hash has been reverse-engineered for several parts as a
+//! XOR of selected address bits per slice-select bit (Maurice et al.,
+//! RAID 2015). We use masks of that published form.
+//!
+//! The attacker crates (`pc-probe`, `pc-core`) never call
+//! [`SliceHash::slice_of`] directly — they discover eviction sets by
+//! timing, exactly as Mastik does on real hardware. The hash is public so
+//! *ground-truth* instrumentation (driver instrumentation in the paper's
+//! Figure 5/6 experiments, test oracles here) can map buffers to sets.
+
+use crate::addr::PhysAddr;
+
+/// XOR-of-bits slice hash for 1, 2, 4 or 8 slices.
+///
+/// Each slice-select bit `i` is the parity of `addr & mask[i]`.
+///
+/// ```
+/// use pc_cache::{PhysAddr, SliceHash};
+/// let h = SliceHash::intel_8_slice();
+/// let s = h.slice_of(PhysAddr::new(0x3_6db0_0040));
+/// assert!(s < 8);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct SliceHash {
+    masks: [u64; 3],
+    bits: u32,
+}
+
+/// Published XOR masks (Maurice et al.) for the three slice-select bits of
+/// 8-slice parts. Bit 6 upward participates; bits 0..6 are the line offset.
+const INTEL_MASKS: [u64; 3] = [0x1b5f575440, 0x2eb5faa880, 0x3cccc93100];
+
+impl SliceHash {
+    /// Hash for an `n`-slice cache (`n ∈ {1, 2, 4, 8}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is not 1, 2, 4 or 8.
+    pub fn for_slices(slices: u32) -> Self {
+        let bits = match slices {
+            1 => 0,
+            2 => 1,
+            4 => 2,
+            8 => 3,
+            _ => panic!("slice hash supports 1/2/4/8 slices, got {slices}"),
+        };
+        SliceHash { masks: INTEL_MASKS, bits }
+    }
+
+    /// The 8-slice hash used by the paper's Xeon E5-2660.
+    pub fn intel_8_slice() -> Self {
+        SliceHash::for_slices(8)
+    }
+
+    /// The slice an address maps to.
+    pub fn slice_of(&self, addr: PhysAddr) -> usize {
+        let mut slice = 0usize;
+        for bit in 0..self.bits {
+            let parity = (addr.raw() & self.masks[bit as usize]).count_ones() & 1;
+            slice |= (parity as usize) << bit;
+        }
+        slice
+    }
+
+    /// Number of slices this hash selects among.
+    pub fn slices(&self) -> usize {
+        1 << self.bits
+    }
+}
+
+impl Default for SliceHash {
+    fn default() -> Self {
+        SliceHash::intel_8_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_always_in_range() {
+        let h = SliceHash::intel_8_slice();
+        for i in 0..10_000u64 {
+            assert!(h.slice_of(PhysAddr::new(i * 64)) < 8);
+        }
+    }
+
+    #[test]
+    fn low_six_bits_do_not_matter() {
+        // The block offset must not influence slice selection: all 64 bytes
+        // of a line live in the same slice.
+        let h = SliceHash::intel_8_slice();
+        for base in [0x0u64, 0x1000, 0xdead_b000, 0x3_6db0_0000] {
+            let s0 = h.slice_of(PhysAddr::new(base));
+            for off in 1..64 {
+                assert_eq!(h.slice_of(PhysAddr::new(base + off)), s0);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // The hash is designed to spread physical pages uniformly; with
+        // 64k consecutive pages each of 8 slices should get close to 1/8.
+        let h = SliceHash::intel_8_slice();
+        let mut counts = [0usize; 8];
+        let pages = 65_536u64;
+        for p in 0..pages {
+            counts[h.slice_of(PhysAddr::new(p * 4096))] += 1;
+        }
+        let expect = pages as usize / 8;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < expect as u64 / 4,
+                "slice count {c} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_slices_use_fewer_bits() {
+        let h2 = SliceHash::for_slices(2);
+        let h1 = SliceHash::for_slices(1);
+        for i in 0..1000u64 {
+            assert!(h2.slice_of(PhysAddr::new(i * 4096)) < 2);
+            assert_eq!(h1.slice_of(PhysAddr::new(i * 4096)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice hash supports")]
+    fn rejects_unsupported_slice_count() {
+        SliceHash::for_slices(3);
+    }
+}

@@ -1,0 +1,296 @@
+//! Experiment harnesses for the defense figures (14, 15, 16) and the
+//! Table II baseline description.
+
+use crate::loadgen::{cycles_to_ms, run_http_load, LoadGenConfig};
+use crate::workloads::{file_copy, nginx, tcp_recv, NginxConfig, Workbench, WorkloadMetrics};
+use pc_cache::{CacheGeometry, DdioMode};
+use pc_nic::{DriverConfig, RandomizeMode};
+use std::fmt;
+
+/// Table II: the gem5 baseline core the paper models. Constants only —
+/// reproduced for completeness of the report.
+#[derive(Copy, Clone, Debug)]
+pub struct BaselineCore {
+    /// Core frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Fetch width in fused µops.
+    pub fetch_width: u32,
+    /// Issue width in unfused µops.
+    pub issue_width: u32,
+    /// Integer/FP register file sizes.
+    pub int_regs: u32,
+    /// Floating-point registers.
+    pub fp_regs: u32,
+    /// Reorder-buffer entries.
+    pub rob: u32,
+    /// Issue-queue entries.
+    pub iq: u32,
+    /// Load-queue entries.
+    pub lq: u32,
+    /// Store-queue entries.
+    pub sq: u32,
+    /// Branch-target-buffer entries.
+    pub btb: u32,
+    /// L1 instruction cache description.
+    pub icache: &'static str,
+    /// L1 data cache description.
+    pub dcache: &'static str,
+}
+
+impl BaselineCore {
+    /// The paper's Table II values.
+    pub fn paper() -> Self {
+        BaselineCore {
+            frequency_ghz: 3.3,
+            fetch_width: 4,
+            issue_width: 6,
+            int_regs: 160,
+            fp_regs: 144,
+            rob: 168,
+            iq: 54,
+            lq: 64,
+            sq: 36,
+            btb: 256,
+            icache: "32 KB, 8 way",
+            dcache: "32 KB, 8 way",
+        }
+    }
+}
+
+impl fmt::Display for BaselineCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Frequency      {} GHz", self.frequency_ghz)?;
+        writeln!(f, "Fetch width    {} fused uops", self.fetch_width)?;
+        writeln!(f, "Issue width    {} unfused uops", self.issue_width)?;
+        writeln!(f, "INT/FP Regfile {}/{} regs", self.int_regs, self.fp_regs)?;
+        writeln!(f, "ROB size       {} entries", self.rob)?;
+        writeln!(f, "IQ             {} entries", self.iq)?;
+        writeln!(f, "LQ/SQ size     {}/{} entries", self.lq, self.sq)?;
+        writeln!(f, "BTB size       {} entries", self.btb)?;
+        writeln!(f, "Icache         {}", self.icache)?;
+        writeln!(f, "Dcache         {}", self.dcache)
+    }
+}
+
+/// One bar of Figure 14.
+#[derive(Clone, Debug)]
+pub struct Fig14Row {
+    /// LLC capacity in MiB (20 / 11 / 8).
+    pub llc_mib: u32,
+    /// "Adaptive Partitioning" or "DDIO".
+    pub config: &'static str,
+    /// Nginx throughput.
+    pub krps: f64,
+}
+
+/// Figure 14: Nginx throughput of the adaptive partitioning defense vs
+/// the vulnerable DDIO baseline at several LLC sizes.
+pub fn fig14_nginx_throughput(requests: u64, seed: u64) -> Vec<Fig14Row> {
+    let cfg = NginxConfig::paper_defaults();
+    let mut rows = Vec::new();
+    for llc_mib in [20u32, 11, 8] {
+        for (name, mode) in
+            [("Adaptive Partitioning", DdioMode::adaptive()), ("DDIO", DdioMode::enabled())]
+        {
+            let geom = CacheGeometry::xeon_scaled_mib(llc_mib);
+            let mut bench = Workbench::new(geom, mode, DriverConfig::paper_defaults(), seed);
+            nginx(&mut bench, &cfg, requests / 5); // warm-up
+            let m = nginx(&mut bench, &cfg, requests);
+            rows.push(Fig14Row { llc_mib, config: name, krps: m.krps() });
+        }
+    }
+    rows
+}
+
+/// One group of bars of Figure 15.
+#[derive(Clone, Debug)]
+pub struct Fig15Row {
+    /// "File Copy", "TCP Recv" or "Nginx".
+    pub workload: &'static str,
+    /// "No DDIO", "DDIO" or "Adaptive Partitioning".
+    pub config: &'static str,
+    /// Memory read traffic normalized to the No-DDIO run.
+    pub norm_read: f64,
+    /// Memory write traffic normalized to the No-DDIO run.
+    pub norm_write: f64,
+    /// Absolute LLC miss rate.
+    pub miss_rate: f64,
+}
+
+/// Figure 15: normalized memory traffic and LLC miss rate for the three
+/// workloads under No-DDIO / DDIO / adaptive partitioning.
+///
+/// `scale` controls the run length (1 = quick, 10 = paper-like).
+pub fn fig15_traffic(scale: u64, seed: u64) -> Vec<Fig15Row> {
+    let modes: [(&'static str, DdioMode); 3] = [
+        ("No DDIO", DdioMode::Disabled),
+        ("DDIO", DdioMode::enabled()),
+        ("Adaptive Partitioning", DdioMode::adaptive()),
+    ];
+    let mut rows = Vec::new();
+    type WorkloadFn = Box<dyn Fn(&mut Workbench) -> WorkloadMetrics>;
+    let workloads: [(&'static str, WorkloadFn); 3] = [
+        ("File Copy", Box::new(move |b: &mut Workbench| file_copy(b, 2 * scale))),
+        ("TCP Recv", Box::new(move |b: &mut Workbench| tcp_recv(b, 5_000 * scale))),
+        (
+            "Nginx",
+            Box::new(move |b: &mut Workbench| {
+                nginx(b, &NginxConfig::paper_defaults(), 300 * scale)
+            }),
+        ),
+    ];
+    for (wname, run) in &workloads {
+        let mut baseline: Option<WorkloadMetrics> = None;
+        for (mname, mode) in modes {
+            let mut bench = Workbench::paper_machine(mode, seed);
+            let m = run(&mut bench);
+            let base = baseline.get_or_insert(m);
+            rows.push(Fig15Row {
+                workload: wname,
+                config: mname,
+                norm_read: m.mem.reads as f64 / base.mem.reads.max(1) as f64,
+                norm_write: m.mem.writes as f64 / base.mem.writes.max(1) as f64,
+                miss_rate: m.llc.miss_rate(),
+            });
+        }
+    }
+    rows
+}
+
+/// One curve point of Figure 16.
+#[derive(Clone, Debug)]
+pub struct Fig16Row {
+    /// Defense label, matching the paper's legend.
+    pub defense: &'static str,
+    /// Percentile (25, 50, 90, 99, 99.9, 99.99).
+    pub percentile: f64,
+    /// Response latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The five configurations of Figure 16.
+pub fn fig16_defenses() -> [(&'static str, DdioMode, RandomizeMode); 5] {
+    [
+        ("Vulnerable Baseline", DdioMode::enabled(), RandomizeMode::Off),
+        ("Fully Randomized Ring Buffer", DdioMode::enabled(), RandomizeMode::EveryPacket),
+        ("Partial Randomization (1k Interval)", DdioMode::enabled(), RandomizeMode::EveryNPackets(1_000)),
+        ("Partial Randomization (10k Interval)", DdioMode::enabled(), RandomizeMode::EveryNPackets(10_000)),
+        ("Adaptive Cache Partitioning", DdioMode::adaptive(), RandomizeMode::Off),
+    ]
+}
+
+/// Figure 16: HTTP tail latency under each defense at the paper's open
+/// loop (140 k req/s, 8 workers).
+///
+/// The paper's latency axis runs to seconds — wrk2 is driving the server
+/// into sustained overload, where queueing amplifies every cycle of
+/// per-request cost a defense adds. The request weight below puts the
+/// baseline right at the saturation knee; `realloc_cost` models a page
+/// allocation plus streaming-DMA map/unmap and a coherent descriptor
+/// rewrite (§III-A notes how expensive those writes are).
+pub fn fig16_tail_latency(requests: usize, seed: u64) -> Vec<Fig16Row> {
+    let nginx_cfg = NginxConfig {
+        working_set_bytes: 12 << 20, // fits the LLC: misses don't dominate
+        compute_cycles: 145_000,     // service ≈ 190k cycles → util ≈ 1.01
+        ..NginxConfig::paper_defaults()
+    };
+    let lg = LoadGenConfig { requests, ..LoadGenConfig::paper_defaults() };
+    let mut rows = Vec::new();
+    for (name, ddio, randomize) in fig16_defenses() {
+        let driver_cfg = DriverConfig {
+            randomize,
+            realloc_cost: 5_000,
+            ..DriverConfig::paper_defaults()
+        };
+        let mut bench =
+            Workbench::new(CacheGeometry::xeon_e5_2660(), ddio, driver_cfg, seed);
+        // Warm the cache so the measured phase is steady-state.
+        for _ in 0..200 {
+            bench.nginx_request(&nginx_cfg);
+        }
+        let mut report = run_http_load(&mut bench, &nginx_cfg, &lg);
+        for (i, p) in crate::histogram::LatencyHistogram::PAPER_PERCENTILES.iter().enumerate() {
+            let ladder = report.histogram.paper_ladder();
+            rows.push(Fig16Row { defense: name, percentile: *p, latency_ms: cycles_to_ms(ladder[i]) });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_displays_all_fields() {
+        let s = BaselineCore::paper().to_string();
+        for needle in ["3.3 GHz", "168 entries", "32 KB, 8 way", "160/144"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn fig14_adaptive_close_to_ddio() {
+        let rows = fig14_nginx_throughput(300, 5);
+        assert_eq!(rows.len(), 6);
+        for mib in [20, 11, 8] {
+            let adaptive = rows
+                .iter()
+                .find(|r| r.llc_mib == mib && r.config.starts_with("Adaptive"))
+                .expect("row exists");
+            let ddio = rows
+                .iter()
+                .find(|r| r.llc_mib == mib && r.config == "DDIO")
+                .expect("row exists");
+            let loss = 1.0 - adaptive.krps / ddio.krps;
+            assert!(loss < 0.12, "{mib} MiB: adaptive lost {:.1}%", loss * 100.0);
+        }
+    }
+
+    #[test]
+    fn fig15_ddio_saves_traffic_everywhere() {
+        let rows = fig15_traffic(1, 6);
+        assert_eq!(rows.len(), 9);
+        for w in ["File Copy", "TCP Recv", "Nginx"] {
+            let ddio = rows
+                .iter()
+                .find(|r| r.workload == w && r.config == "DDIO")
+                .expect("row");
+            // Normalized against No-DDIO, DDIO must reduce total traffic.
+            assert!(
+                ddio.norm_read + ddio.norm_write < 2.0,
+                "{w}: DDIO traffic not reduced (read {:.2}, write {:.2})",
+                ddio.norm_read,
+                ddio.norm_write
+            );
+            let adaptive = rows
+                .iter()
+                .find(|r| r.workload == w && r.config.starts_with("Adaptive"))
+                .expect("row");
+            // Adaptive stays in DDIO's neighborhood (paper: within 2%).
+            assert!(
+                (adaptive.norm_read + adaptive.norm_write)
+                    < (ddio.norm_read + ddio.norm_write) * 1.25,
+                "{w}: adaptive traffic too far from DDIO"
+            );
+        }
+    }
+
+    #[test]
+    fn fig16_ordering_matches_paper() {
+        let rows = fig16_tail_latency(6_000, 7);
+        let p99 = |name: &str| {
+            rows.iter()
+                .find(|r| r.defense == name && (r.percentile - 99.0).abs() < 1e-9)
+                .expect("p99 row")
+                .latency_ms
+        };
+        let base = p99("Vulnerable Baseline");
+        let full = p99("Fully Randomized Ring Buffer");
+        let adaptive = p99("Adaptive Cache Partitioning");
+        let p1k = p99("Partial Randomization (1k Interval)");
+        assert!(full > base, "full randomization must cost tail latency");
+        assert!(adaptive < full, "adaptive must beat full randomization");
+        assert!(p1k >= base * 0.95, "1k randomization should not be faster than baseline");
+    }
+}

@@ -1,0 +1,143 @@
+//! Latency recording with percentile queries (the wrk2 side of
+//! Figure 16).
+
+/// Records latency samples and answers percentile queries.
+///
+/// ```
+/// use pc_defense::histogram::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=100 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.percentile(50.0), 50);
+/// assert_eq!(h.percentile(99.0), 99);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-th percentile (nearest-rank), `0 < p <= 100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is out of range.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        assert!(!self.samples.is_empty(), "percentile of empty histogram");
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// Arithmetic mean of the samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "mean of empty histogram");
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// The paper's Figure 16 percentile ladder.
+    pub const PAPER_PERCENTILES: [f64; 6] = [25.0, 50.0, 90.0, 99.0, 99.9, 99.99];
+
+    /// Values at the Figure 16 percentiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn paper_ladder(&mut self) -> [u64; 6] {
+        let mut out = [0u64; 6];
+        for (i, p) in Self::PAPER_PERCENTILES.iter().enumerate() {
+            out[i] = self.percentile(*p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(20.0), 10);
+        assert_eq!(h.percentile(40.0), 20);
+        assert_eq!(h.percentile(100.0), 50);
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut h = LatencyHistogram::new();
+        for v in [50u64, 10, 40, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 30);
+        assert_eq!(h.max(), Some(50));
+        assert!((h.mean() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * v % 7919);
+        }
+        let ladder = h.paper_ladder();
+        assert!(ladder.windows(2).all(|w| w[0] <= w[1]), "{ladder:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_percentile_panics() {
+        LatencyHistogram::new().percentile(50.0);
+    }
+
+    #[test]
+    fn recording_after_query_resorts() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        assert_eq!(h.percentile(100.0), 10);
+        h.record(5);
+        assert_eq!(h.percentile(50.0), 5);
+        assert!(!h.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # pc-defense — mitigations and their performance evaluation
+//!
+//! The paper evaluates two families of defenses:
+//!
+//! * **Software (§VI):** ring-buffer randomization — a fresh buffer per
+//!   packet ("fully randomized") or a periodic reshuffle every 1 k / 10 k
+//!   packets ("partial"). These live in `pc-nic`'s
+//!   [`pc_nic::RandomizeMode`]; this crate measures what they cost.
+//! * **Hardware (§VII):** adaptive I/O cache partitioning — implemented
+//!   in `pc-cache`'s [`pc_cache::DdioMode::Adaptive`]; this crate
+//!   measures its overhead against DDIO and no-DDIO baselines.
+//!
+//! The measurement vehicles mirror the paper's:
+//!
+//! * [`workloads`] — a file copy (`dd`-style), a TCP receiver with tiny
+//!   payloads, and an Nginx-like request server (Figures 14 and 15).
+//! * [`loadgen`] — a wrk2-style open-loop load generator with latency
+//!   percentiles (Figure 16).
+//! * [`eval`] — the experiment harnesses that produce each figure's rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod histogram;
+pub mod loadgen;
+pub mod workloads;

@@ -1,0 +1,158 @@
+//! A wrk2-style open-loop HTTP load generator (Figure 16).
+//!
+//! wrk2 issues requests at a *fixed target rate* regardless of how fast
+//! the server responds, so queueing delay — not just service time — shows
+//! up in the percentiles. We model the server as `servers` worker threads
+//! draining a FIFO queue; each request's service time is *measured* by
+//! actually running the Nginx-like request against the simulated
+//! hierarchy (so defenses pay their real per-packet and cache costs).
+
+use crate::histogram::LatencyHistogram;
+use crate::workloads::{NginxConfig, Workbench};
+use pc_net::CPU_FREQ_HZ;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Load-generator parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct LoadGenConfig {
+    /// Open-loop arrival rate (the paper targets 140 k req/s).
+    pub target_rps: u64,
+    /// Server worker threads (wrk2 drives 8 threads / 1000 conns; the
+    /// server side is what queues).
+    pub servers: usize,
+    /// Requests to issue.
+    pub requests: usize,
+    /// Arrival jitter as a fraction of the nominal gap.
+    pub jitter: f64,
+    /// RNG seed for arrivals.
+    pub seed: u64,
+}
+
+impl LoadGenConfig {
+    /// The paper's experiment: 140 k req/s against 8 workers.
+    pub fn paper_defaults() -> Self {
+        LoadGenConfig { target_rps: 140_000, servers: 8, requests: 50_000, jitter: 0.2, seed: 0x10ad }
+    }
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig::paper_defaults()
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadGenReport {
+    /// Recorded request latencies (cycles).
+    pub histogram: LatencyHistogram,
+    /// Requests per second actually completed.
+    pub achieved_rps: f64,
+    /// Mean service time in cycles (the server-side cost a defense
+    /// inflates).
+    pub mean_service_cycles: f64,
+}
+
+impl LoadGenReport {
+    /// Figure 16's percentile ladder, converted to milliseconds.
+    pub fn ladder_ms(&mut self) -> [f64; 6] {
+        self.histogram.paper_ladder().map(cycles_to_ms)
+    }
+}
+
+/// Cycles → milliseconds at the simulated clock.
+pub fn cycles_to_ms(cycles: u64) -> f64 {
+    cycles as f64 / CPU_FREQ_HZ as f64 * 1_000.0
+}
+
+/// Runs the open-loop load against `bench` and collects latencies.
+///
+/// # Panics
+///
+/// Panics if `cfg.requests` or `cfg.servers` is zero.
+pub fn run_http_load(
+    bench: &mut Workbench,
+    nginx_cfg: &NginxConfig,
+    cfg: &LoadGenConfig,
+) -> LoadGenReport {
+    assert!(cfg.requests > 0, "need requests to measure");
+    assert!(cfg.servers > 0, "need at least one server");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let gap = CPU_FREQ_HZ / cfg.target_rps;
+
+    // Worker availability times (min-heap).
+    let mut workers: BinaryHeap<Reverse<u64>> = (0..cfg.servers).map(|_| Reverse(0u64)).collect();
+    let mut histogram = LatencyHistogram::new();
+    let mut arrival = 0u64;
+    let mut total_service = 0u128;
+    let mut last_completion = 0u64;
+
+    for _ in 0..cfg.requests {
+        let jitter = 1.0 + rng.gen_range(-cfg.jitter..=cfg.jitter);
+        arrival += ((gap as f64) * jitter).max(1.0) as u64;
+        let service = bench.nginx_request(nginx_cfg);
+        total_service += u128::from(service);
+        let Reverse(free_at) = workers.pop().expect("servers exist");
+        let start = free_at.max(arrival);
+        let completion = start + service;
+        workers.push(Reverse(completion));
+        histogram.record(completion - arrival);
+        last_completion = last_completion.max(completion);
+    }
+
+    let achieved_rps = cfg.requests as f64 / (last_completion as f64 / CPU_FREQ_HZ as f64);
+    LoadGenReport {
+        histogram,
+        achieved_rps,
+        mean_service_cycles: total_service as f64 / cfg.requests as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_cache::DdioMode;
+
+    fn quick_cfg(rps: u64) -> LoadGenConfig {
+        LoadGenConfig { target_rps: rps, requests: 2_000, ..LoadGenConfig::paper_defaults() }
+    }
+
+    fn small_nginx() -> NginxConfig {
+        NginxConfig { reads_per_request: 100, ..NginxConfig::paper_defaults() }
+    }
+
+    #[test]
+    fn underloaded_latency_is_service_time() {
+        let mut bench = Workbench::paper_machine(DdioMode::enabled(), 3);
+        let mut report = run_http_load(&mut bench, &small_nginx(), &quick_cfg(1_000));
+        let ladder = report.ladder_ms();
+        // At 1k rps with ~10µs services, p50 ≈ service, far below 1ms.
+        assert!(ladder[1] < 1.0, "p50 {}ms too high for an idle server", ladder[1]);
+    }
+
+    #[test]
+    fn overload_explodes_tail_latency() {
+        let mut bench = Workbench::paper_machine(DdioMode::enabled(), 3);
+        let mut low = run_http_load(&mut bench, &small_nginx(), &quick_cfg(1_000));
+        let mut bench2 = Workbench::paper_machine(DdioMode::enabled(), 3);
+        let mut high = run_http_load(&mut bench2, &small_nginx(), &quick_cfg(2_000_000));
+        assert!(
+            high.ladder_ms()[3] > low.ladder_ms()[3] * 10.0,
+            "p99 must blow up under overload"
+        );
+    }
+
+    #[test]
+    fn ladder_is_monotone_and_positive() {
+        let mut bench = Workbench::paper_machine(DdioMode::enabled(), 4);
+        let mut report = run_http_load(&mut bench, &small_nginx(), &quick_cfg(100_000));
+        let ladder = report.ladder_ms();
+        assert!(ladder.windows(2).all(|w| w[0] <= w[1]), "{ladder:?}");
+        assert!(ladder[0] > 0.0);
+        assert!(report.achieved_rps > 0.0);
+        assert!(report.mean_service_cycles > 0.0);
+    }
+}

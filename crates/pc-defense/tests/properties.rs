@@ -1,0 +1,70 @@
+//! Property-based tests for the defense-evaluation substrate.
+
+use pc_cache::DdioMode;
+use pc_defense::histogram::LatencyHistogram;
+use pc_defense::loadgen::{run_http_load, LoadGenConfig};
+use pc_defense::workloads::{tcp_recv, NginxConfig, Workbench};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut h = LatencyHistogram::new();
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut last = 0u64;
+        for p in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last);
+            prop_assert!(v >= min && v <= max);
+            last = v;
+        }
+        prop_assert_eq!(h.percentile(100.0), max);
+    }
+
+    /// The mean lies between min and max.
+    #[test]
+    fn mean_bracketed(samples in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut h = LatencyHistogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mean = h.mean();
+        let min = *samples.iter().min().expect("non-empty") as f64;
+        let max = *samples.iter().max().expect("non-empty") as f64;
+        prop_assert!(mean >= min && mean <= max);
+    }
+
+    /// Higher arrival rates never *reduce* tail latency (same machine,
+    /// same seed): queueing is monotone in load.
+    #[test]
+    fn latency_monotone_in_load(rate_lo in 1_000u64..20_000) {
+        let rate_hi = rate_lo * 50;
+        let nginx = NginxConfig { reads_per_request: 50, ..NginxConfig::paper_defaults() };
+        let run = |rate: u64| {
+            let mut bench = Workbench::paper_machine(DdioMode::enabled(), 9);
+            let cfg = LoadGenConfig { target_rps: rate, requests: 400, ..LoadGenConfig::paper_defaults() };
+            let mut r = run_http_load(&mut bench, &nginx, &cfg);
+            r.histogram.percentile(99.0)
+        };
+        prop_assert!(run(rate_hi) >= run(rate_lo));
+    }
+
+    /// Workload accounting: units and elapsed cycles are positive and
+    /// the LLC saw at least one access per packet.
+    #[test]
+    fn tcp_recv_accounting(packets in 1u64..500, seed in 0u64..50) {
+        let mut bench = Workbench::paper_machine(DdioMode::enabled(), seed);
+        let m = tcp_recv(&mut bench, packets);
+        prop_assert_eq!(m.units, packets);
+        prop_assert!(m.elapsed_cycles > 0);
+        prop_assert!(m.llc.total_accesses() >= packets);
+        prop_assert!(m.units_per_second() > 0.0);
+    }
+}

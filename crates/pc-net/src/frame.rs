@@ -1,0 +1,174 @@
+//! Ethernet frames, reduced to what the attack can observe: their size.
+//!
+//! Packet Chasing never sees payload bytes — only *which cache blocks of a
+//! rx buffer get written*. A frame is therefore just a validated size with
+//! block arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+/// Minimum Ethernet frame size (IEEE 802.3): 64 bytes.
+pub const MIN_FRAME_BYTES: u32 = 64;
+/// Maximum frame size with VLAN tagging: 1522 bytes.
+pub const MAX_FRAME_BYTES: u32 = 1522;
+/// Ethernet MTU — the largest payload an Ethernet frame carries.
+pub const MTU_BYTES: u32 = 1500;
+
+/// Error returned when constructing an [`EthernetFrame`] with a size
+/// outside `[MIN_FRAME_BYTES, MAX_FRAME_BYTES]`.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct FrameSizeError {
+    bytes: u32,
+}
+
+impl FrameSizeError {
+    /// The rejected size.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+}
+
+impl fmt::Display for FrameSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame size {} outside [{MIN_FRAME_BYTES}, {MAX_FRAME_BYTES}] bytes",
+            self.bytes
+        )
+    }
+}
+
+impl Error for FrameSizeError {}
+
+/// An Ethernet frame, characterized by its on-the-wire size in bytes.
+///
+/// ```
+/// use pc_net::EthernetFrame;
+/// let f = EthernetFrame::new(64)?;
+/// assert_eq!(f.cache_blocks(), 1);
+/// assert_eq!(EthernetFrame::with_blocks(4).bytes(), 256);
+/// # Ok::<(), pc_net::FrameSizeError>(())
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct EthernetFrame {
+    bytes: u32,
+}
+
+impl EthernetFrame {
+    /// Creates a frame of `bytes` total size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameSizeError`] if `bytes` is not a legal Ethernet frame
+    /// size.
+    pub fn new(bytes: u32) -> Result<Self, FrameSizeError> {
+        if (MIN_FRAME_BYTES..=MAX_FRAME_BYTES).contains(&bytes) {
+            Ok(EthernetFrame { bytes })
+        } else {
+            Err(FrameSizeError { bytes })
+        }
+    }
+
+    /// Creates a frame sized `blocks` cache blocks (64 bytes each), the
+    /// granularity the covert channel encodes symbols in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is 0 or the resulting size exceeds
+    /// [`MAX_FRAME_BYTES`].
+    pub fn with_blocks(blocks: u32) -> Self {
+        assert!(blocks > 0, "a frame spans at least one cache block");
+        let bytes = blocks * 64;
+        assert!(bytes <= MAX_FRAME_BYTES, "{blocks} blocks exceed the maximum frame");
+        EthernetFrame { bytes }
+    }
+
+    /// Clamps an arbitrary size into the legal frame range. Generators use
+    /// this so random perturbations stay valid.
+    pub fn clamped(bytes: u32) -> Self {
+        EthernetFrame { bytes: bytes.clamp(MIN_FRAME_BYTES, MAX_FRAME_BYTES) }
+    }
+
+    /// A full-MTU frame (1514 bytes of Ethernet header + IP payload,
+    /// rounded into the legal range).
+    pub fn mtu_sized() -> Self {
+        EthernetFrame { bytes: MTU_BYTES + 14 }
+    }
+
+    /// A minimum-size control frame (e.g. a TCP ACK).
+    pub fn min_sized() -> Self {
+        EthernetFrame { bytes: MIN_FRAME_BYTES }
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(self) -> u32 {
+        self.bytes
+    }
+
+    /// Number of 64-byte cache blocks the frame occupies in an rx buffer —
+    /// what the spy measures.
+    pub fn cache_blocks(self) -> u32 {
+        self.bytes.div_ceil(64)
+    }
+}
+
+impl Default for EthernetFrame {
+    fn default() -> Self {
+        EthernetFrame::min_sized()
+    }
+}
+
+impl fmt::Display for EthernetFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B frame", self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_validate() {
+        assert!(EthernetFrame::new(63).is_err());
+        assert!(EthernetFrame::new(64).is_ok());
+        assert!(EthernetFrame::new(1522).is_ok());
+        assert!(EthernetFrame::new(1523).is_err());
+    }
+
+    #[test]
+    fn error_reports_size() {
+        let e = EthernetFrame::new(10).unwrap_err();
+        assert_eq!(e.bytes(), 10);
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn block_arithmetic() {
+        assert_eq!(EthernetFrame::new(64).unwrap().cache_blocks(), 1);
+        assert_eq!(EthernetFrame::new(65).unwrap().cache_blocks(), 2);
+        assert_eq!(EthernetFrame::new(192).unwrap().cache_blocks(), 3);
+        assert_eq!(EthernetFrame::new(256).unwrap().cache_blocks(), 4);
+        assert_eq!(EthernetFrame::mtu_sized().cache_blocks(), 24);
+    }
+
+    #[test]
+    fn with_blocks_round_trips() {
+        for blocks in 1..=23 {
+            assert_eq!(EthernetFrame::with_blocks(blocks).cache_blocks(), blocks);
+        }
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(EthernetFrame::clamped(1).bytes(), MIN_FRAME_BYTES);
+        assert_eq!(EthernetFrame::clamped(9999).bytes(), MAX_FRAME_BYTES);
+        assert_eq!(EthernetFrame::clamped(100).bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache block")]
+    fn zero_blocks_panics() {
+        EthernetFrame::with_blocks(0);
+    }
+}

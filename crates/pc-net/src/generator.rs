@@ -1,0 +1,261 @@
+//! Frame-size generators for every experiment's traffic.
+
+use crate::frame::{EthernetFrame, MAX_FRAME_BYTES, MIN_FRAME_BYTES};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A source of frame sizes.
+///
+/// Generators are deliberately infallible and infinite: experiments take
+/// as many frames as they need. The trait is object safe so schedules can
+/// mix heterogeneous sources.
+pub trait SizeGenerator {
+    /// Produces the next frame.
+    fn next_frame(&mut self, rng: &mut SmallRng) -> EthernetFrame;
+}
+
+/// Emits frames of one fixed size — the Figure 8 experiment ("four
+/// different runs with constant packet sizes being sent").
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct ConstantSize {
+    frame: EthernetFrame,
+}
+
+impl ConstantSize {
+    /// A generator of `frame`s.
+    pub fn new(frame: EthernetFrame) -> Self {
+        ConstantSize { frame }
+    }
+
+    /// A generator of `blocks`-block frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`EthernetFrame::with_blocks`].
+    pub fn blocks(blocks: u32) -> Self {
+        ConstantSize { frame: EthernetFrame::with_blocks(blocks) }
+    }
+}
+
+impl SizeGenerator for ConstantSize {
+    fn next_frame(&mut self, _rng: &mut SmallRng) -> EthernetFrame {
+        self.frame
+    }
+}
+
+/// Cycles deterministically through a sequence of sizes (e.g. the
+/// "2 0 1 2 0 1 …" symbol stream of Figure 10).
+#[derive(Clone, Debug)]
+pub struct CyclingSizes {
+    frames: Vec<EthernetFrame>,
+    next: usize,
+}
+
+impl CyclingSizes {
+    /// Creates a generator cycling through `frames`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn new(frames: Vec<EthernetFrame>) -> Self {
+        assert!(!frames.is_empty(), "cycle needs at least one frame");
+        CyclingSizes { frames, next: 0 }
+    }
+}
+
+impl SizeGenerator for CyclingSizes {
+    fn next_frame(&mut self, _rng: &mut SmallRng) -> EthernetFrame {
+        let f = self.frames[self.next];
+        self.next = (self.next + 1) % self.frames.len();
+        f
+    }
+}
+
+/// Uniformly random sizes within a range — generic background noise.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct UniformSizes {
+    lo: u32,
+    hi: u32,
+}
+
+impl UniformSizes {
+    /// Sizes drawn uniformly from `[lo, hi]` bytes (clamped to the legal
+    /// frame range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "empty size range");
+        UniformSizes { lo: lo.max(MIN_FRAME_BYTES), hi: hi.min(MAX_FRAME_BYTES) }
+    }
+
+    /// The full legal frame range.
+    pub fn full_range() -> Self {
+        UniformSizes::new(MIN_FRAME_BYTES, MAX_FRAME_BYTES)
+    }
+}
+
+impl SizeGenerator for UniformSizes {
+    fn next_frame(&mut self, rng: &mut SmallRng) -> EthernetFrame {
+        EthernetFrame::clamped(rng.gen_range(self.lo..=self.hi))
+    }
+}
+
+/// The bimodal Internet size mix the paper cites (Sinha et al.): packets
+/// congregate at the two ends of the spectrum — small control frames and
+/// MTU-sized fragments — with a thin middle.
+#[derive(Copy, Clone, Debug)]
+pub struct BimodalMix {
+    /// Probability of a small control frame.
+    small_prob: f64,
+    /// Probability of a full-MTU frame (else: uniform middle).
+    mtu_prob: f64,
+}
+
+impl BimodalMix {
+    /// The canonical mix: 40 % control frames, 45 % MTU frames, 15 %
+    /// everything in between.
+    pub fn internet() -> Self {
+        BimodalMix { small_prob: 0.40, mtu_prob: 0.45 }
+    }
+
+    /// A custom mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are negative or sum above 1.
+    pub fn new(small_prob: f64, mtu_prob: f64) -> Self {
+        assert!(small_prob >= 0.0 && mtu_prob >= 0.0, "negative probability");
+        assert!(small_prob + mtu_prob <= 1.0, "probabilities exceed 1");
+        BimodalMix { small_prob, mtu_prob }
+    }
+}
+
+impl SizeGenerator for BimodalMix {
+    fn next_frame(&mut self, rng: &mut SmallRng) -> EthernetFrame {
+        let p: f64 = rng.gen();
+        if p < self.small_prob {
+            // Control frames: 64..128 bytes.
+            EthernetFrame::clamped(rng.gen_range(64..128))
+        } else if p < self.small_prob + self.mtu_prob {
+            EthernetFrame::mtu_sized()
+        } else {
+            EthernetFrame::clamped(rng.gen_range(128..1400))
+        }
+    }
+}
+
+/// Replays a recorded trace of sizes once, then repeats it.
+#[derive(Clone, Debug)]
+pub struct TraceReplay {
+    sizes: Vec<u32>,
+    next: usize,
+}
+
+impl TraceReplay {
+    /// Creates a replay source from raw sizes (clamped to legal frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty.
+    pub fn new(sizes: Vec<u32>) -> Self {
+        assert!(!sizes.is_empty(), "trace must be non-empty");
+        TraceReplay { sizes, next: 0 }
+    }
+
+    /// Length of one replay pass.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` if the trace has no entries (never: constructor forbids it,
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+}
+
+impl SizeGenerator for TraceReplay {
+    fn next_frame(&mut self, _rng: &mut SmallRng) -> EthernetFrame {
+        let s = self.sizes[self.next];
+        self.next = (self.next + 1) % self.sizes.len();
+        EthernetFrame::clamped(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut g = ConstantSize::blocks(3);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(g.next_frame(&mut r).cache_blocks(), 3);
+        }
+    }
+
+    #[test]
+    fn cycle_repeats_in_order() {
+        let frames = vec![
+            EthernetFrame::with_blocks(1),
+            EthernetFrame::with_blocks(4),
+            EthernetFrame::with_blocks(3),
+        ];
+        let mut g = CyclingSizes::new(frames);
+        let mut r = rng();
+        let got: Vec<u32> = (0..6).map(|_| g.next_frame(&mut r).cache_blocks()).collect();
+        assert_eq!(got, vec![1, 4, 3, 1, 4, 3]);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut g = UniformSizes::new(100, 200);
+        let mut r = rng();
+        for _ in 0..100 {
+            let b = g.next_frame(&mut r).bytes();
+            assert!((100..=200).contains(&b));
+        }
+    }
+
+    #[test]
+    fn bimodal_is_bimodal() {
+        let mut g = BimodalMix::internet();
+        let mut r = rng();
+        let (mut small, mut mtu) = (0, 0);
+        for _ in 0..1000 {
+            let b = g.next_frame(&mut r).bytes();
+            if b < 128 {
+                small += 1;
+            } else if b >= 1500 {
+                mtu += 1;
+            }
+        }
+        assert!(small > 300, "expected ≥30% control frames, got {small}");
+        assert!(mtu > 350, "expected ≥35% MTU frames, got {mtu}");
+    }
+
+    #[test]
+    fn trace_replay_wraps() {
+        let mut g = TraceReplay::new(vec![64, 128]);
+        let mut r = rng();
+        assert_eq!(g.next_frame(&mut r).bytes(), 64);
+        assert_eq!(g.next_frame(&mut r).bytes(), 128);
+        assert_eq!(g.next_frame(&mut r).bytes(), 64);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn generators_are_object_safe() {
+        let mut boxed: Box<dyn SizeGenerator> = Box::new(ConstantSize::blocks(2));
+        assert_eq!(boxed.next_frame(&mut rng()).cache_blocks(), 2);
+    }
+}

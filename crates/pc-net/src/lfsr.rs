@@ -1,0 +1,104 @@
+//! The 15-bit linear-feedback shift register from the paper's §IV-a.
+//!
+//! The covert-channel error-rate methodology (borrowed from Liu et al.)
+//! transmits a pseudo-random bit sequence of period `2^15 − 1` so that bit
+//! loss, insertion and swaps are all detectable when the received stream
+//! is aligned against the reference via edit distance.
+
+/// Maximal-length 15-bit LFSR (taps at bits 15 and 14, polynomial
+/// `x^15 + x^14 + 1`), emitting one bit per step.
+///
+/// ```
+/// use pc_net::Lfsr15;
+/// let bits: Vec<u8> = Lfsr15::new(1).take(10).collect();
+/// assert_eq!(bits.len(), 10);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Lfsr15 {
+    state: u16,
+}
+
+impl Lfsr15 {
+    /// Period of the maximal-length sequence: `2^15 - 1`.
+    pub const PERIOD: usize = (1 << 15) - 1;
+
+    /// Creates an LFSR from a non-zero 15-bit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed & 0x7fff == 0` (the all-zero state is a fixed
+    /// point and never occurs in the maximal-length sequence).
+    pub fn new(seed: u16) -> Self {
+        let state = seed & 0x7fff;
+        assert!(state != 0, "LFSR seed must be non-zero in its low 15 bits");
+        Lfsr15 { state }
+    }
+
+    /// Advances one step and returns the output bit (0 or 1).
+    pub fn next_bit(&mut self) -> u8 {
+        let out = (self.state & 1) as u8;
+        let feedback = ((self.state >> 14) ^ (self.state >> 13)) & 1;
+        self.state = ((self.state << 1) | feedback) & 0x7fff;
+        out
+    }
+
+    /// Current internal state (useful for checkpointing tests).
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+}
+
+impl Iterator for Lfsr15 {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        Some(self.next_bit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn period_is_maximal() {
+        let mut l = Lfsr15::new(1);
+        let start = l.state();
+        let mut steps = 0usize;
+        loop {
+            l.next_bit();
+            steps += 1;
+            if l.state() == start {
+                break;
+            }
+            assert!(steps <= Lfsr15::PERIOD, "period exceeded the maximal length");
+        }
+        assert_eq!(steps, Lfsr15::PERIOD, "LFSR is not maximal-length");
+    }
+
+    #[test]
+    fn visits_every_nonzero_state() {
+        let mut l = Lfsr15::new(0x3ace);
+        let mut seen = HashSet::new();
+        for _ in 0..Lfsr15::PERIOD {
+            seen.insert(l.state());
+            l.next_bit();
+        }
+        assert_eq!(seen.len(), Lfsr15::PERIOD);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        let ones: usize = Lfsr15::new(77).take(Lfsr15::PERIOD).map(usize::from).sum();
+        // Maximal-length sequences have exactly 2^14 ones.
+        assert_eq!(ones, 1 << 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_seed_rejected() {
+        Lfsr15::new(0x8000); // low 15 bits are zero
+    }
+}

@@ -1,0 +1,44 @@
+//! # pc-net — traffic substrate for the Packet Chasing reproduction
+//!
+//! Everything that *produces* packets lives here: Ethernet frame sizes and
+//! their cache-block arithmetic, the 1 GbE line-rate model that bounds the
+//! covert channel, the 15-bit LFSR pseudo-random bit source the paper uses
+//! to measure channel error rates, size generators for every experiment,
+//! an arrival scheduler (with the high-rate reordering that causes the
+//! error jump in Figure 12d), and the synthetic web-page/login traces for
+//! the fingerprinting study.
+//!
+//! This crate knows nothing about caches or drivers; it only emits
+//! `(arrival_cycle, frame)` streams that `pc-nic`'s driver model consumes.
+//!
+//! ## Example
+//!
+//! ```
+//! use pc_net::{EthernetFrame, LineRate};
+//!
+//! let frame = EthernetFrame::new(192)?;
+//! assert_eq!(frame.cache_blocks(), 3);
+//! let gbe = LineRate::gigabit();
+//! // At 1 Gb/s a 192-byte frame plus wire overhead takes ~1.7 µs:
+//! assert!(gbe.cycles_per_frame(frame.bytes()) > 5_000);
+//! # Ok::<(), pc_net::FrameSizeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod generator;
+mod lfsr;
+mod linerate;
+mod schedule;
+mod webtrace;
+
+pub use frame::{EthernetFrame, FrameSizeError, MAX_FRAME_BYTES, MIN_FRAME_BYTES, MTU_BYTES};
+pub use generator::{
+    BimodalMix, ConstantSize, CyclingSizes, SizeGenerator, TraceReplay, UniformSizes,
+};
+pub use lfsr::Lfsr15;
+pub use linerate::{LineRate, CPU_FREQ_HZ, WIRE_OVERHEAD_BYTES};
+pub use schedule::{merge_schedules, ArrivalSchedule, ScheduledFrame};
+pub use webtrace::{ClosedWorld, LoginOutcome, LoginTraceSource, WebsiteProfile};

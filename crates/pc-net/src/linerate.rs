@@ -1,0 +1,148 @@
+//! Line-rate model: how fast frames of a given size can arrive.
+//!
+//! The paper's covert channel is line-rate bound: on 1 GbE with ~192-byte
+//! frames the trojan can send roughly half a million frames per second,
+//! and at 256 frames per symbol that caps the channel near 2 k symbols/s
+//! (§IV-b). This module converts frame sizes to inter-arrival times in
+//! CPU cycles so the rest of the simulator can schedule arrivals.
+
+use crate::frame::EthernetFrame;
+
+/// Simulated CPU frequency (the paper's Xeon E5-2660 runs at ~3.3 GHz
+/// boost; gem5 baseline in Table II uses 3.3 GHz).
+pub const CPU_FREQ_HZ: u64 = 3_300_000_000;
+
+/// Per-frame wire overhead: 8 bytes preamble/SFD + 12 bytes inter-frame
+/// gap.
+pub const WIRE_OVERHEAD_BYTES: u32 = 20;
+
+/// An Ethernet link speed.
+///
+/// ```
+/// use pc_net::{EthernetFrame, LineRate};
+/// let link = LineRate::gigabit();
+/// let frame = EthernetFrame::new(192)?;
+/// let fps = link.max_frames_per_second(frame.bytes());
+/// assert!((400_000..700_000).contains(&fps));
+/// # Ok::<(), pc_net::FrameSizeError>(())
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct LineRate {
+    bits_per_second: u64,
+}
+
+impl LineRate {
+    /// Creates a link of `bits_per_second`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_second` is zero.
+    pub fn new(bits_per_second: u64) -> Self {
+        assert!(bits_per_second > 0, "line rate must be non-zero");
+        LineRate { bits_per_second }
+    }
+
+    /// 1 Gb/s Ethernet — the paper's testbed link.
+    pub fn gigabit() -> Self {
+        LineRate::new(1_000_000_000)
+    }
+
+    /// 10 Gb/s Ethernet (for the "faster links make randomization more
+    /// expensive" discussion in §VII).
+    pub fn ten_gigabit() -> Self {
+        LineRate::new(10_000_000_000)
+    }
+
+    /// The configured rate in bits per second.
+    pub fn bits_per_second(&self) -> u64 {
+        self.bits_per_second
+    }
+
+    /// Nanoseconds a frame of `frame_bytes` occupies the wire, including
+    /// preamble and inter-frame gap.
+    pub fn nanos_per_frame(&self, frame_bytes: u32) -> u64 {
+        let bits = u64::from(frame_bytes + WIRE_OVERHEAD_BYTES) * 8;
+        // ceil(bits * 1e9 / rate)
+        (bits * 1_000_000_000).div_ceil(self.bits_per_second)
+    }
+
+    /// CPU cycles between back-to-back frames of `frame_bytes`.
+    pub fn cycles_per_frame(&self, frame_bytes: u32) -> u64 {
+        self.nanos_per_frame(frame_bytes) * CPU_FREQ_HZ / 1_000_000_000
+    }
+
+    /// Maximum frames per second at this size (the Cisco-style metric the
+    /// paper cites: ~500 k fps for ~192-byte frames on 1 GbE).
+    pub fn max_frames_per_second(&self, frame_bytes: u32) -> u64 {
+        1_000_000_000 / self.nanos_per_frame(frame_bytes).max(1)
+    }
+
+    /// CPU cycles between frames when sending at `frames_per_second`,
+    /// clamped to the line-rate bound for that frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames_per_second` is zero.
+    pub fn cycles_at_rate(&self, frame_bytes: u32, frames_per_second: u64) -> u64 {
+        assert!(frames_per_second > 0, "frame rate must be non-zero");
+        let requested = CPU_FREQ_HZ / frames_per_second;
+        requested.max(self.cycles_per_frame(frame_bytes))
+    }
+
+    /// Convenience: inter-arrival cycles for an [`EthernetFrame`].
+    pub fn cycles_for(&self, frame: EthernetFrame) -> u64 {
+        self.cycles_per_frame(frame.bytes())
+    }
+}
+
+impl Default for LineRate {
+    fn default() -> Self {
+        LineRate::gigabit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_frame_rate_matches_paper_ballpark() {
+        // The paper quotes ~500k fps for 192-byte frames on 1 GbE.
+        let fps = LineRate::gigabit().max_frames_per_second(192);
+        assert!(
+            (450_000..650_000).contains(&fps),
+            "192B fps {fps} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn bigger_frames_are_slower() {
+        let l = LineRate::gigabit();
+        assert!(l.max_frames_per_second(64) > l.max_frames_per_second(1522));
+        assert!(l.cycles_per_frame(64) < l.cycles_per_frame(1522));
+    }
+
+    #[test]
+    fn faster_links_are_faster() {
+        assert!(
+            LineRate::ten_gigabit().cycles_per_frame(256) < LineRate::gigabit().cycles_per_frame(256)
+        );
+    }
+
+    #[test]
+    fn rate_clamps_to_line_rate() {
+        let l = LineRate::gigabit();
+        // Requesting 10M fps of 1522-byte frames is impossible.
+        let cycles = l.cycles_at_rate(1522, 10_000_000);
+        assert_eq!(cycles, l.cycles_per_frame(1522));
+        // Requesting a slow rate is honored.
+        let slow = l.cycles_at_rate(64, 1_000);
+        assert_eq!(slow, CPU_FREQ_HZ / 1_000);
+    }
+
+    #[test]
+    fn nanos_are_exact_for_round_cases() {
+        // (64 + 20) * 8 = 672 bits → 672 ns on 1 Gb/s.
+        assert_eq!(LineRate::gigabit().nanos_per_frame(64), 672);
+    }
+}

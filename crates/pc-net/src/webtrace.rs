@@ -1,0 +1,287 @@
+//! Synthetic web-page packet traces for the fingerprinting study (§V).
+//!
+//! **Substitution note (see DESIGN.md):** the paper captures real Firefox
+//! traffic with tcpdump. We cannot ship third-party site traces, so each
+//! website is a [`WebsiteProfile`] — a deterministic generator whose
+//! *shape* follows the paper's observation (after Sinha et al.) that
+//! "packets are usually congested on the two sides of the spectrum":
+//! large HTTP objects arrive as runs of MTU-sized frames terminated by a
+//! distinctive final fragment, interleaved with small control packets.
+//! The per-site signature (object count, run lengths, tail-fragment sizes)
+//! is what the classifier keys on — exactly the information content the
+//! attack exploits on real traces.
+
+use crate::frame::EthernetFrame;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic model of one website's response traffic.
+#[derive(Clone, Debug)]
+pub struct WebsiteProfile {
+    name: String,
+    /// Per-object tail-fragment sizes and run lengths, fixed per site.
+    objects: Vec<(u32, u32)>, // (mtu_run_len, tail_bytes)
+    /// Probability of a control packet between data packets.
+    control_ratio: f64,
+}
+
+impl WebsiteProfile {
+    /// Builds a site profile from a name and seed. The same (name, seed)
+    /// always produces the same signature.
+    pub fn from_seed(name: &str, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let num_objects = rng.gen_range(6..14);
+        let objects = (0..num_objects)
+            .map(|_| {
+                let run = rng.gen_range(1..12);
+                // The tail fragment can fall anywhere from 1 block to MTU
+                // — "giving us a good indicator of the webpages". Tails in
+                // the 1..6-block range are what survive the spy's 4-class
+                // quantization, so the profile keeps them there.
+                let tail = rng.gen_range(64..384);
+                (run, tail)
+            })
+            .collect();
+        let control_ratio = rng.gen_range(0.15..0.35);
+        WebsiteProfile { name: name.to_owned(), objects, control_ratio }
+    }
+
+    /// The site's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected number of data packets in one page load (without noise).
+    pub fn nominal_len(&self) -> usize {
+        self.objects.iter().map(|(run, _)| *run as usize + 1).sum()
+    }
+
+    /// Generates one page-load trace with measurement noise.
+    ///
+    /// `noise` in `[0, 1]` controls how often packets are perturbed,
+    /// dropped or duplicated — modelling retransmissions, timing drift and
+    /// CDN variance between loads of the same page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is outside `[0, 1]`.
+    pub fn page_load(&self, noise: f64, rng: &mut SmallRng) -> Vec<EthernetFrame> {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+        let mut out = Vec::with_capacity(self.nominal_len() * 2);
+        for &(run, tail) in &self.objects {
+            for _ in 0..run {
+                out.push(EthernetFrame::mtu_sized());
+                if rng.gen_bool(self.control_ratio) {
+                    out.push(EthernetFrame::min_sized());
+                }
+            }
+            out.push(EthernetFrame::clamped(tail));
+        }
+        // Noise pass: perturb / drop / duplicate.
+        let mut noisy = Vec::with_capacity(out.len());
+        for f in out {
+            let roll: f64 = rng.gen();
+            if roll < noise * 0.2 {
+                continue; // dropped / coalesced
+            }
+            let f = if roll < noise * 0.5 {
+                EthernetFrame::clamped(
+                    (f.bytes() as i64 + rng.gen_range(-64i64..=64)).max(64) as u32,
+                )
+            } else {
+                f
+            };
+            noisy.push(f);
+            if roll > 1.0 - noise * 0.1 {
+                noisy.push(EthernetFrame::min_sized()); // spurious ACK
+            }
+        }
+        if noisy.is_empty() {
+            noisy.push(EthernetFrame::min_sized());
+        }
+        noisy
+    }
+}
+
+/// The closed-world dataset of the paper's §V evaluation: five sites.
+#[derive(Clone, Debug)]
+pub struct ClosedWorld {
+    profiles: Vec<WebsiteProfile>,
+}
+
+impl ClosedWorld {
+    /// The paper's five sites (synthetic stand-ins, see module docs).
+    pub fn paper_five_sites() -> Self {
+        let names = ["facebook.com", "twitter.com", "google.com", "amazon.com", "apple.com"];
+        ClosedWorld {
+            profiles: names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| WebsiteProfile::from_seed(n, 0xC0FFEE + i as u64 * 7919))
+                .collect(),
+        }
+    }
+
+    /// A closed world of `n` synthetic sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn synthetic(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "closed world needs at least one site");
+        ClosedWorld {
+            profiles: (0..n)
+                .map(|i| WebsiteProfile::from_seed(&format!("site{i}.example"), seed + i as u64))
+                .collect(),
+        }
+    }
+
+    /// The site profiles.
+    pub fn sites(&self) -> &[WebsiteProfile] {
+        &self.profiles
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// `true` if the world has no sites (constructors forbid this).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+/// Whether a login attempt succeeded — the Figure 13 experiment
+/// distinguishes these two from their response packet sizes alone.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum LoginOutcome {
+    /// Credentials accepted: large dashboard response.
+    Successful,
+    /// Credentials rejected: short error page.
+    Unsuccessful,
+}
+
+/// Generator for the hotcrp.com login traces of Figure 13.
+///
+/// A successful login returns the full conference dashboard (long runs of
+/// MTU frames with characteristic tails); a failed one bounces back to
+/// the login form with an error banner (mostly small responses). Both
+/// traces are ~100 packets, like the paper's figure.
+#[derive(Clone, Debug)]
+pub struct LoginTraceSource {
+    success: WebsiteProfile,
+    failure: WebsiteProfile,
+}
+
+impl LoginTraceSource {
+    /// The hotcrp-like login trace pair.
+    pub fn hotcrp() -> Self {
+        LoginTraceSource {
+            success: WebsiteProfile::from_seed("hotcrp.com/login-ok", 0x5EC5E55),
+            failure: WebsiteProfile::from_seed("hotcrp.com/login-fail", 0xFA11ED),
+        }
+    }
+
+    /// One login response trace, truncated/padded to exactly `len`
+    /// packets (the paper plots the first 100).
+    pub fn trace(&self, outcome: LoginOutcome, len: usize, noise: f64, rng: &mut SmallRng) -> Vec<EthernetFrame> {
+        let profile = match outcome {
+            LoginOutcome::Successful => &self.success,
+            LoginOutcome::Unsuccessful => &self.failure,
+        };
+        let mut t = Vec::with_capacity(len);
+        while t.len() < len {
+            t.extend(profile.page_load(noise, rng));
+        }
+        t.truncate(len);
+        t
+    }
+}
+
+impl Default for LoginTraceSource {
+    fn default() -> Self {
+        LoginTraceSource::hotcrp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = WebsiteProfile::from_seed("x", 7);
+        let b = WebsiteProfile::from_seed("x", 7);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(a.page_load(0.0, &mut r1), b.page_load(0.0, &mut r2));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WebsiteProfile::from_seed("x", 7);
+        let b = WebsiteProfile::from_seed("x", 8);
+        let mut r = rng();
+        let ta: Vec<u32> = a.page_load(0.0, &mut r).iter().map(|f| f.bytes()).collect();
+        let tb: Vec<u32> = b.page_load(0.0, &mut r).iter().map(|f| f.bytes()).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn noise_changes_traces_but_preserves_validity() {
+        let p = WebsiteProfile::from_seed("noisy", 1);
+        let mut r = rng();
+        let clean = p.page_load(0.0, &mut r);
+        let noisy = p.page_load(0.5, &mut r);
+        assert_ne!(clean, noisy);
+        for f in &noisy {
+            assert!(f.bytes() >= 64 && f.bytes() <= 1522);
+        }
+    }
+
+    #[test]
+    fn closed_world_has_five_distinct_sites() {
+        let w = ClosedWorld::paper_five_sites();
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+        let mut r = rng();
+        let traces: Vec<Vec<u32>> = w
+            .sites()
+            .iter()
+            .map(|p| p.page_load(0.0, &mut r).iter().map(|f| f.bytes()).collect())
+            .collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_ne!(traces[i], traces[j], "sites {i} and {j} have identical signatures");
+            }
+        }
+    }
+
+    #[test]
+    fn login_traces_have_requested_length_and_differ() {
+        let src = LoginTraceSource::hotcrp();
+        let mut r = rng();
+        let ok = src.trace(LoginOutcome::Successful, 100, 0.1, &mut r);
+        let bad = src.trace(LoginOutcome::Unsuccessful, 100, 0.1, &mut r);
+        assert_eq!(ok.len(), 100);
+        assert_eq!(bad.len(), 100);
+        let ok_sizes: Vec<u32> = ok.iter().map(|f| f.bytes()).collect();
+        let bad_sizes: Vec<u32> = bad.iter().map(|f| f.bytes()).collect();
+        assert_ne!(ok_sizes, bad_sizes);
+    }
+
+    #[test]
+    fn nominal_len_counts_data_packets() {
+        let p = WebsiteProfile::from_seed("len", 3);
+        let mut r = rng();
+        let trace = p.page_load(0.0, &mut r);
+        // Noise-free traces contain the nominal data packets plus control
+        // packets, so they're at least nominal length.
+        assert!(trace.len() >= p.nominal_len());
+    }
+}

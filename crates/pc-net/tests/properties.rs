@@ -1,0 +1,113 @@
+//! Property-based tests for the traffic substrate.
+
+use pc_net::{
+    ArrivalSchedule, BimodalMix, EthernetFrame, Lfsr15, LineRate, SizeGenerator, UniformSizes,
+    WebsiteProfile, CPU_FREQ_HZ, MAX_FRAME_BYTES, MIN_FRAME_BYTES,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Frame validation accepts exactly the legal range.
+    #[test]
+    fn frame_validation(bytes in 0u32..4000) {
+        let ok = (MIN_FRAME_BYTES..=MAX_FRAME_BYTES).contains(&bytes);
+        prop_assert_eq!(EthernetFrame::new(bytes).is_ok(), ok);
+        // Clamping always yields a legal frame.
+        let c = EthernetFrame::clamped(bytes);
+        prop_assert!(EthernetFrame::new(c.bytes()).is_ok());
+    }
+
+    /// Cache-block math: blocks * 64 covers the frame, and (blocks-1)*64
+    /// does not.
+    #[test]
+    fn block_count_is_ceiling(bytes in MIN_FRAME_BYTES..=MAX_FRAME_BYTES) {
+        let f = EthernetFrame::new(bytes).expect("legal");
+        let blocks = f.cache_blocks();
+        prop_assert!(blocks * 64 >= bytes);
+        prop_assert!((blocks - 1) * 64 < bytes);
+    }
+
+    /// Line-rate arithmetic: cycles per frame are monotone in size and
+    /// honored rates never exceed the line limit.
+    #[test]
+    fn line_rate_monotone(a in 64u32..1522, b in 64u32..1522) {
+        let l = LineRate::gigabit();
+        if a <= b {
+            prop_assert!(l.cycles_per_frame(a) <= l.cycles_per_frame(b));
+        }
+        let at_rate = l.cycles_at_rate(a, 1_000_000_000);
+        prop_assert!(at_rate >= l.cycles_per_frame(a));
+    }
+
+    /// Schedules are sorted, respect the start time, and contain only
+    /// legal frames.
+    #[test]
+    fn schedules_are_sane(
+        fps in 1_000u64..1_000_000,
+        start in 0u64..1_000_000,
+        count in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = UniformSizes::full_range();
+        let frames = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(fps)
+            .generate(&mut gen, start, count, &mut rng);
+        prop_assert_eq!(frames.len(), count);
+        prop_assert!(frames[0].at > start);
+        prop_assert!(frames.windows(2).all(|w| w[0].at <= w[1].at));
+        for f in &frames {
+            prop_assert!(EthernetFrame::new(f.frame.bytes()).is_ok());
+        }
+        // Average rate within 2x of the request (jitter + line cap).
+        if count > 50 {
+            let span = frames.last().expect("non-empty").at - start;
+            let implied_fps = count as u64 * CPU_FREQ_HZ / span.max(1);
+            prop_assert!(implied_fps <= fps * 2);
+        }
+    }
+
+    /// Every generator yields only legal frames.
+    #[test]
+    fn generators_yield_legal_frames(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gens: Vec<Box<dyn SizeGenerator>> = vec![
+            Box::new(UniformSizes::full_range()),
+            Box::new(BimodalMix::internet()),
+        ];
+        for g in gens.iter_mut() {
+            for _ in 0..50 {
+                let f = g.next_frame(&mut rng);
+                prop_assert!(EthernetFrame::new(f.bytes()).is_ok());
+            }
+        }
+    }
+
+    /// Page loads are reproducible per (profile, rng seed) and noise
+    /// keeps frames legal.
+    #[test]
+    fn page_loads_deterministic(seed in 0u64..200, noise in 0.0f64..0.9) {
+        let p = WebsiteProfile::from_seed("prop", seed);
+        let mut r1 = SmallRng::seed_from_u64(seed + 1);
+        let mut r2 = SmallRng::seed_from_u64(seed + 1);
+        let t1 = p.page_load(noise, &mut r1);
+        let t2 = p.page_load(noise, &mut r2);
+        prop_assert_eq!(&t1, &t2);
+        for f in &t1 {
+            prop_assert!(EthernetFrame::new(f.bytes()).is_ok());
+        }
+    }
+
+    /// LFSR restarts reproduce the same bit stream; different seeds
+    /// yield different phases of it.
+    #[test]
+    fn lfsr_deterministic(seed in 1u16..0x7fff) {
+        let a: Vec<u8> = Lfsr15::new(seed).take(64).collect();
+        let b: Vec<u8> = Lfsr15::new(seed).take(64).collect();
+        prop_assert_eq!(a, b);
+    }
+}

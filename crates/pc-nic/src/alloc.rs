@@ -1,0 +1,203 @@
+//! A simulated physical-page allocator for the driver's rx buffers.
+//!
+//! Buffer pages come from wherever the kernel's page allocator happens to
+//! hand them out, which is why the ring's mapping onto the 256
+//! page-aligned cache sets is *non-uniform* (paper Figures 5 and 6):
+//! 256 random pages into 256 set-slices is a balls-into-bins process, so
+//! ≈ 1/e ≈ 37 % of sets end up with no buffer at all. Random unique page
+//! selection over a large physical region reproduces that distribution —
+//! no further tuning needed.
+
+use pc_cache::{PhysAddr, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A physical page handed out by the allocator.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct PageRef {
+    /// Page-aligned base address.
+    pub base: PhysAddr,
+    /// `true` if the page lives on a remote NUMA node — the IGB driver
+    /// refuses to reuse such pages (`igb_can_reuse_rx_page`).
+    pub remote: bool,
+}
+
+/// Allocates unique, randomly placed 4 KiB pages from a fixed physical
+/// region, optionally tagging some as NUMA-remote.
+///
+/// ```
+/// use pc_nic::PageAllocator;
+/// let mut alloc = PageAllocator::new(42);
+/// let a = alloc.alloc_page();
+/// let b = alloc.alloc_page();
+/// assert_ne!(a.base, b.base);
+/// assert!(a.base.is_page_aligned());
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageAllocator {
+    rng: SmallRng,
+    first_page: u64,
+    num_pages: u64,
+    remote_prob: f64,
+    in_use: HashSet<u64>,
+}
+
+impl PageAllocator {
+    /// Default region: 1 Mi pages (4 GiB) starting at 1 GiB, all local.
+    pub fn new(seed: u64) -> Self {
+        PageAllocator::with_region(seed, 1 << 18, 1 << 20)
+    }
+
+    /// Allocator over `num_pages` pages starting at page number
+    /// `first_page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pages` is zero.
+    pub fn with_region(seed: u64, first_page: u64, num_pages: u64) -> Self {
+        assert!(num_pages > 0, "region must contain pages");
+        PageAllocator {
+            rng: SmallRng::seed_from_u64(seed),
+            first_page,
+            num_pages,
+            remote_prob: 0.0,
+            in_use: HashSet::new(),
+        }
+    }
+
+    /// Sets the probability that an allocated page is NUMA-remote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn with_remote_probability(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.remote_prob = prob;
+        self
+    }
+
+    /// Number of pages currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.in_use.len()
+    }
+
+    /// Allocates a fresh page, never reusing a live one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted (the reproduction never
+    /// allocates more than a few thousand pages from a million-page
+    /// region).
+    pub fn alloc_page(&mut self) -> PageRef {
+        assert!(
+            (self.in_use.len() as u64) < self.num_pages,
+            "physical page region exhausted"
+        );
+        loop {
+            let page = self.first_page + self.rng.gen_range(0..self.num_pages);
+            if self.in_use.insert(page) {
+                let remote = self.remote_prob > 0.0 && self.rng.gen_bool(self.remote_prob);
+                return PageRef { base: PhysAddr::new(page * PAGE_SIZE as u64), remote };
+            }
+        }
+    }
+
+    /// Returns a page to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page aligned or was not allocated.
+    pub fn free_page(&mut self, base: PhysAddr) {
+        assert!(base.is_page_aligned(), "freeing a non-page-aligned address");
+        let removed = self.in_use.remove(&base.page_number());
+        assert!(removed, "double free of page {base}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_are_unique_and_aligned() {
+        let mut a = PageAllocator::new(1);
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let p = a.alloc_page();
+            assert!(p.base.is_page_aligned());
+            assert!(seen.insert(p.base), "duplicate page {}", p.base);
+        }
+        assert_eq!(a.allocated(), 1000);
+    }
+
+    #[test]
+    fn free_allows_reuse_eventually() {
+        let mut a = PageAllocator::with_region(3, 0, 2);
+        let p1 = a.alloc_page();
+        let p2 = a.alloc_page();
+        assert_ne!(p1.base, p2.base);
+        a.free_page(p1.base);
+        let p3 = a.alloc_page();
+        assert_eq!(p3.base, p1.base, "only one free page remained");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = PageAllocator::new(1);
+        let p = a.alloc_page();
+        a.free_page(p.base);
+        a.free_page(p.base);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut a = PageAllocator::with_region(3, 0, 4);
+        for _ in 0..5 {
+            a.alloc_page();
+        }
+    }
+
+    #[test]
+    fn remote_probability_zero_means_all_local() {
+        let mut a = PageAllocator::new(9);
+        assert!((0..200).all(|_| !a.alloc_page().remote));
+    }
+
+    #[test]
+    fn remote_probability_takes_effect() {
+        let mut a = PageAllocator::new(9).with_remote_probability(0.5);
+        let remote = (0..400).filter(|_| a.alloc_page().remote).count();
+        assert!((100..300).contains(&remote), "remote count {remote} implausible for p=0.5");
+    }
+
+    #[test]
+    fn ring_pages_leave_about_a_third_of_sets_empty() {
+        // The balls-into-bins property behind Figure 6: 256 random pages
+        // over 256 page-aligned set-slices leave ≈ e^-1 of them empty.
+        use pc_cache::{CacheGeometry, SliceHash};
+        let geom = CacheGeometry::xeon_e5_2660();
+        let hash = SliceHash::intel_8_slice();
+        let mut empties = 0usize;
+        let trials = 50;
+        for seed in 0..trials {
+            let mut a = PageAllocator::new(seed);
+            let mut hit = vec![false; geom.page_aligned_set_slices()];
+            for _ in 0..256 {
+                let p = a.alloc_page();
+                let set = geom.set_index(p.base);
+                let slice = hash.slice_of(p.base);
+                let idx = slice * geom.page_aligned_sets_per_slice() + set / 64;
+                hit[idx] = true;
+            }
+            empties += hit.iter().filter(|h| !**h).count();
+        }
+        let frac = empties as f64 / (trials as f64 * 256.0);
+        assert!(
+            (0.30..0.45).contains(&frac),
+            "empty-set fraction {frac:.3} outside the paper's ~35% ballpark"
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! The IGB driver receive path, replayed access-by-access.
+
+use crate::alloc::PageAllocator;
+use crate::ring::{RxRing, HALF_PAGE_BYTES, RX_BUFFER_BLOCKS};
+use pc_cache::{Cycles, Hierarchy, PhysAddr};
+use pc_net::EthernetFrame;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Software mitigation knob: when (if ever) the driver re-randomizes its
+/// ring buffers (paper §VI-b and Figure 16).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum RandomizeMode {
+    /// Vulnerable baseline: buffers are allocated once and reused forever.
+    #[default]
+    Off,
+    /// "Fully Randomized Ring Buffer": a fresh page for every packet.
+    EveryPacket,
+    /// "Partial Randomization": reallocate the whole ring every `n`
+    /// packets (the paper evaluates 1 k and 10 k).
+    EveryNPackets(u64),
+}
+
+/// Driver tuning and modelling knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct DriverConfig {
+    /// Descriptors in the rx ring. IGB default: 256 (max 4096).
+    pub ring_size: usize,
+    /// Copybreak (`IGB_RX_HDR_LEN`): frames at or below this are memcpy'd
+    /// and the buffer reused as-is. Default 256 bytes.
+    pub copybreak: u32,
+    /// Model the driver's unconditional prefetch of the buffer's second
+    /// cache block (the Figure 8 anomaly). Default true.
+    pub prefetch_second_block: bool,
+    /// Header-to-payload delay in cycles for large frames when DDIO is
+    /// off (paper cites < 20 k cycles for ~100 % of packets).
+    pub header_to_payload_delay: Cycles,
+    /// Fixed per-packet driver overhead in cycles (descriptor handling,
+    /// skb bookkeeping).
+    pub per_packet_overhead: Cycles,
+    /// Cost in cycles of allocating a fresh buffer and rewriting its rx
+    /// descriptor through coherent (write-barrier) memory — paid by the
+    /// randomization defenses.
+    pub realloc_cost: Cycles,
+    /// Ring randomization defense mode.
+    pub randomize: RandomizeMode,
+}
+
+impl DriverConfig {
+    /// The paper's setup: 256 descriptors, 256-byte copybreak, prefetch
+    /// quirk on, no defenses.
+    pub fn paper_defaults() -> Self {
+        DriverConfig {
+            ring_size: 256,
+            copybreak: 256,
+            prefetch_second_block: true,
+            header_to_payload_delay: 18_000,
+            per_packet_overhead: 300,
+            realloc_cost: 1_500,
+            randomize: RandomizeMode::Off,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_size` is zero or `copybreak` exceeds a buffer.
+    fn validate(&self) {
+        assert!(self.ring_size > 0, "ring must have descriptors");
+        assert!(self.copybreak <= HALF_PAGE_BYTES, "copybreak exceeds buffer size");
+        if let RandomizeMode::EveryNPackets(n) = self.randomize {
+            assert!(n > 0, "randomization interval must be non-zero");
+        }
+    }
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig::paper_defaults()
+    }
+}
+
+/// What happened when one frame was received.
+#[derive(Clone, Debug)]
+pub struct RxEvent {
+    /// Ring descriptor index that was filled.
+    pub buffer_index: usize,
+    /// DMA target address of the buffer's first block.
+    pub buffer_addr: PhysAddr,
+    /// Cache blocks the frame occupied.
+    pub blocks: u32,
+    /// The buffer's page was reallocated (NUMA-remote, busy, or the
+    /// randomization defense fired).
+    pub reallocated: bool,
+    /// The buffer flipped to the other half-page (large frame reuse).
+    pub flipped: bool,
+    /// CPU reads the networking stack will issue later (header-to-payload
+    /// latency without DDIO); feed these to a
+    /// [`crate::DeferredReads`] queue.
+    pub deferred_reads: Vec<(Cycles, PhysAddr)>,
+}
+
+/// The driver model.
+///
+/// One `receive` call per frame replays, against the [`Hierarchy`]:
+///
+/// 1. the NIC's DMA writes of each arriving cache block (DDIO or memory
+///    according to the hierarchy's [`pc_cache::DdioMode`]);
+/// 2. the driver's header read and unconditional second-block prefetch;
+/// 3. for small frames: the memcpy's source reads, then buffer reuse;
+/// 4. for large frames: the fragment attach, the `igb_can_reuse_rx_page`
+///    reuse-or-reallocate decision, and the half-page flip;
+/// 5. the configured randomization defense, if any.
+#[derive(Clone, Debug)]
+pub struct IgbDriver {
+    cfg: DriverConfig,
+    ring: RxRing,
+    alloc: PageAllocator,
+    packets: u64,
+    reallocations: u64,
+    defense_overhead: Cycles,
+}
+
+impl IgbDriver {
+    /// Initializes the driver: allocates the ring and arms every
+    /// descriptor, exactly once — the buffers then live until a defense
+    /// or NUMA condition replaces them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: DriverConfig, mut alloc: PageAllocator, _rng: &mut SmallRng) -> Self {
+        cfg.validate();
+        let ring = RxRing::allocate(cfg.ring_size, &mut alloc);
+        IgbDriver { cfg, ring, alloc, packets: 0, reallocations: 0, defense_overhead: 0 }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.cfg
+    }
+
+    /// The rx ring (ground-truth instrumentation).
+    pub fn ring(&self) -> &RxRing {
+        &self.ring
+    }
+
+    /// Packets received so far.
+    pub fn packets_received(&self) -> u64 {
+        self.packets
+    }
+
+    /// Buffer reallocations performed (NUMA, busy pages, defenses).
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Extra cycles spent in randomization defenses so far.
+    pub fn defense_overhead_cycles(&self) -> Cycles {
+        self.defense_overhead
+    }
+
+    /// Receives one frame into the next ring buffer.
+    ///
+    /// Frames longer than a 2048-byte buffer are truncated to the buffer
+    /// (jumbo handling is out of scope, as in the paper).
+    pub fn receive(&mut self, h: &mut Hierarchy, frame: EthernetFrame, rng: &mut SmallRng) -> RxEvent {
+        let idx = self.ring.advance();
+        let buffer_addr = self.ring.buffer(idx).dma_addr();
+        let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
+        let ddio = h.llc().mode().allocates_in_llc();
+
+        // 1. NIC DMA: one write per cache block of the frame.
+        for b in 0..blocks {
+            h.io_write(buffer_addr.add_blocks(u64::from(b)));
+        }
+
+        // 2. Driver picks the frame up: reads the header...
+        h.advance(self.cfg.per_packet_overhead);
+        h.cpu_read(buffer_addr);
+        // ...and always prefetches the second block ("most Ethernet
+        // packets have at least two blocks").
+        if self.cfg.prefetch_second_block {
+            h.cpu_read(buffer_addr.add_blocks(1));
+        }
+
+        let mut deferred_reads = Vec::new();
+        let mut reallocated = false;
+        let mut flipped = false;
+
+        if frame.bytes() <= self.cfg.copybreak {
+            // 3. Small frame: memcpy the payload out of the buffer now.
+            for b in 2..blocks {
+                h.cpu_read(buffer_addr.add_blocks(u64::from(b)));
+            }
+            // "we can reuse buffer as-is, just make sure it is local"
+            if self.ring.buffer(idx).page().remote {
+                self.reallocate(idx);
+                reallocated = true;
+            }
+        } else {
+            // 4. Large frame: page attached to the skb as a fragment; the
+            // stack touches the payload a bit later. With DDIO the blocks
+            // are already in the LLC, so those reads are silent hits; we
+            // only need to model them when DDIO is off.
+            if !ddio {
+                let due = h.now() + self.cfg.header_to_payload_delay;
+                for b in 2..blocks {
+                    deferred_reads.push((due, buffer_addr.add_blocks(u64::from(b))));
+                }
+            }
+            // igb_can_reuse_rx_page: remote pages and pages still held by
+            // the stack are not reused.
+            let busy = rng.gen_bool(0.01); // page_count != 1: rare
+            if self.ring.buffer(idx).page().remote || busy {
+                self.reallocate(idx);
+                reallocated = true;
+            } else {
+                self.ring.buffer_mut(idx).flip();
+                flipped = true;
+            }
+        }
+
+        // 5. Randomization defenses.
+        match self.cfg.randomize {
+            RandomizeMode::Off => {}
+            RandomizeMode::EveryPacket => {
+                self.reallocate(idx);
+                self.defense_overhead += self.cfg.realloc_cost;
+                h.advance(self.cfg.realloc_cost);
+                reallocated = true;
+            }
+            RandomizeMode::EveryNPackets(n) => {
+                if (self.packets + 1).is_multiple_of(n) {
+                    let cost = self.randomize_ring();
+                    self.defense_overhead += cost;
+                    h.advance(cost);
+                }
+            }
+        }
+
+        self.packets += 1;
+        RxEvent { buffer_index: idx, buffer_addr, blocks, reallocated, flipped, deferred_reads }
+    }
+
+    /// Replaces the page behind descriptor `idx` with a fresh one.
+    fn reallocate(&mut self, idx: usize) {
+        let old = self.ring.buffer(idx).page().base;
+        let fresh = self.alloc.alloc_page();
+        self.ring.buffer_mut(idx).replace_page(fresh);
+        self.alloc.free_page(old);
+        self.reallocations += 1;
+    }
+
+    /// Reallocates every descriptor (partial randomization tick),
+    /// returning the modelled cost.
+    fn randomize_ring(&mut self) -> Cycles {
+        for idx in 0..self.ring.len() {
+            self.reallocate(idx);
+        }
+        self.cfg.realloc_cost * self.ring.len() as Cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_cache::{CacheGeometry, DdioMode, Domain};
+    use rand::SeedableRng;
+
+    fn setup(mode: DdioMode) -> (Hierarchy, IgbDriver, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), mode);
+        let drv = IgbDriver::new(DriverConfig::paper_defaults(), PageAllocator::new(17), &mut rng);
+        (h, drv, rng)
+    }
+
+    fn frame(bytes: u32) -> EthernetFrame {
+        EthernetFrame::new(bytes).unwrap()
+    }
+
+    #[test]
+    fn packets_fill_buffers_in_ring_order() {
+        let (mut h, mut drv, mut rng) = setup(DdioMode::enabled());
+        for i in 0..10 {
+            let ev = drv.receive(&mut h, frame(64), &mut rng);
+            assert_eq!(ev.buffer_index, i % drv.ring().len());
+        }
+        assert_eq!(drv.packets_received(), 10);
+    }
+
+    #[test]
+    fn ddio_puts_frame_blocks_in_llc() {
+        let (mut h, mut drv, mut rng) = setup(DdioMode::enabled());
+        let ev = drv.receive(&mut h, frame(256), &mut rng);
+        assert_eq!(ev.blocks, 4);
+        for b in 0..4 {
+            assert!(
+                h.llc().contains(ev.buffer_addr.add_blocks(b)),
+                "block {b} missing from LLC"
+            );
+        }
+        assert!(ev.deferred_reads.is_empty(), "DDIO defers nothing");
+    }
+
+    #[test]
+    fn one_block_frame_still_touches_block_one() {
+        // Figure 8's anomaly: the driver prefetches block 1 regardless.
+        let (mut h, mut drv, mut rng) = setup(DdioMode::enabled());
+        let ev = drv.receive(&mut h, frame(64), &mut rng);
+        assert_eq!(ev.blocks, 1);
+        assert!(h.llc().contains(ev.buffer_addr.add_blocks(1)));
+        // ...but not block 2.
+        assert!(!h.llc().contains(ev.buffer_addr.add_blocks(2)));
+    }
+
+    #[test]
+    fn small_frames_reuse_buffer_in_place() {
+        let (mut h, mut drv, mut rng) = setup(DdioMode::enabled());
+        let ev1 = drv.receive(&mut h, frame(128), &mut rng);
+        assert!(!ev1.reallocated && !ev1.flipped);
+        // Wrap all the way around the ring: the same buffer address
+        // serves descriptor 0 again.
+        for _ in 0..drv.ring().len() - 1 {
+            drv.receive(&mut h, frame(128), &mut rng);
+        }
+        let ev2 = drv.receive(&mut h, frame(128), &mut rng);
+        assert_eq!(ev2.buffer_index, ev1.buffer_index);
+        assert_eq!(ev2.buffer_addr, ev1.buffer_addr, "small-frame buffers are stable");
+    }
+
+    #[test]
+    fn large_frames_flip_to_second_half_page() {
+        let (mut h, mut drv, mut rng) = setup(DdioMode::enabled());
+        let ev1 = drv.receive(&mut h, frame(1000), &mut rng);
+        if ev1.flipped {
+            let buf = drv.ring().buffer(ev1.buffer_index);
+            assert_eq!(buf.page_offset(), HALF_PAGE_BYTES);
+            assert_eq!(buf.dma_addr().block_in_page(), 32);
+        }
+    }
+
+    #[test]
+    fn no_ddio_defers_payload_reads() {
+        let (mut h, mut drv, mut rng) = setup(DdioMode::Disabled);
+        let ev = drv.receive(&mut h, frame(1514), &mut rng);
+        assert!(!ev.deferred_reads.is_empty());
+        for (at, _) in &ev.deferred_reads {
+            assert!(*at + drv.config().header_to_payload_delay > h.now());
+        }
+        // Without DDIO the payload blocks are *not* in the LLC yet.
+        assert!(!h.llc().contains(ev.buffer_addr.add_blocks(5)));
+    }
+
+    #[test]
+    fn no_ddio_header_is_fetched_by_driver() {
+        let (mut h, mut drv, mut rng) = setup(DdioMode::Disabled);
+        let ev = drv.receive(&mut h, frame(1514), &mut rng);
+        // The driver's header read demand-fetched block 0 into the LLC as
+        // a CPU line.
+        assert!(h.llc().contains(ev.buffer_addr));
+        let ss = h.llc().locate(ev.buffer_addr);
+        assert!(h.llc().domain_count(ss, Domain::Cpu) >= 1);
+    }
+
+    #[test]
+    fn remote_pages_are_reallocated() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let alloc = PageAllocator::new(17).with_remote_probability(1.0);
+        let mut drv = IgbDriver::new(DriverConfig::paper_defaults(), alloc, &mut rng);
+        let ev = drv.receive(&mut h, frame(64), &mut rng);
+        assert!(ev.reallocated, "remote page must not be reused");
+        assert!(drv.reallocations() >= 1);
+    }
+
+    #[test]
+    fn every_packet_randomization_changes_buffers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let cfg = DriverConfig { randomize: RandomizeMode::EveryPacket, ..Default::default() };
+        let mut drv = IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
+        let before = drv.ring().buffer(0).page().base;
+        drv.receive(&mut h, frame(64), &mut rng);
+        let after = drv.ring().buffer(0).page().base;
+        assert_ne!(before, after);
+        assert!(drv.defense_overhead_cycles() > 0);
+    }
+
+    #[test]
+    fn periodic_randomization_fires_on_schedule() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let cfg = DriverConfig {
+            ring_size: 8,
+            randomize: RandomizeMode::EveryNPackets(5),
+            ..Default::default()
+        };
+        let mut drv = IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
+        let before = drv.ring().page_addresses();
+        for _ in 0..4 {
+            drv.receive(&mut h, frame(64), &mut rng);
+        }
+        assert_eq!(drv.ring().page_addresses(), before, "not yet");
+        drv.receive(&mut h, frame(64), &mut rng);
+        assert_ne!(drv.ring().page_addresses(), before, "5th packet triggers");
+    }
+
+    #[test]
+    fn oversized_frames_truncate_to_buffer() {
+        let (mut h, mut drv, mut rng) = setup(DdioMode::enabled());
+        let ev = drv.receive(&mut h, frame(1522), &mut rng);
+        assert!(ev.blocks <= RX_BUFFER_BLOCKS);
+    }
+
+    #[test]
+    #[should_panic(expected = "randomization interval")]
+    fn zero_interval_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = DriverConfig { randomize: RandomizeMode::EveryNPackets(0), ..Default::default() };
+        IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
+    }
+}

@@ -1,0 +1,202 @@
+//! The rx descriptor ring shared between NIC and driver.
+
+use crate::alloc::{PageAllocator, PageRef};
+use pc_cache::PhysAddr;
+
+/// Bytes per rx buffer: the IGB driver packs two 2048-byte buffers into
+/// each 4 KiB page.
+pub const HALF_PAGE_BYTES: u32 = 2048;
+
+/// Cache blocks per rx buffer (2048 / 64).
+pub const RX_BUFFER_BLOCKS: u32 = HALF_PAGE_BYTES / 64;
+
+/// One rx descriptor's buffer: a page plus which half is armed for DMA.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct RxBuffer {
+    page: PageRef,
+    /// 0 or [`HALF_PAGE_BYTES`]; flipped by `igb_can_reuse_rx_page` after
+    /// large frames.
+    page_offset: u32,
+}
+
+impl RxBuffer {
+    /// A buffer armed at the first half of `page`.
+    pub fn new(page: PageRef) -> Self {
+        RxBuffer { page, page_offset: 0 }
+    }
+
+    /// The page backing this buffer.
+    pub fn page(&self) -> PageRef {
+        self.page
+    }
+
+    /// Current DMA target address (page base + offset).
+    pub fn dma_addr(&self) -> PhysAddr {
+        self.page.base.add_bytes(u64::from(self.page_offset))
+    }
+
+    /// Current half-page offset (0 or 2048).
+    pub fn page_offset(&self) -> u32 {
+        self.page_offset
+    }
+
+    /// `rx_buffer->page_offset ^= IGB_RX_BUFSZ`: switch halves.
+    pub fn flip(&mut self) {
+        self.page_offset ^= HALF_PAGE_BYTES;
+    }
+
+    /// Replaces the backing page (reallocation), re-arming at offset 0.
+    pub fn replace_page(&mut self, page: PageRef) {
+        self.page = page;
+        self.page_offset = 0;
+    }
+}
+
+/// The circular rx ring: a fixed array of buffers filled strictly in
+/// order. "As long as the driver reuses the buffers for descriptors, the
+/// order of the buffers remains constant" — the property the sequencer
+/// recovers.
+#[derive(Clone, Debug)]
+pub struct RxRing {
+    buffers: Vec<RxBuffer>,
+    next: usize,
+    filled: u64,
+}
+
+impl RxRing {
+    /// Allocates a ring of `size` buffers, one fresh page each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn allocate(size: usize, alloc: &mut PageAllocator) -> Self {
+        assert!(size > 0, "ring must have at least one descriptor");
+        let buffers = (0..size).map(|_| RxBuffer::new(alloc.alloc_page())).collect();
+        RxRing { buffers, next: 0, filled: 0 }
+    }
+
+    /// Number of descriptors.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// `true` if the ring has no descriptors (constructor forbids this).
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Index of the descriptor the next packet will fill.
+    pub fn next_index(&self) -> usize {
+        self.next
+    }
+
+    /// Total packets that have passed through the ring.
+    pub fn filled_count(&self) -> u64 {
+        self.filled
+    }
+
+    /// The buffer at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn buffer(&self, index: usize) -> &RxBuffer {
+        &self.buffers[index]
+    }
+
+    /// Mutable access for the driver's reuse/flip/replace decisions.
+    pub(crate) fn buffer_mut(&mut self, index: usize) -> &mut RxBuffer {
+        &mut self.buffers[index]
+    }
+
+    /// Claims the next descriptor in ring order, advancing the cursor.
+    pub fn advance(&mut self) -> usize {
+        let idx = self.next;
+        self.next = (self.next + 1) % self.buffers.len();
+        self.filled += 1;
+        idx
+    }
+
+    /// Ground truth: the DMA address of every descriptor, in ring order
+    /// starting from descriptor 0.
+    ///
+    /// This is what the paper obtains by instrumenting the driver
+    /// ("we instrument the driver code to print the physical addresses of
+    /// the ring buffers") to validate Figures 5/6 and Table I.
+    pub fn dma_addresses(&self) -> Vec<PhysAddr> {
+        self.buffers.iter().map(|b| b.dma_addr()).collect()
+    }
+
+    /// Ground truth: page base of every descriptor in ring order.
+    pub fn page_addresses(&self) -> Vec<PhysAddr> {
+        self.buffers.iter().map(|b| b.page().base).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> (RxRing, PageAllocator) {
+        let mut alloc = PageAllocator::new(11);
+        let ring = RxRing::allocate(n, &mut alloc);
+        (ring, alloc)
+    }
+
+    #[test]
+    fn buffers_start_page_aligned() {
+        let (r, _) = ring(64);
+        for i in 0..r.len() {
+            assert!(r.buffer(i).dma_addr().is_page_aligned());
+            assert_eq!(r.buffer(i).page_offset(), 0);
+        }
+    }
+
+    #[test]
+    fn advance_wraps_in_order() {
+        let (mut r, _) = ring(4);
+        let order: Vec<usize> = (0..10).map(|_| r.advance()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+        assert_eq!(r.filled_count(), 10);
+        assert_eq!(r.next_index(), 2);
+    }
+
+    #[test]
+    fn flip_switches_halves_and_back() {
+        let (mut r, _) = ring(1);
+        let page = r.buffer(0).page().base;
+        r.buffer_mut(0).flip();
+        assert_eq!(r.buffer(0).dma_addr(), page.add_bytes(2048));
+        assert_eq!(r.buffer(0).dma_addr().block_in_page(), 32);
+        r.buffer_mut(0).flip();
+        assert_eq!(r.buffer(0).dma_addr(), page);
+    }
+
+    #[test]
+    fn replace_rearms_at_offset_zero() {
+        let (mut r, mut alloc) = ring(1);
+        r.buffer_mut(0).flip();
+        let fresh = alloc.alloc_page();
+        r.buffer_mut(0).replace_page(fresh);
+        assert_eq!(r.buffer(0).page_offset(), 0);
+        assert_eq!(r.buffer(0).dma_addr(), fresh.base);
+    }
+
+    #[test]
+    fn ground_truth_lists_match_ring_order() {
+        let (r, _) = ring(8);
+        let dma = r.dma_addresses();
+        let pages = r.page_addresses();
+        assert_eq!(dma.len(), 8);
+        assert_eq!(dma, pages, "with no flips, DMA addresses are the page bases");
+    }
+
+    #[test]
+    fn pages_are_distinct() {
+        let (r, _) = ring(256);
+        let mut pages = r.page_addresses();
+        pages.sort();
+        pages.dedup();
+        assert_eq!(pages.len(), 256, "each buffer lives on its own page");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the driver model's invariants.
+
+use pc_cache::{CacheGeometry, DdioMode, Hierarchy};
+use pc_net::EthernetFrame;
+use pc_nic::{DriverConfig, IgbDriver, PageAllocator, RandomizeMode, RX_BUFFER_BLOCKS};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn frame_strategy() -> impl Strategy<Value = EthernetFrame> {
+    (64u32..=1522).prop_map(|b| EthernetFrame::new(b).expect("range is legal"))
+}
+
+fn mode_strategy() -> impl Strategy<Value = DdioMode> {
+    prop_oneof![Just(DdioMode::Disabled), Just(DdioMode::enabled()), Just(DdioMode::adaptive())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Buffers are always half-page aligned: DMA targets land on block 0
+    /// or block 32 of a page, never anywhere else. This is the invariant
+    /// the whole attack rests on.
+    #[test]
+    fn dma_addresses_are_half_page_aligned(
+        frames in proptest::collection::vec(frame_strategy(), 1..300),
+        mode in mode_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), mode);
+        let cfg = DriverConfig { ring_size: 16, ..DriverConfig::paper_defaults() };
+        let mut drv = IgbDriver::new(cfg, PageAllocator::new(seed), &mut rng);
+        for f in frames {
+            let ev = drv.receive(&mut h, f, &mut rng);
+            let block = ev.buffer_addr.block_in_page();
+            prop_assert!(block == 0 || block == 32, "buffer at block {block}");
+            prop_assert!(ev.blocks >= 1 && ev.blocks <= RX_BUFFER_BLOCKS);
+        }
+    }
+
+    /// Ring order is strictly sequential modulo the ring size, regardless
+    /// of traffic: descriptor i+1 always follows descriptor i.
+    #[test]
+    fn ring_order_is_sequential(
+        frames in proptest::collection::vec(frame_strategy(), 1..200),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let cfg = DriverConfig { ring_size: 32, ..DriverConfig::paper_defaults() };
+        let mut drv = IgbDriver::new(cfg, PageAllocator::new(seed), &mut rng);
+        let mut expected = 0usize;
+        for f in frames {
+            let ev = drv.receive(&mut h, f, &mut rng);
+            prop_assert_eq!(ev.buffer_index, expected);
+            expected = (expected + 1) % 32;
+        }
+    }
+
+    /// Without any defense or NUMA surprises, small-frame traffic keeps
+    /// every buffer's address stable across full ring cycles.
+    #[test]
+    fn small_frames_keep_ring_stable(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let cfg = DriverConfig { ring_size: 16, ..DriverConfig::paper_defaults() };
+        let mut drv = IgbDriver::new(cfg, PageAllocator::new(seed), &mut rng);
+        let before = drv.ring().dma_addresses();
+        for _ in 0..64 {
+            drv.receive(&mut h, EthernetFrame::new(128).expect("legal"), &mut rng);
+        }
+        prop_assert_eq!(drv.ring().dma_addresses(), before);
+    }
+
+    /// Full randomization really does change the DMA address of a
+    /// descriptor on every packet.
+    #[test]
+    fn full_randomization_never_repeats(seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let cfg = DriverConfig {
+            ring_size: 4,
+            randomize: RandomizeMode::EveryPacket,
+            ..DriverConfig::paper_defaults()
+        };
+        let mut drv = IgbDriver::new(cfg, PageAllocator::new(seed), &mut rng);
+        let mut last = drv.ring().dma_addresses();
+        for _ in 0..16 {
+            let ev = drv.receive(&mut h, EthernetFrame::new(200).expect("legal"), &mut rng);
+            let now = drv.ring().dma_addresses();
+            prop_assert_ne!(now[ev.buffer_index], last[ev.buffer_index]);
+            last = now;
+        }
+    }
+}

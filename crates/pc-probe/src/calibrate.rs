@@ -1,0 +1,55 @@
+//! Hit/miss threshold calibration.
+//!
+//! Before attacking, the spy measures what a hit and a miss look like on
+//! this machine: first touch of a cold line (miss) vs an immediate
+//! re-touch (hit). The decision threshold is the midpoint. This mirrors
+//! Mastik's calibration loop.
+
+use crate::pool::AddressPool;
+use pc_cache::{Cycles, Hierarchy};
+
+/// Measures the hit/miss latency threshold using `samples` cold lines
+/// from `pool`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or larger than the pool.
+pub fn calibrate_threshold(h: &mut Hierarchy, pool: &AddressPool, samples: usize) -> Cycles {
+    assert!(samples > 0, "need at least one calibration sample");
+    assert!(samples <= pool.len(), "pool too small for calibration");
+    let mut miss_total = 0u64;
+    let mut hit_total = 0u64;
+    for &page in &pool.pages()[..samples] {
+        miss_total += h.cpu_read(page); // cold: miss
+        hit_total += h.cpu_read(page); // warm: hit
+    }
+    let avg_miss = miss_total / samples as u64;
+    let avg_hit = hit_total / samples as u64;
+    (avg_hit + avg_miss) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_cache::{CacheGeometry, DdioMode};
+
+    #[test]
+    fn threshold_separates_hit_from_miss() {
+        let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let pool = AddressPool::allocate(1, 64);
+        let thr = calibrate_threshold(&mut h, &pool, 32);
+        let lat = h.latencies();
+        assert!(thr > lat.llc_hit);
+        assert!(thr <= lat.dram);
+        // And it matches what the hierarchy itself would classify.
+        assert_eq!(thr, lat.miss_threshold());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool too small")]
+    fn oversampling_panics() {
+        let mut h = Hierarchy::new(CacheGeometry::tiny(), DdioMode::enabled());
+        let pool = AddressPool::allocate(1, 4);
+        calibrate_threshold(&mut h, &pool, 5);
+    }
+}

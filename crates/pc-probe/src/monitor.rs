@@ -1,0 +1,220 @@
+//! Multi-set monitoring: the sampling loops behind Figures 7 and 8.
+
+use crate::eviction::EvictionSet;
+use crate::prime_probe::PrimeProbe;
+use pc_cache::{Cycles, Hierarchy};
+
+/// One monitored cache set with the spy's label for it.
+///
+/// Labels are whatever numbering the attacker chooses — for the packet
+/// chasing attack, "page-aligned set number 0..255" or "block k of buffer
+/// page".
+#[derive(Clone, Debug)]
+pub struct MonitorTarget {
+    /// The spy's name for this set.
+    pub label: usize,
+    /// The PRIME+PROBE instance bound to it.
+    pub probe: PrimeProbe,
+}
+
+impl MonitorTarget {
+    /// Creates a labelled target.
+    pub fn new(label: usize, set: EvictionSet, threshold: Cycles) -> Self {
+        MonitorTarget { label, probe: PrimeProbe::new(set, threshold) }
+    }
+}
+
+/// A boolean activity matrix: `rows[sample][target]` is `true` when the
+/// probe of that target observed at least one miss in that interval —
+/// exactly the white dots of the paper's Figure 7.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SampleMatrix {
+    labels: Vec<usize>,
+    rows: Vec<Vec<bool>>,
+}
+
+impl SampleMatrix {
+    /// An empty matrix over `labels`.
+    pub fn new(labels: Vec<usize>) -> Self {
+        SampleMatrix { labels, rows: Vec::new() }
+    }
+
+    /// The target labels (column order).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// All sample rows.
+    pub fn rows(&self) -> &[Vec<bool>] {
+        &self.rows
+    }
+
+    /// Number of samples taken.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no samples have been taken.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a sample row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the label count.
+    pub fn push(&mut self, row: Vec<bool>) {
+        assert_eq!(row.len(), self.labels.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Total activity events per target, in label order.
+    pub fn activity_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.labels.len()];
+        for row in &self.rows {
+            for (c, &hit) in counts.iter_mut().zip(row) {
+                *c += usize::from(hit);
+            }
+        }
+        counts
+    }
+
+    /// Fraction of samples with activity, per target.
+    pub fn activity_fractions(&self) -> Vec<f64> {
+        let n = self.rows.len().max(1) as f64;
+        self.activity_counts().into_iter().map(|c| c as f64 / n).collect()
+    }
+}
+
+/// Samples a list of targets at a fixed probe rate.
+///
+/// Each `sample` call probes every target once (which re-primes them) —
+/// one row of the activity matrix. The caller interleaves packet
+/// deliveries between samples; see the test-bed in `pc-core`.
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    targets: Vec<MonitorTarget>,
+}
+
+impl Monitor {
+    /// Creates a monitor over `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(targets: Vec<MonitorTarget>) -> Self {
+        assert!(!targets.is_empty(), "monitor needs targets");
+        Monitor { targets }
+    }
+
+    /// The monitored targets.
+    pub fn targets(&self) -> &[MonitorTarget] {
+        &self.targets
+    }
+
+    /// Labels in column order.
+    pub fn labels(&self) -> Vec<usize> {
+        self.targets.iter().map(|t| t.label).collect()
+    }
+
+    /// Primes every target (attack setup).
+    pub fn prime_all(&self, h: &mut Hierarchy) {
+        for t in &self.targets {
+            t.probe.prime(h);
+        }
+    }
+
+    /// Probes every target once, returning per-target activity.
+    pub fn sample(&self, h: &mut Hierarchy) -> Vec<bool> {
+        self.targets.iter().map(|t| t.probe.probe(h).activity()).collect()
+    }
+
+    /// Probes every target once, returning per-target miss counts.
+    pub fn sample_misses(&self, h: &mut Hierarchy) -> Vec<u32> {
+        self.targets.iter().map(|t| t.probe.probe(h).misses).collect()
+    }
+
+    /// An empty matrix shaped for this monitor.
+    pub fn matrix(&self) -> SampleMatrix {
+        SampleMatrix::new(self.labels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eviction::oracle_eviction_sets;
+    use crate::pool::AddressPool;
+    use pc_cache::{CacheGeometry, DdioMode, PhysAddr, SliceSet};
+
+    fn setup(n: usize) -> (Hierarchy, Monitor, Vec<PhysAddr>) {
+        let h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+        let pool = AddressPool::allocate(6, 8192);
+        // Monitor n distinct page-aligned sets; victims are NIC-side pages
+        // that land in them.
+        let mut victims = Vec::new();
+        let mut targets = Vec::new();
+        let mut label = 0usize;
+        for page in 0..2000u64 {
+            if targets.len() >= n {
+                break;
+            }
+            let v = PhysAddr::new(page * 4096);
+            let ss: SliceSet = h.llc().locate(v);
+            if victims.iter().any(|&p| h.llc().locate(p) == ss) {
+                continue;
+            }
+            let set = oracle_eviction_sets(h.llc(), &pool, &[ss]).remove(0);
+            targets.push(MonitorTarget::new(label, set, h.latencies().miss_threshold()));
+            victims.push(v);
+            label += 1;
+        }
+        (h, Monitor::new(targets), victims)
+    }
+
+    #[test]
+    fn idle_monitor_sees_nothing() {
+        let (mut h, m, _) = setup(4);
+        m.prime_all(&mut h);
+        let row = m.sample(&mut h);
+        assert_eq!(row, vec![false; 4]);
+    }
+
+    #[test]
+    fn activity_lands_on_the_right_column() {
+        let (mut h, m, victims) = setup(4);
+        m.prime_all(&mut h);
+        let _ = m.sample(&mut h);
+        h.io_write(victims[2]);
+        let row = m.sample(&mut h);
+        assert_eq!(row, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn matrix_counts_activity() {
+        let (mut h, m, victims) = setup(3);
+        m.prime_all(&mut h);
+        let mut mat = m.matrix();
+        for i in 0..6 {
+            if i % 2 == 0 {
+                h.io_write(victims[1]);
+            }
+            mat.push(m.sample(&mut h));
+        }
+        assert_eq!(mat.len(), 6);
+        let counts = mat.activity_counts();
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 3);
+        assert_eq!(counts[2], 0);
+        let fracs = mat.activity_fractions();
+        assert!((fracs[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn matrix_rejects_ragged_rows() {
+        let mut m = SampleMatrix::new(vec![0, 1]);
+        m.push(vec![true]);
+    }
+}

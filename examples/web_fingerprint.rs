@@ -1,0 +1,35 @@
+//! Web fingerprinting: identify which site a victim visits from the
+//! packet-size trace the spy recovers through the cache (§V).
+//!
+//! Run with: `cargo run --release --example web_fingerprint`
+
+use packet_chasing::core::fingerprint::{evaluate_closed_world, CaptureConfig};
+use packet_chasing::net::ClosedWorld;
+use packet_chasing::prelude::*;
+
+fn main() {
+    let world = ClosedWorld::paper_five_sites();
+    println!("closed world: {} sites", world.len());
+    for site in world.sites() {
+        println!("  - {}", site.name());
+    }
+
+    let capture = CaptureConfig::paper_defaults();
+    println!("\ntraining 4 captures/site, evaluating 6 trials/site (DDIO on)...");
+    let result = evaluate_closed_world(
+        TestBedConfig::paper_baseline(),
+        world.sites(),
+        4,
+        6,
+        0.25,
+        &capture,
+        1234,
+    );
+
+    println!("accuracy: {:.1}% over {} trials (paper: 89.7%)", result.accuracy * 100.0, result.trials);
+    println!("confusion matrix (rows = truth, cols = predicted):");
+    for (i, row) in result.confusion.iter().enumerate() {
+        println!("  {:<14} {row:?}", world.sites()[i].name());
+    }
+    assert!(result.accuracy > 0.5, "fingerprinting failed");
+}

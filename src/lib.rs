@@ -1,0 +1,68 @@
+//! # packet-chasing — reproduction of *Packet Chasing: Spying on Network
+//! Packets over a Cache Side-Channel* (Taram, Venkat, Tullsen; ISCA 2020)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`cache`] | sliced LLC + DDIO + adaptive-partition simulator |
+//! | [`nic`] | IGB driver receive-path model (rx ring, buffer reuse) |
+//! | [`net`] | frames, line-rate model, LFSR, traffic and web traces |
+//! | [`probe`] | PRIME+PROBE toolkit (eviction sets, monitors) |
+//! | [`core`] | the attack: footprint, sequencer, covert channel, fingerprinting |
+//! | [`defense`] | ring randomization + adaptive partitioning evaluation |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results. The `repro` binary
+//! (`cargo run --release -p pc-bench --bin repro -- all`) regenerates
+//! every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use packet_chasing::prelude::*;
+//!
+//! // Stand up the victim machine and a spy.
+//! let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+//! let pool = AddressPool::allocate(1, 12288);
+//! let geom = tb.hierarchy().llc().geometry();
+//! let targets: Vec<_> = page_aligned_targets(&geom).into_iter().take(8).collect();
+//! let monitor = build_monitor(tb.hierarchy().llc(), &pool, &targets);
+//!
+//! // No traffic: the page-aligned sets stay quiet.
+//! monitor.prime_all(tb.hierarchy_mut());
+//! let quiet = monitor.sample(tb.hierarchy_mut());
+//! assert!(quiet.iter().all(|a| !a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pc_cache as cache;
+pub use pc_core as core;
+pub use pc_defense as defense;
+pub use pc_net as net;
+pub use pc_nic as nic;
+pub use pc_probe as probe;
+
+/// The most commonly used types and functions, one import away.
+pub mod prelude {
+    pub use pc_cache::{
+        AccessKind, AdaptiveConfig, CacheGeometry, Cycles, DdioMode, Domain, Hierarchy,
+        LatencyModel, PhysAddr, SliceSet, SlicedCache,
+    };
+    pub use pc_core::chasing::ChasingSpy;
+    pub use pc_core::covert::{
+        lfsr_symbols, run_chased_channel, run_channel, ChannelConfig, Encoding,
+    };
+    pub use pc_core::fingerprint::{
+        capture_trace, evaluate_closed_world, CaptureConfig, CorrelationClassifier,
+    };
+    pub use pc_core::footprint::{build_monitor, page_aligned_targets, ring_histogram, watch};
+    pub use pc_core::sequencer::{recover_window, SequencerConfig};
+    pub use pc_core::{TestBed, TestBedConfig};
+    pub use pc_defense::workloads::{nginx, NginxConfig, Workbench};
+    pub use pc_net::{ArrivalSchedule, EthernetFrame, LineRate, ScheduledFrame};
+    pub use pc_nic::{DriverConfig, IgbDriver, PageAllocator, RandomizeMode};
+    pub use pc_probe::{AddressPool, EvictionSet, Monitor, PrimeProbe};
+}

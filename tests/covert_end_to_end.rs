@@ -1,0 +1,96 @@
+//! Integration tests for the covert channels (§IV).
+
+use packet_chasing::core::covert::{class_to_ternary, trojan_schedule};
+use packet_chasing::core::levenshtein::error_rate;
+use packet_chasing::prelude::*;
+
+#[test]
+fn single_buffer_ternary_channel_is_reliable() {
+    let mut cfg_bed = TestBedConfig::paper_baseline().with_seed(61);
+    cfg_bed.driver.ring_size = 32;
+    let mut tb = TestBed::new(cfg_bed);
+    let pool = AddressPool::allocate(71, 12288);
+    let symbols = lfsr_symbols(Encoding::Ternary, 60, 0x1bad);
+    let cfg = ChannelConfig {
+        monitored_buffers: 1,
+        packet_rate_fps: 150_000,
+        probe_rate_hz: 28_000,
+        background_noise_aps: 0,
+        ..ChannelConfig::paper_defaults()
+    };
+    let report = run_channel(&mut tb, &pool, &symbols, &cfg);
+    assert!(
+        report.error_rate < 0.10,
+        "error {:.1}% over {} symbols",
+        report.error_rate * 100.0,
+        report.sent_symbols
+    );
+    assert!(report.bandwidth_bps > 500.0);
+}
+
+#[test]
+fn bandwidth_scales_with_monitored_buffers() {
+    let run = |n: usize| {
+        let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(62));
+        let pool = AddressPool::allocate(72, 12288);
+        let symbols = lfsr_symbols(Encoding::Ternary, 30 * n, 0x2bad);
+        let cfg = ChannelConfig {
+            monitored_buffers: n,
+            probe_rate_hz: 28_000,
+            window: 2,
+            ..ChannelConfig::paper_defaults()
+        };
+        run_channel(&mut tb, &pool, &symbols, &cfg)
+    };
+    let one = run(1);
+    let four = run(4);
+    let ratio = four.bandwidth_bps / one.bandwidth_bps;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "4 buffers should give ~4x bandwidth, got {ratio:.2}x"
+    );
+    assert!(four.error_rate < 0.15, "multi-buffer error {:.1}%", four.error_rate * 100.0);
+}
+
+#[test]
+fn chased_channel_error_jumps_at_high_rate() {
+    let run = |rate: u64| {
+        let mut cfg = TestBedConfig::paper_baseline().with_seed(63);
+        cfg.driver.ring_size = 256;
+        let mut tb = TestBed::new(cfg);
+        let pool = AddressPool::allocate(73, 16384);
+        let symbols = lfsr_symbols(Encoding::Ternary, 1_200, 0x3bad);
+        run_chased_channel(&mut tb, &pool, &symbols, rate)
+    };
+    let low = run(100_000); // ~160 kbps
+    let high = run(400_000); // ~640 kbps
+    assert!(low.error_rate < 0.05, "low-rate error {:.1}%", low.error_rate * 100.0);
+    assert!(
+        high.error_rate > low.error_rate + 0.05,
+        "expected the 640 kbps error jump: low {:.2} high {:.2}",
+        low.error_rate,
+        high.error_rate
+    );
+}
+
+#[test]
+fn class_mapping_round_trips_through_frames() {
+    for symbol in 0..3u8 {
+        let frame = Encoding::Ternary.frame_for(symbol);
+        // The driver prefetch makes 1-block packets read as class 2.
+        let class = frame.cache_blocks().clamp(2, 4) as u8;
+        assert_eq!(class_to_ternary(class), symbol);
+    }
+}
+
+#[test]
+fn trojan_schedule_respects_symbol_structure() {
+    let symbols = [0u8, 1, 2];
+    let sched = trojan_schedule(&symbols, Encoding::Ternary, 8, 200_000, 0, 5);
+    assert_eq!(sched.len(), 24);
+    // Without reordering (utilization is low), sizes appear in symbol
+    // order.
+    let sent: Vec<u8> = sched.iter().map(|f| class_to_ternary(f.frame.cache_blocks() as u8)).collect();
+    let expected: Vec<u8> = symbols.iter().flat_map(|&s| std::iter::repeat_n(s, 8)).collect();
+    assert_eq!(error_rate(&sent, &expected), 0.0);
+}

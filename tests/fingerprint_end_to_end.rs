@@ -1,0 +1,87 @@
+//! Integration tests for the web-fingerprinting side channel (§V).
+
+use packet_chasing::core::fingerprint::{
+    evaluate_closed_world, login_trace_pair, true_size_classes, CaptureConfig,
+    EditDistanceClassifier,
+};
+use packet_chasing::core::levenshtein::levenshtein;
+use packet_chasing::net::{ClosedWorld, LoginOutcome};
+use packet_chasing::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn closed_world_accuracy_beats_chance_by_far() {
+    let world = ClosedWorld::paper_five_sites();
+    let capture = CaptureConfig { trace_len: 80, ..CaptureConfig::paper_defaults() };
+    let mut bed = TestBedConfig::paper_baseline();
+    bed.driver.ring_size = 64; // keep the integration test quick
+    let result = evaluate_closed_world(bed, world.sites(), 3, 4, 0.2, &capture, 31337);
+    // Chance is 20%; the paper reports ~90%.
+    assert!(
+        result.accuracy >= 0.6,
+        "accuracy {:.1}% too low ({} trials)",
+        result.accuracy * 100.0,
+        result.trials
+    );
+}
+
+#[test]
+fn login_outcome_is_recoverable_through_the_cache() {
+    let capture = CaptureConfig::paper_defaults();
+    let mut bed = TestBedConfig::paper_baseline();
+    bed.driver.ring_size = 64;
+    let (ok_orig, ok_rec) = login_trace_pair(bed, LoginOutcome::Successful, &capture, 41);
+    let (bad_orig, bad_rec) = login_trace_pair(bed, LoginOutcome::Unsuccessful, &capture, 42);
+
+    // Recovered traces must resemble their own ground truth far more
+    // than the other outcome's (edit distance on size classes).
+    let d_ok_self = levenshtein(&ok_rec, &ok_orig);
+    let d_ok_cross = levenshtein(&ok_rec, &bad_orig);
+    let d_bad_self = levenshtein(&bad_rec, &bad_orig);
+    let d_bad_cross = levenshtein(&bad_rec, &ok_orig);
+    assert!(d_ok_self < d_ok_cross, "success trace misattributed ({d_ok_self} vs {d_ok_cross})");
+    assert!(d_bad_self < d_bad_cross, "failure trace misattributed ({d_bad_self} vs {d_bad_cross})");
+}
+
+#[test]
+fn recovered_trace_tracks_ground_truth_sizes() {
+    let world = ClosedWorld::paper_five_sites();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let frames = world.sites()[1].page_load(0.05, &mut rng);
+    let truth = true_size_classes(&frames, 60);
+
+    let mut bed = TestBedConfig::paper_baseline().with_seed(18);
+    bed.driver.ring_size = 64;
+    let mut tb = TestBed::new(bed);
+    let pool = AddressPool::allocate(19, 16384);
+    let mut spy = ChasingSpy::for_ring(tb.hierarchy().llc(), &pool, tb.driver());
+    let cfg = CaptureConfig { trace_len: 60, ..CaptureConfig::paper_defaults() };
+    let captured = packet_chasing::core::fingerprint::capture_trace(&mut tb, &mut spy, &frames, &cfg);
+
+    let distance = levenshtein(&captured, &truth);
+    assert!(
+        distance <= truth.len() * 3 / 10,
+        "captured trace drifts too far from ground truth: {distance}/{}",
+        truth.len()
+    );
+}
+
+#[test]
+fn classifier_handles_insertion_noise() {
+    // The edit-distance classifier is specifically there to absorb
+    // insert/delete noise; verify on synthetic classes.
+    let a: Vec<u8> = [4, 4, 4, 1, 2, 4, 4, 4, 1, 3].repeat(5);
+    let b: Vec<u8> = [1, 1, 4, 2, 1, 1, 4, 3, 1, 1].repeat(5);
+    let clf = EditDistanceClassifier::train(
+        vec!["a".into(), "b".into()],
+        vec![vec![a.clone()], vec![b.clone()]],
+    );
+    // Perturb `a` with drops and duplicates.
+    let mut noisy = a.clone();
+    noisy.remove(3);
+    noisy.remove(10);
+    noisy.insert(20, 1);
+    noisy.insert(30, 4);
+    assert_eq!(clf.classify(&noisy).0, 0);
+}
