@@ -17,8 +17,11 @@ use rand::{Rng, SeedableRng};
 fn replacement(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_replacement");
     group.sample_size(10);
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random]
-    {
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Random,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),
             &policy,
@@ -33,7 +36,11 @@ fn replacement(c: &mut Criterion) {
                     let mut rng = SmallRng::seed_from_u64(2);
                     for i in 0..50_000u64 {
                         let addr = PhysAddr::new(rng.gen_range(0..4096) * 64);
-                        let kind = if i % 4 == 0 { AccessKind::IoWrite } else { AccessKind::CpuRead };
+                        let kind = if i % 4 == 0 {
+                            AccessKind::IoWrite
+                        } else {
+                            AccessKind::CpuRead
+                        };
                         llc.access(addr, kind, i);
                     }
                     llc.stats()
@@ -53,7 +60,9 @@ fn ddio_ways(c: &mut Criterion) {
             b.iter(|| {
                 let mut h = Hierarchy::new(
                     CacheGeometry::xeon_e5_2660(),
-                    DdioMode::Enabled { io_way_limit: limit },
+                    DdioMode::Enabled {
+                        io_way_limit: limit,
+                    },
                 );
                 let mut rng = SmallRng::seed_from_u64(3);
                 // CPU working set, then an I/O storm.
@@ -88,23 +97,27 @@ fn decode_window(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_decode_window");
     group.sample_size(10);
     for window in [2u8, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
-            b.iter(|| {
-                let mut bed = TestBedConfig::paper_baseline();
-                bed.driver.ring_size = 16;
-                let mut tb = TestBed::new(bed);
-                let pool = AddressPool::allocate(6, 12288);
-                let symbols = lfsr_symbols(pc_core::covert::Encoding::Ternary, 20, 0x99);
-                let cfg = ChannelConfig {
-                    monitored_buffers: 1,
-                    packet_rate_fps: 100_000,
-                    probe_rate_hz: 28_000,
-                    window,
-                    ..ChannelConfig::paper_defaults()
-                };
-                run_channel(&mut tb, &pool, &symbols, &cfg)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let mut bed = TestBedConfig::paper_baseline();
+                    bed.driver.ring_size = 16;
+                    let mut tb = TestBed::new(bed);
+                    let pool = AddressPool::allocate(6, 12288);
+                    let symbols = lfsr_symbols(pc_core::covert::Encoding::Ternary, 20, 0x99);
+                    let cfg = ChannelConfig {
+                        monitored_buffers: 1,
+                        packet_rate_fps: 100_000,
+                        probe_rate_hz: 28_000,
+                        window,
+                        ..ChannelConfig::paper_defaults()
+                    };
+                    run_channel(&mut tb, &pool, &symbols, &cfg)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -14,24 +14,33 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_size_detection");
     group.sample_size(10);
     for blocks in [1u32, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
-            b.iter(|| {
-                let mut tb = TestBed::new(TestBedConfig::paper_baseline());
-                let geom = tb.hierarchy().llc().geometry();
-                let mut targets: Vec<SliceSet> = Vec::new();
-                for row in 0..4 {
-                    targets.extend(block_row_targets(&geom, row));
-                }
-                let pool = AddressPool::allocate(3, 16384);
-                let monitor = build_monitor(tb.hierarchy().llc(), &pool, &targets);
-                let mut rng = SmallRng::seed_from_u64(4);
-                let frames = ArrivalSchedule::new(LineRate::gigabit())
-                    .frames_per_second(200_000)
-                    .generate(&mut ConstantSize::blocks(blocks), tb.now() + 1, 1_500, &mut rng);
-                tb.enqueue(frames);
-                watch(&mut tb, &monitor, 15, 1_500_000)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |b, &blocks| {
+                b.iter(|| {
+                    let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+                    let geom = tb.hierarchy().llc().geometry();
+                    let mut targets: Vec<SliceSet> = Vec::new();
+                    for row in 0..4 {
+                        targets.extend(block_row_targets(&geom, row));
+                    }
+                    let pool = AddressPool::allocate(3, 16384);
+                    let monitor = build_monitor(tb.hierarchy().llc(), &pool, &targets);
+                    let mut rng = SmallRng::seed_from_u64(4);
+                    let frames = ArrivalSchedule::new(LineRate::gigabit())
+                        .frames_per_second(200_000)
+                        .generate(
+                            &mut ConstantSize::blocks(blocks),
+                            tb.now() + 1,
+                            1_500,
+                            &mut rng,
+                        );
+                    tb.enqueue(frames);
+                    watch(&mut tb, &monitor, 15, 1_500_000)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! channel (c/d) at small scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pc_core::covert::{lfsr_symbols, run_chased_channel, run_channel, ChannelConfig, Encoding};
+use pc_core::covert::{lfsr_symbols, run_channel, run_chased_channel, ChannelConfig, Encoding};
 use pc_core::{TestBed, TestBedConfig};
 use pc_probe::AddressPool;
 

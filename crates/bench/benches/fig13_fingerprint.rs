@@ -12,7 +12,10 @@ use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let world = ClosedWorld::paper_five_sites();
-    let cfg = CaptureConfig { trace_len: 60, ..CaptureConfig::paper_defaults() };
+    let cfg = CaptureConfig {
+        trace_len: 60,
+        ..CaptureConfig::paper_defaults()
+    };
     c.bench_function("fig13_capture_one_page_load", |b| {
         let pool = AddressPool::allocate(8, 16384);
         let mut rng = SmallRng::seed_from_u64(8);

@@ -7,7 +7,10 @@ use pc_defense::workloads::{nginx, NginxConfig, Workbench};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_nginx_200_requests");
     group.sample_size(10);
-    for (name, mode) in [("ddio", DdioMode::enabled()), ("adaptive", DdioMode::adaptive())] {
+    for (name, mode) in [
+        ("ddio", DdioMode::enabled()),
+        ("adaptive", DdioMode::adaptive()),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
             let cfg = NginxConfig::paper_defaults();
             b.iter(|| {

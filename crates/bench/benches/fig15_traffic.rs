@@ -19,12 +19,16 @@ fn bench(c: &mut Criterion) {
                 tcp_recv(&mut bench, 2_000)
             });
         });
-        group.bench_with_input(BenchmarkId::new("file_copy_1mb", name), &mode, |b, &mode| {
-            b.iter(|| {
-                let mut bench = Workbench::paper_machine(mode, 6);
-                file_copy(&mut bench, 1)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("file_copy_1mb", name),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut bench = Workbench::paper_machine(mode, 6);
+                    file_copy(&mut bench, 1)
+                });
+            },
+        );
     }
     group.finish();
 }

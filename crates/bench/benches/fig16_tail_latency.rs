@@ -9,19 +9,34 @@ use pc_nic::{DriverConfig, RandomizeMode};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_loadgen_2k_requests");
     group.sample_size(10);
-    for (name, randomize) in
-        [("baseline", RandomizeMode::Off), ("full_random", RandomizeMode::EveryPacket)]
-    {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &randomize, |b, &randomize| {
-            let nginx_cfg = NginxConfig::paper_defaults();
-            let lg = LoadGenConfig { requests: 2_000, ..LoadGenConfig::paper_defaults() };
-            b.iter(|| {
-                let driver = DriverConfig { randomize, ..DriverConfig::paper_defaults() };
-                let mut bench =
-                    Workbench::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled(), driver, 4);
-                run_http_load(&mut bench, &nginx_cfg, &lg)
-            });
-        });
+    for (name, randomize) in [
+        ("baseline", RandomizeMode::Off),
+        ("full_random", RandomizeMode::EveryPacket),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &randomize,
+            |b, &randomize| {
+                let nginx_cfg = NginxConfig::paper_defaults();
+                let lg = LoadGenConfig {
+                    requests: 2_000,
+                    ..LoadGenConfig::paper_defaults()
+                };
+                b.iter(|| {
+                    let driver = DriverConfig {
+                        randomize,
+                        ..DriverConfig::paper_defaults()
+                    };
+                    let mut bench = Workbench::new(
+                        CacheGeometry::xeon_e5_2660(),
+                        DdioMode::enabled(),
+                        driver,
+                        4,
+                    );
+                    run_http_load(&mut bench, &nginx_cfg, &lg)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -38,8 +38,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(9));
             let geom = tb.hierarchy().llc().geometry();
-            let targets: Vec<SliceSet> =
-                page_aligned_targets(&geom).into_iter().take(12).collect();
+            let targets: Vec<SliceSet> = page_aligned_targets(&geom).into_iter().take(12).collect();
             let pool = AddressPool::allocate(9, 12288);
             let mut rng = SmallRng::seed_from_u64(9);
             let frames = ArrivalSchedule::new(LineRate::gigabit())

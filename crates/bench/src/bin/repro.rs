@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--full] [--seed N] <experiment|all>
+//! repro [--full] [--seed N] <experiment|all|bench-cache>
 //!
 //! experiments:
 //!   fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab fig12cd
@@ -11,6 +11,14 @@
 //! Output is plain text with CSV-style rows, matching the series the
 //! paper reports. `--full` uses paper-like parameters (minutes);
 //! the default quick scale finishes in seconds per experiment.
+//! Experiments with independent repetitions fan them out over threads
+//! (set `PC_BENCH_THREADS=1` to force sequential execution); results
+//! are identical either way.
+//!
+//! `bench-cache` times the LLC hot path (SoA store vs the pre-refactor
+//! reference layout, 9 trace/mode cases) and writes `BENCH_cache.json`
+//! next to the working directory so the perf trajectory is tracked
+//! machine-readably from PR to PR.
 
 use pc_bench::experiments::{self as exp, Scale};
 use std::time::Instant;
@@ -31,9 +39,10 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "-h" | "--help" => {
-                println!("usage: repro [--full] [--seed N] <experiment|all>");
+                println!("usage: repro [--full] [--seed N] <experiment|all|bench-cache>");
                 println!("experiments: fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab");
                 println!("             fig12cd fig13 fingerprint table2 fig14 fig15 fig16");
+                println!("bench-cache: LLC hot-path microbenchmark -> BENCH_cache.json");
                 return;
             }
             other => cmds.push(other.to_owned()),
@@ -44,8 +53,21 @@ fn main() {
     }
 
     let all = [
-        "fig5", "fig6", "fig7", "fig8", "table1", "fig10", "fig11", "fig12ab", "fig12cd",
-        "fig13", "fingerprint", "table2", "fig14", "fig15", "fig16",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table1",
+        "fig10",
+        "fig11",
+        "fig12ab",
+        "fig12cd",
+        "fig13",
+        "fingerprint",
+        "table2",
+        "fig14",
+        "fig15",
+        "fig16",
     ];
     let selected: Vec<&str> = if cmds.iter().any(|c| c == "all") {
         all.to_vec()
@@ -72,6 +94,7 @@ fn main() {
             "fig14" => fig14(scale, seed),
             "fig15" => fig15(scale, seed),
             "fig16" => fig16(scale, seed),
+            "bench-cache" => bench_cache(scale),
             other => die(&format!("unknown experiment `{other}` (try --help)")),
         }
         println!("[{cmd} done in {:.1}s]", t.elapsed().as_secs_f64());
@@ -132,7 +155,10 @@ fn fig8(scale: Scale, seed: u64) {
     let m = exp::fig8(scale, seed);
     println!("block_row,1_block_pkts,2_block_pkts,3_block_pkts,4_block_pkts");
     for (row, counts) in m.iter().enumerate() {
-        println!("block{row},{},{},{},{}", counts[0], counts[1], counts[2], counts[3]);
+        println!(
+            "block{row},{},{},{},{}",
+            counts[0], counts[1], counts[2], counts[3]
+        );
     }
     println!("# paper: activity on the diagonal and above; 1-block packets still");
     println!("#        light block 1 (the driver's unconditional prefetch)");
@@ -168,7 +194,12 @@ fn table1(scale: Scale, seed: u64) {
 fn fig10(seed: u64) {
     println!("Figure 10 — decoding the '2 0 1 2 0 1 …' ternary stream");
     let r = exp::fig10(seed);
-    let fmt = |v: &[u8]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" ");
+    let fmt = |v: &[u8]| {
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     println!("sent:    {}", fmt(&r.sent));
     println!("decoded: {}", fmt(&r.decoded));
     println!("# error rate: {:.1}%", r.error_rate * 100.0);
@@ -196,7 +227,12 @@ fn fig12ab(scale: Scale, seed: u64) {
     let rows = exp::fig12ab(scale, seed);
     println!("monitored_buffers,bandwidth_kbps,error_rate_pct");
     for r in rows {
-        println!("{},{:.1},{:.1}", r.buffers, r.bandwidth_kbps, r.error_rate * 100.0);
+        println!(
+            "{},{:.1},{:.1}",
+            r.buffers,
+            r.bandwidth_kbps,
+            r.error_rate * 100.0
+        );
     }
     println!("# paper: bandwidth ~doubles per doubling (to 24.5 kbps at 16);");
     println!("#        error roughly flat until a jump at 16 buffers");
@@ -236,8 +272,16 @@ fn fingerprint(scale: Scale, seed: u64) {
     println!("§V — closed-world website fingerprinting (5 sites)");
     let r = exp::fingerprint(scale, seed);
     println!("config,accuracy_pct,trials");
-    println!("DDIO,{:.1},{}", r.with_ddio.accuracy * 100.0, r.with_ddio.trials);
-    println!("NoDDIO,{:.1},{}", r.without_ddio.accuracy * 100.0, r.without_ddio.trials);
+    println!(
+        "DDIO,{:.1},{}",
+        r.with_ddio.accuracy * 100.0,
+        r.with_ddio.trials
+    );
+    println!(
+        "NoDDIO,{:.1},{}",
+        r.without_ddio.accuracy * 100.0,
+        r.without_ddio.trials
+    );
     println!("# paper: 89.7% with DDIO, 86.5% without (1000 trials)");
     println!("# confusion (DDIO): rows=truth, cols=predicted");
     for row in &r.with_ddio.confusion {
@@ -312,7 +356,10 @@ fn fig16(scale: Scale, seed: u64) {
     }
     if let Some(base) = p99.iter().find(|(n, _)| n.starts_with("Vulnerable")) {
         for (name, v) in &p99 {
-            println!("# p99 vs baseline: {name}: {:+.1}%", (v / base.1 - 1.0) * 100.0);
+            println!(
+                "# p99 vs baseline: {name}: {:+.1}%",
+                (v / base.1 - 1.0) * 100.0
+            );
         }
         println!("# paper: adaptive +3.1% p99; fully randomized +41.8% p99");
     }
@@ -321,4 +368,30 @@ fn fig16(scale: Scale, seed: u64) {
 fn print_fig16_row(name: &str, vals: &[f64]) {
     let cols: Vec<String> = vals.iter().map(|v| format!("{v:.2}")).collect();
     println!("{name},{}", cols.join(","));
+}
+
+fn bench_cache(scale: Scale) {
+    println!("LLC hot path — SoA store vs pre-refactor reference layout");
+    let samples = match scale {
+        Scale::Quick => 5,
+        Scale::Full => 15,
+    };
+    let results = pc_bench::cache_bench::measure_all(samples);
+    println!("case,soa_ns_per_access,soa_maccesses_per_sec,reference_ns_per_access,speedup");
+    for r in &results {
+        println!(
+            "{},{:.1},{:.2},{:.1},{:.2}x",
+            r.case,
+            r.soa_ns_per_access,
+            r.soa_accesses_per_sec() / 1e6,
+            r.reference_ns_per_access,
+            r.speedup()
+        );
+    }
+    let json = pc_bench::cache_bench::to_json(&results);
+    let path = "BENCH_cache.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
 }

@@ -1,0 +1,244 @@
+//! Shared trace definitions for the LLC hot-path microbenchmark.
+//!
+//! Used by two consumers that must agree on the workload: the
+//! `cache_throughput` Criterion bench (interactive measurement) and the
+//! `repro bench-cache` subcommand (emits `BENCH_cache.json` so the perf
+//! trajectory is tracked across PRs on one fixed workload).
+
+use pc_cache::reference::ReferenceCache;
+use pc_cache::{AccessKind, CacheGeometry, DdioMode, PhysAddr, SlicedCache};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Accesses per generated trace.
+pub const TRACE_LEN: usize = 200_000;
+
+/// Trace shapes covering the reproduction's real access patterns.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum Shape {
+    /// Uniform random lines over ~8× the LLC: every access misses
+    /// (defense-evaluation replay workloads).
+    Stream,
+    /// A working set that fits in the LLC: steady-state hits (the spy's
+    /// PRIME+PROBE inner loops).
+    Resident,
+    /// Many tags competing for the page-aligned sets: eviction-dominated
+    /// (DDIO ring traffic sharing sets with a spy).
+    Conflict,
+}
+
+impl Shape {
+    /// All shapes, in reporting order.
+    pub fn all() -> [Shape; 3] {
+        [Shape::Stream, Shape::Resident, Shape::Conflict]
+    }
+
+    /// Short name used in benchmark ids and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Stream => "stream",
+            Shape::Resident => "resident",
+            Shape::Conflict => "conflict",
+        }
+    }
+
+    /// Distinct per-shape seed material (an index, not e.g. the name's
+    /// length — "resident" and "conflict" are both 8 chars and would
+    /// collide).
+    fn seed_tag(self) -> u64 {
+        match self {
+            Shape::Stream => 1,
+            Shape::Resident => 2,
+            Shape::Conflict => 3,
+        }
+    }
+
+    fn address(self, rng: &mut SmallRng) -> PhysAddr {
+        let line = match self {
+            Shape::Stream => rng.gen_range(0..2_621_440u64),
+            Shape::Resident => rng.gen_range(0..16_384u64),
+            Shape::Conflict => {
+                let set = rng.gen_range(0..256u64) * 64; // page-aligned set stride
+                let tag = rng.gen_range(0..40u64);
+                tag * 131_072 + set // tag stride = one full slice image
+            }
+        };
+        PhysAddr::new(line * 64)
+    }
+}
+
+/// A reproducible access trace of `TRACE_LEN` ops with `io_pct`% DDIO
+/// writes and a 1-in-4 CPU-write share mixed into the CPU reads.
+pub fn trace(shape: Shape, io_pct: u32, seed: u64) -> Vec<(PhysAddr, AccessKind)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..TRACE_LEN)
+        .map(|_| {
+            let addr = shape.address(&mut rng);
+            let kind = if rng.gen_range(0..100u32) < io_pct {
+                AccessKind::IoWrite
+            } else if rng.gen_range(0..4u32) == 0 {
+                AccessKind::CpuWrite
+            } else {
+                AccessKind::CpuRead
+            };
+            (addr, kind)
+        })
+        .collect()
+}
+
+/// The DDIO modes under measurement, with reporting names.
+pub fn modes() -> [(&'static str, DdioMode); 3] {
+    [
+        ("disabled", DdioMode::Disabled),
+        ("enabled", DdioMode::enabled()),
+        ("adaptive", DdioMode::adaptive()),
+    ]
+}
+
+/// One prebuilt benchmark case: name, trace, mode.
+pub type Case = (String, Vec<(PhysAddr, AccessKind)>, DdioMode);
+
+/// Every (shape, mode) case: name, prebuilt trace, mode.
+pub fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+    for shape in Shape::all() {
+        for (mode_name, mode) in modes() {
+            let io_pct = 25;
+            out.push((
+                format!("{}/{}", shape.name(), mode_name),
+                trace(shape, io_pct, 0xbead ^ shape.seed_tag()),
+                mode,
+            ));
+        }
+    }
+    out
+}
+
+/// One measured case of [`measure_all`].
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// `shape/mode` case name.
+    pub case: String,
+    /// Median ns/access for the SoA store.
+    pub soa_ns_per_access: f64,
+    /// Median ns/access for the pre-refactor reference layout.
+    pub reference_ns_per_access: f64,
+}
+
+impl CaseResult {
+    /// SoA accesses/second.
+    pub fn soa_accesses_per_sec(&self) -> f64 {
+        1e9 / self.soa_ns_per_access
+    }
+
+    /// reference_ns / soa_ns.
+    pub fn speedup(&self) -> f64 {
+        self.reference_ns_per_access / self.soa_ns_per_access
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+/// Times `samples` passes of the trace through `access` (one untimed
+/// warm-up pass first), returning the median ns/access. One measurement
+/// protocol for both layouts — the `access` closure is the only thing
+/// that differs, so the SoA/reference comparison can't skew.
+fn time_passes(
+    ops: &[(PhysAddr, AccessKind)],
+    samples: usize,
+    mut access: impl FnMut(PhysAddr, AccessKind, u64),
+) -> f64 {
+    let mut now = 0u64;
+    let mut runs = Vec::with_capacity(samples);
+    for i in 0..=samples {
+        let t = Instant::now();
+        for &(a, k) in ops {
+            access(a, k, now);
+            now += 3;
+        }
+        let ns = t.elapsed().as_nanos() as f64 / ops.len() as f64;
+        if i > 0 {
+            runs.push(ns); // first pass is warm-up
+        }
+    }
+    median(runs)
+}
+
+fn time_soa(ops: &[(PhysAddr, AccessKind)], mode: DdioMode, samples: usize) -> f64 {
+    let mut llc = SlicedCache::new(CacheGeometry::xeon_e5_2660(), mode);
+    time_passes(ops, samples, |a, k, now| {
+        llc.access(a, k, now);
+    })
+}
+
+fn time_reference(ops: &[(PhysAddr, AccessKind)], mode: DdioMode, samples: usize) -> f64 {
+    let mut llc = ReferenceCache::new(CacheGeometry::xeon_e5_2660(), mode);
+    time_passes(ops, samples, |a, k, now| {
+        llc.access(a, k, now);
+    })
+}
+
+/// Measures every case on both layouts (`samples` timed passes each,
+/// median reported).
+pub fn measure_all(samples: usize) -> Vec<CaseResult> {
+    cases()
+        .into_iter()
+        .map(|(case, ops, mode)| CaseResult {
+            soa_ns_per_access: time_soa(&ops, mode, samples),
+            reference_ns_per_access: time_reference(&ops, mode, samples),
+            case,
+        })
+        .collect()
+}
+
+/// Renders results as the `BENCH_cache.json` document.
+pub fn to_json(results: &[CaseResult]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v1\",");
+    let _ = writeln!(s, "  \"trace_len\": {TRACE_LEN},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"case\": \"{}\", \"soa_ns_per_access\": {:.2}, \"soa_accesses_per_sec\": {:.0}, \"reference_ns_per_access\": {:.2}, \"speedup\": {:.2}}}",
+            r.case,
+            r.soa_ns_per_access,
+            r.soa_accesses_per_sec(),
+            r.reference_ns_per_access,
+            r.speedup()
+        );
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(trace(Shape::Stream, 25, 7), trace(Shape::Stream, 25, 7));
+        assert_eq!(cases().len(), 9);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = vec![CaseResult {
+            case: "stream/enabled".into(),
+            soa_ns_per_access: 50.0,
+            reference_ns_per_access: 150.0,
+        }];
+        let s = to_json(&r);
+        assert!(s.contains("\"speedup\": 3.00"));
+        assert!(s.contains("pc-bench-cache-v1"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

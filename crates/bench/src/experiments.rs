@@ -4,11 +4,15 @@
 //! minutes-long experiments in seconds while `repro --full` runs
 //! paper-like parameters. All randomness is seeded: same scale, same
 //! output.
+//!
+//! Experiments with independent repetitions (runs, packet sizes,
+//! encodings, buffer counts, DDIO configurations) fan those repetitions
+//! out over threads via [`crate::par::parallel_map`]; each repetition
+//! derives its own seed and results are collected in input order, so
+//! output is byte-identical to a sequential run.
 
 use pc_cache::{CacheGeometry, SliceSet};
-use pc_core::covert::{
-    lfsr_symbols, run_channel, run_chased_channel, ChannelConfig, Encoding,
-};
+use pc_core::covert::{lfsr_symbols, run_channel, run_chased_channel, ChannelConfig, Encoding};
 use pc_core::fingerprint::{
     evaluate_closed_world, login_trace_pair, CaptureConfig, FingerprintAccuracy, SizeTrace,
 };
@@ -16,9 +20,7 @@ use pc_core::footprint::{
     block_row_targets, build_monitor, mapping_distribution, page_aligned_targets, ring_histogram,
     watch,
 };
-use pc_core::sequencer::{
-    ground_truth_sequence, recover_window, SequenceQuality, SequencerConfig,
-};
+use pc_core::sequencer::{ground_truth_sequence, recover_window, SequenceQuality, SequencerConfig};
 use pc_core::{TestBed, TestBedConfig};
 use pc_defense::eval::{
     fig14_nginx_throughput, fig15_traffic, fig16_tail_latency, BaselineCore, Fig14Row, Fig15Row,
@@ -121,8 +123,8 @@ pub fn fig7(scale: Scale, seed: u64) -> Fig7Result {
 /// Figure 8: activity events per block row (0..3) for constant streams
 /// of 1..4-block packets. `matrix[row][size-1]` = events.
 pub fn fig8(scale: Scale, seed: u64) -> [[usize; 4]; 4] {
-    let mut out = [[0usize; 4]; 4];
-    for size in 1..=4u32 {
+    // One independent capture per packet size, fanned out over threads.
+    let per_size = crate::par::parallel_map((1..=4u32).collect(), |size| {
         let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
         let geom = tb.hierarchy().llc().geometry();
         // Monitor rows 0..3 jointly (labels encode row * 256 + column).
@@ -137,12 +139,20 @@ pub fn fig8(scale: Scale, seed: u64) -> [[usize; 4]; 4] {
         let mut rng = SmallRng::seed_from_u64(seed ^ u64::from(size));
         let frames = ArrivalSchedule::new(LineRate::gigabit())
             .frames_per_second(200_000)
-            .generate(&mut ConstantSize::blocks(size), tb.now() + 1, samples * 90, &mut rng);
+            .generate(
+                &mut ConstantSize::blocks(size),
+                tb.now() + 1,
+                samples * 90,
+                &mut rng,
+            );
         tb.enqueue(frames);
         let matrix = watch(&mut tb, &monitor, samples, 1_500_000);
-        let counts = matrix.activity_counts();
+        matrix.activity_counts()
+    });
+    let mut out = [[0usize; 4]; 4];
+    for (i, counts) in per_size.iter().enumerate() {
         for row in 0..4 {
-            out[row][(size - 1) as usize] = counts[row * 256..(row + 1) * 256].iter().sum();
+            out[row][i] = counts[row * 256..(row + 1) * 256].iter().sum();
         }
     }
     out
@@ -175,18 +185,25 @@ pub fn table1(scale: Scale, seed: u64) -> Table1Result {
     let samples = scale.pick(12_000, 100_000);
     let packet_rate = 200_000u64;
     let runs = scale.pick(2, 5);
-    let mut results = Vec::new();
-    for run in 0..runs {
+    // Each run is an independent machine + seed: perfect thread fan-out.
+    let results = crate::par::parallel_map((0..runs).collect(), |run| {
         let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed + run));
         let geom = tb.hierarchy().llc().geometry();
-        let targets: Vec<SliceSet> =
-            page_aligned_targets(&geom).into_iter().take(monitored).collect();
+        let targets: Vec<SliceSet> = page_aligned_targets(&geom)
+            .into_iter()
+            .take(monitored)
+            .collect();
         let pool = AddressPool::allocate(seed ^ 0x7ab1e, 12288);
         let mut rng = SmallRng::seed_from_u64(seed + 100 + run);
         let frames = ArrivalSchedule::new(LineRate::gigabit())
             .frames_per_second(packet_rate)
             .jitter(0.02)
-            .generate(&mut ConstantSize::blocks(2), tb.now() + 1, samples * 4, &mut rng);
+            .generate(
+                &mut ConstantSize::blocks(2),
+                tb.now() + 1,
+                samples * 4,
+                &mut rng,
+            );
         tb.enqueue(frames);
         let cfg = SequencerConfig {
             samples,
@@ -199,9 +216,14 @@ pub fn table1(scale: Scale, seed: u64) -> Table1Result {
         let recovered = recover_window(&mut tb, &pool, &targets, &cfg);
         let elapsed = tb.now() - t0;
         let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
-        results.push(SequenceQuality::evaluate(&recovered, &truth, elapsed));
+        SequenceQuality::evaluate(&recovered, &truth, elapsed)
+    });
+    Table1Result {
+        runs: results,
+        monitored_sets: monitored,
+        samples,
+        packet_rate,
     }
-    Table1Result { runs: results, monitored_sets: monitored, samples, packet_rate }
 }
 
 /// Figure 10: a decoded "…2 0 1 2 0 1…" ternary stream sample.
@@ -231,7 +253,11 @@ pub fn fig10(seed: u64) -> Fig10Result {
         background_noise_aps: 10_000,
     };
     let report = run_channel(&mut tb, &pool, &sent, &cfg);
-    Fig10Result { sent, error_rate: report.error_rate, decoded: report.received }
+    Fig10Result {
+        sent,
+        error_rate: report.error_rate,
+        decoded: report.received,
+    }
 }
 
 /// One point of Figure 11.
@@ -251,30 +277,32 @@ pub struct Fig11Row {
 /// probe rates, for binary and ternary encodings.
 pub fn fig11(scale: Scale, seed: u64) -> Vec<Fig11Row> {
     let symbols_n = scale.pick(60, 600);
-    let mut rows = Vec::new();
+    let mut combos = Vec::new();
     for (ename, enc) in [("Binary", Encoding::Binary), ("Ternary", Encoding::Ternary)] {
         for probe_khz in [7u64, 14, 28] {
-            let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
-            let pool = AddressPool::allocate(seed ^ 0xf1611, 12288);
-            let symbols = lfsr_symbols(enc, symbols_n, 0x2fd1);
-            let cfg = ChannelConfig {
-                encoding: enc,
-                monitored_buffers: 1,
-                packet_rate_fps: 500_000,
-                probe_rate_hz: probe_khz * 1_000,
-                window: 3,
-                background_noise_aps: 100_000,
-            };
-            let report = run_channel(&mut tb, &pool, &symbols, &cfg);
-            rows.push(Fig11Row {
-                encoding: ename,
-                probe_khz,
-                bandwidth_bps: report.bandwidth_bps,
-                error_rate: report.error_rate,
-            });
+            combos.push((ename, enc, probe_khz));
         }
     }
-    rows
+    crate::par::parallel_map(combos, |(ename, enc, probe_khz)| {
+        let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
+        let pool = AddressPool::allocate(seed ^ 0xf1611, 12288);
+        let symbols = lfsr_symbols(enc, symbols_n, 0x2fd1);
+        let cfg = ChannelConfig {
+            encoding: enc,
+            monitored_buffers: 1,
+            packet_rate_fps: 500_000,
+            probe_rate_hz: probe_khz * 1_000,
+            window: 3,
+            background_noise_aps: 100_000,
+        };
+        let report = run_channel(&mut tb, &pool, &symbols, &cfg);
+        Fig11Row {
+            encoding: ename,
+            probe_khz,
+            bandwidth_bps: report.bandwidth_bps,
+            error_rate: report.error_rate,
+        }
+    })
 }
 
 /// One point of Figure 12a/b.
@@ -291,8 +319,7 @@ pub struct Fig12abRow {
 /// Figure 12a/b: bandwidth scales with the number of monitored buffers;
 /// error jumps at 16.
 pub fn fig12ab(scale: Scale, seed: u64) -> Vec<Fig12abRow> {
-    let mut rows = Vec::new();
-    for buffers in [1usize, 2, 4, 8, 16] {
+    crate::par::parallel_map(vec![1usize, 2, 4, 8, 16], |buffers| {
         let symbols_n = scale.pick(40, 400) * buffers.min(4);
         let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
         let pool = AddressPool::allocate(seed ^ 0xf1612, 12288);
@@ -306,13 +333,12 @@ pub fn fig12ab(scale: Scale, seed: u64) -> Vec<Fig12abRow> {
             background_noise_aps: 20_000,
         };
         let report = run_channel(&mut tb, &pool, &symbols, &cfg);
-        rows.push(Fig12abRow {
+        Fig12abRow {
             buffers,
             bandwidth_kbps: report.bandwidth_bps / 1_000.0,
             error_rate: report.error_rate,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One point of Figure 12c/d.
@@ -330,8 +356,7 @@ pub struct Fig12cdRow {
 /// increasing offered bandwidth.
 pub fn fig12cd(scale: Scale, seed: u64) -> Vec<Fig12cdRow> {
     let symbols_n = scale.pick(1_500, 8_000);
-    let mut rows = Vec::new();
-    for bandwidth_kbps in [80u64, 160, 320, 640] {
+    crate::par::parallel_map(vec![80u64, 160, 320, 640], |bandwidth_kbps| {
         let packet_rate =
             (bandwidth_kbps as f64 * 1_000.0 / Encoding::Ternary.bits_per_symbol()) as u64;
         let mut cfg_bed = TestBedConfig::paper_baseline().with_seed(seed);
@@ -340,13 +365,12 @@ pub fn fig12cd(scale: Scale, seed: u64) -> Vec<Fig12cdRow> {
         let pool = AddressPool::allocate(seed ^ 0xf1613, 16384);
         let symbols = lfsr_symbols(Encoding::Ternary, symbols_n, 0x3c3c);
         let report = run_chased_channel(&mut tb, &pool, &symbols, packet_rate);
-        rows.push(Fig12cdRow {
+        Fig12cdRow {
             bandwidth_kbps,
             out_of_sync_rate: report.out_of_sync_rate,
             error_rate: report.error_rate,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Figure 13: original vs recovered hotcrp login traces.
@@ -370,7 +394,12 @@ pub fn fig13(seed: u64) -> Fig13Result {
         login_trace_pair(bed, LoginOutcome::Successful, &capture, seed);
     let (fail_original, fail_recovered) =
         login_trace_pair(bed, LoginOutcome::Unsuccessful, &capture, seed + 1);
-    Fig13Result { ok_original, ok_recovered, fail_original, fail_recovered }
+    Fig13Result {
+        ok_original,
+        ok_recovered,
+        fail_original,
+        fail_recovered,
+    }
 }
 
 /// §V closed-world fingerprinting accuracy, with and without DDIO.
@@ -384,30 +413,37 @@ pub struct FingerprintResult {
 
 /// The §V experiment: train on clean-ish captures, classify noisy ones.
 pub fn fingerprint(scale: Scale, seed: u64) -> FingerprintResult {
-    let sites = pc_net::ClosedWorld::paper_five_sites();
     let training = scale.pick(4, 8);
     let trials = scale.pick(8, 40); // per site
     let noise = 0.25;
-    let capture = CaptureConfig::paper_defaults();
-    let with_ddio = evaluate_closed_world(
-        TestBedConfig::paper_baseline(),
-        sites.sites(),
-        training,
-        trials,
-        noise,
-        &capture,
-        seed,
-    );
-    let without_ddio = evaluate_closed_world(
-        TestBedConfig::no_ddio(),
-        sites.sites(),
-        training,
-        trials,
-        noise,
-        &capture,
-        seed + 999,
-    );
-    FingerprintResult { with_ddio, without_ddio }
+    // The two DDIO configurations are independent captures — run them on
+    // separate threads (this experiment dominates `repro all` wall time).
+    let mut results = crate::par::parallel_map(
+        vec![
+            (TestBedConfig::paper_baseline(), seed),
+            (TestBedConfig::no_ddio(), seed + 999),
+        ],
+        |(bed, run_seed)| {
+            let sites = pc_net::ClosedWorld::paper_five_sites();
+            let capture = CaptureConfig::paper_defaults();
+            evaluate_closed_world(
+                bed,
+                sites.sites(),
+                training,
+                trials,
+                noise,
+                &capture,
+                run_seed,
+            )
+        },
+    )
+    .into_iter();
+    let with_ddio = results.next().expect("two configurations");
+    let without_ddio = results.next().expect("two configurations");
+    FingerprintResult {
+        with_ddio,
+        without_ddio,
+    }
 }
 
 /// Table II: the baseline core description.

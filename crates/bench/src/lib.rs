@@ -8,4 +8,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache_bench;
 pub mod experiments;
+pub mod par;

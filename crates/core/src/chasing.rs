@@ -138,7 +138,9 @@ impl ChasingSpy {
                         .map(|b| llc.locate(page.add_blocks(half_start + b)))
                         .collect();
                     let sets: Vec<EvictionSet> = oracle_eviction_sets(llc, pool, &targets);
-                    sets.into_iter().map(|s| PrimeProbe::new(s, threshold)).collect()
+                    sets.into_iter()
+                        .map(|s| PrimeProbe::new(s, threshold))
+                        .collect()
                 });
                 BufferProbes { halves }
             })
@@ -283,7 +285,11 @@ impl ChasingSpy {
             self.armed[self.pos] ^= 1;
         }
         let size_class = ((top_block + 1).min(WATCHED_BLOCKS)) as u8;
-        let obs = PacketObservation { ring_pos: self.pos, size_class, at };
+        let obs = PacketObservation {
+            ring_pos: self.pos,
+            size_class,
+            at,
+        };
         self.pos = (self.pos + 1) % self.buffers.len();
         self.observed += 1;
         obs
@@ -312,7 +318,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let frames = ArrivalSchedule::new(LineRate::gigabit())
             .frames_per_second(20_000)
-            .generate(&mut ConstantSize::blocks(3), tb.now() + 50_000, 40, &mut rng);
+            .generate(
+                &mut ConstantSize::blocks(3),
+                tb.now() + 50_000,
+                40,
+                &mut rng,
+            );
         tb.enqueue(frames);
         let mut seen = 0;
         for _ in 0..40 {

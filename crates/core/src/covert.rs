@@ -193,7 +193,11 @@ pub fn pick_monitored_buffers(llc: &SlicedCache, driver: &IgbDriver, n: usize) -
             .enumerate()
             .filter(|(_, slot)| is_unique(*slot))
             .min_by_key(|(j, _)| j.abs_diff(center))
-            .or_else(|| arc_slots.enumerate().min_by_key(|(j, _)| j.abs_diff(center)))
+            .or_else(|| {
+                arc_slots
+                    .enumerate()
+                    .min_by_key(|(j, _)| j.abs_diff(center))
+            })
             .map(|(_, slot)| slot)
             .expect("arc is non-empty");
         chosen.push(best);
@@ -213,12 +217,13 @@ pub fn trojan_schedule(
     start: Cycles,
     seed: u64,
 ) -> Vec<ScheduledFrame> {
-    assert!(packets_per_symbol > 0, "need at least one packet per symbol");
+    assert!(
+        packets_per_symbol > 0,
+        "need at least one packet per symbol"
+    );
     let sizes: Vec<u32> = symbols
         .iter()
-        .flat_map(|&s| {
-            std::iter::repeat_n(encoding.frame_for(s).bytes(), packets_per_symbol)
-        })
+        .flat_map(|&s| std::iter::repeat_n(encoding.frame_for(s).bytes(), packets_per_symbol))
         .collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     let count = sizes.len();
@@ -344,7 +349,11 @@ const NOISE_PAGES: u64 = 1 << 19;
 impl BackgroundNoise {
     /// Noise at `accesses_per_second` (0 disables it).
     pub fn new(accesses_per_second: u64, seed: u64) -> Self {
-        BackgroundNoise { accesses_per_second, rng: SmallRng::seed_from_u64(seed), carry: 0.0 }
+        BackgroundNoise {
+            accesses_per_second,
+            rng: SmallRng::seed_from_u64(seed),
+            carry: 0.0,
+        }
     }
 
     /// Issues the noise accesses that fall within a `window_cycles`-long
@@ -353,8 +362,8 @@ impl BackgroundNoise {
         if self.accesses_per_second == 0 {
             return;
         }
-        self.carry += self.accesses_per_second as f64 * window_cycles as f64
-            / pc_net::CPU_FREQ_HZ as f64;
+        self.carry +=
+            self.accesses_per_second as f64 * window_cycles as f64 / pc_net::CPU_FREQ_HZ as f64;
         while self.carry >= 1.0 {
             self.carry -= 1.0;
             let page = NOISE_FIRST_PAGE + self.rng.gen_range(0..NOISE_PAGES);
@@ -464,7 +473,11 @@ pub fn run_channel(
     );
     // The channel occupies the wire from the first to the last frame;
     // that span is what bandwidth is measured over.
-    let span = frames.last().map(|f| f.at - frames[0].at).unwrap_or(0).max(1);
+    let span = frames
+        .last()
+        .map(|f| f.at - frames[0].at)
+        .unwrap_or(0)
+        .max(1);
     tb.enqueue(frames);
 
     for d in &decoders {
@@ -498,8 +511,7 @@ pub fn run_channel(
 
     let error_rate = crate::levenshtein::error_rate(&received, symbols);
     let seconds = elapsed as f64 / pc_net::CPU_FREQ_HZ as f64;
-    let bandwidth_bps =
-        symbols.len() as f64 * cfg.encoding.bits_per_symbol() / seconds.max(1e-12);
+    let bandwidth_bps = symbols.len() as f64 * cfg.encoding.bits_per_symbol() / seconds.max(1e-12);
     ChannelReport {
         sent_symbols: symbols.len(),
         received,
@@ -584,7 +596,10 @@ mod tests {
             let lbl = label_of(&geom, tb.hierarchy().llc().locate(pages[slot]));
             unique += usize::from(hist[lbl] == 1);
         }
-        assert!(unique >= n - 1, "only {unique}/{n} unique-set buffers chosen");
+        assert!(
+            unique >= n - 1,
+            "only {unique}/{n} unique-set buffers chosen"
+        );
     }
 
     #[test]

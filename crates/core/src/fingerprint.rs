@@ -10,7 +10,10 @@
 use crate::chasing::ChasingSpy;
 use crate::testbed::{TestBed, TestBedConfig};
 use pc_cache::Cycles;
-use pc_net::{ArrivalSchedule, EthernetFrame, LineRate, LoginOutcome, LoginTraceSource, TraceReplay, WebsiteProfile};
+use pc_net::{
+    ArrivalSchedule, EthernetFrame, LineRate, LoginOutcome, LoginTraceSource, TraceReplay,
+    WebsiteProfile,
+};
 use pc_probe::AddressPool;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -53,7 +56,11 @@ impl Default for CaptureConfig {
 /// The ground-truth size classes of a frame list (what tcpdump would
 /// show, clamped to the spy's 4-block ceiling).
 pub fn true_size_classes(frames: &[EthernetFrame], len: usize) -> SizeTrace {
-    frames.iter().take(len).map(|f| f.cache_blocks().min(4) as u8).collect()
+    frames
+        .iter()
+        .take(len)
+        .map(|f| f.cache_blocks().min(4) as u8)
+        .collect()
 }
 
 /// Captures one page load through the cache: enqueues the victim's
@@ -159,7 +166,11 @@ impl CorrelationClassifier {
                 avg
             })
             .collect();
-        CorrelationClassifier { names, representatives, max_lag }
+        CorrelationClassifier {
+            names,
+            representatives,
+            max_lag,
+        }
     }
 
     /// Class names.
@@ -301,7 +312,11 @@ pub fn evaluate_closed_world(
             trials += 1;
         }
     }
-    FingerprintAccuracy { accuracy: correct as f64 / trials.max(1) as f64, trials, confusion }
+    FingerprintAccuracy {
+        accuracy: correct as f64 / trials.max(1) as f64,
+        trials,
+        confusion,
+    }
 }
 
 /// The Figure 13 experiment: original vs recovered size traces for a
@@ -365,8 +380,11 @@ mod tests {
 
     #[test]
     fn true_size_classes_clamp_at_four() {
-        let frames =
-            vec![EthernetFrame::with_blocks(1), EthernetFrame::with_blocks(3), EthernetFrame::mtu_sized()];
+        let frames = vec![
+            EthernetFrame::with_blocks(1),
+            EthernetFrame::with_blocks(3),
+            EthernetFrame::mtu_sized(),
+        ];
         assert_eq!(true_size_classes(&frames, 3), vec![1, 3, 4]);
     }
 
@@ -376,17 +394,24 @@ mod tests {
         // better with its own ground truth than with a different site's.
         let world = ClosedWorld::paper_five_sites();
         let mut rng = SmallRng::seed_from_u64(31);
-        let cfg = CaptureConfig { trace_len: 60, ..CaptureConfig::paper_defaults() };
+        let cfg = CaptureConfig {
+            trace_len: 60,
+            ..CaptureConfig::paper_defaults()
+        };
         let mut bed_cfg = TestBedConfig::paper_baseline().with_seed(9);
         bed_cfg.driver.ring_size = 32; // fast setup
         let pool = AddressPool::allocate(77, 16384);
 
         let frames_a = world.sites()[0].page_load(0.02, &mut rng);
         let frames_b = world.sites()[1].page_load(0.02, &mut rng);
-        let truth_a: Vec<f64> =
-            true_size_classes(&frames_a, 60).iter().map(|&v| f64::from(v)).collect();
-        let truth_b: Vec<f64> =
-            true_size_classes(&frames_b, 60).iter().map(|&v| f64::from(v)).collect();
+        let truth_a: Vec<f64> = true_size_classes(&frames_a, 60)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
+        let truth_b: Vec<f64> = true_size_classes(&frames_b, 60)
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect();
 
         let mut tb = TestBed::new(bed_cfg);
         let mut spy = ChasingSpy::for_ring(tb.hierarchy().llc(), &pool, tb.driver());
@@ -399,17 +424,22 @@ mod tests {
             "captured trace correlates better with the wrong site \
              (self {self_score:.3} vs cross {cross_score:.3})"
         );
-        assert!(self_score > 0.5, "self correlation too weak: {self_score:.3}");
+        assert!(
+            self_score > 0.5,
+            "self correlation too weak: {self_score:.3}"
+        );
     }
 
     #[test]
     fn login_outcomes_are_distinguishable() {
-        let cfg = CaptureConfig { trace_len: 100, ..CaptureConfig::paper_defaults() };
+        let cfg = CaptureConfig {
+            trace_len: 100,
+            ..CaptureConfig::paper_defaults()
+        };
         let mut bed_cfg = TestBedConfig::paper_baseline();
         bed_cfg.driver.ring_size = 32;
         let (orig_ok, rec_ok) = login_trace_pair(bed_cfg, LoginOutcome::Successful, &cfg, 41);
-        let (orig_bad, rec_bad) =
-            login_trace_pair(bed_cfg, LoginOutcome::Unsuccessful, &cfg, 42);
+        let (orig_bad, rec_bad) = login_trace_pair(bed_cfg, LoginOutcome::Unsuccessful, &cfg, 42);
         let rep_ok: Vec<f64> = orig_ok.iter().map(|&v| f64::from(v)).collect();
         let rep_bad: Vec<f64> = orig_bad.iter().map(|&v| f64::from(v)).collect();
         // Each recovered trace matches its own outcome better.

@@ -137,7 +137,11 @@ mod tests {
         let mut sorted = labels.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..256).collect::<Vec<_>>());
-        assert_eq!(labels, (0..256).collect::<Vec<_>>(), "targets are in label order");
+        assert_eq!(
+            labels,
+            (0..256).collect::<Vec<_>>(),
+            "targets are in label order"
+        );
     }
 
     #[test]
@@ -170,7 +174,10 @@ mod tests {
         assert_eq!(total, 50 * 256);
         // ~e^-1 of sets empty (paper: "around 35%").
         let empty_frac = dist[0] as f64 / total as f64;
-        assert!((0.30..0.45).contains(&empty_frac), "empty fraction {empty_frac}");
+        assert!(
+            (0.30..0.45).contains(&empty_frac),
+            "empty fraction {empty_frac}"
+        );
         // >4 buffers per set is rare (paper: 5 in 1000).
         let heavy: usize = dist.iter().skip(5).sum();
         assert!((heavy as f64) < total as f64 * 0.01);
@@ -199,6 +206,9 @@ mod tests {
         let busy_events: usize = busy.activity_counts().iter().sum();
 
         assert_eq!(idle_events, 0, "idle phase must be clean");
-        assert!(busy_events > 10, "receiving phase must light up ({busy_events} events)");
+        assert!(
+            busy_events > 10,
+            "receiving phase must light up ({busy_events} events)"
+        );
     }
 }

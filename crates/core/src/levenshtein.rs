@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        assert_eq!(levenshtein(b"hello", b"world"), levenshtein(b"world", b"hello"));
+        assert_eq!(
+            levenshtein(b"hello", b"world"),
+            levenshtein(b"world", b"hello")
+        );
     }
 
     #[test]

@@ -65,14 +65,15 @@ impl EdgeGraph {
     /// BUILD_GRAPH over an activity matrix (columns are monitor labels).
     pub fn build(matrix: &SampleMatrix) -> Self {
         let n = matrix.labels().len();
-        let mut g = EdgeGraph { n, w: vec![0; n * n * n] };
+        let mut g = EdgeGraph {
+            n,
+            w: vec![0; n * n * n],
+        };
         let (mut prev, mut curr) = (0usize, 0usize);
         let mut started = false;
         for row in matrix.rows() {
-            for (cand, &active) in row.iter().enumerate() {
-                if !active {
-                    continue;
-                }
+            // Rows are sparse bitsets; walk only the active columns.
+            for cand in row.iter_active() {
                 if !started {
                     prev = cand;
                     curr = cand;
@@ -119,8 +120,7 @@ impl EdgeGraph {
         let mut pairs: Vec<((usize, usize), u64)> = Vec::new();
         for p in 0..self.n {
             for c in 0..self.n {
-                let total: u64 =
-                    (0..self.n).map(|x| u64::from(self.weight(p, c, x))).sum();
+                let total: u64 = (0..self.n).map(|x| u64::from(self.weight(p, c, x))).sum();
                 if total > 0 {
                     pairs.push(((p, c), total));
                 }
@@ -325,7 +325,11 @@ impl SequenceQuality {
         let lev = cyclic_levenshtein(recovered, truth);
         SequenceQuality {
             levenshtein: lev,
-            error_rate: if truth.is_empty() { 0.0 } else { lev as f64 / truth.len() as f64 },
+            error_rate: if truth.is_empty() {
+                0.0
+            } else {
+                lev as f64 / truth.len() as f64
+            },
             longest_mismatch: longest_mismatch_run(recovered, truth),
             recovered_len: recovered.len(),
             truth_len: truth.len(),
@@ -436,7 +440,12 @@ mod tests {
         let frames = ArrivalSchedule::new(LineRate::gigabit())
             .frames_per_second(40_000)
             .jitter(0.01)
-            .generate(&mut ConstantSize::blocks(2), tb.now() + 1000, 110_000, &mut rng);
+            .generate(
+                &mut ConstantSize::blocks(2),
+                tb.now() + 1000,
+                110_000,
+                &mut rng,
+            );
         tb.enqueue(frames);
         let cfg = SequencerConfig {
             samples: 7_000,
@@ -470,7 +479,12 @@ mod tests {
         let frames = ArrivalSchedule::new(LineRate::gigabit())
             .frames_per_second(40_000)
             .jitter(0.01)
-            .generate(&mut ConstantSize::blocks(2), tb.now() + 1000, 12_000, &mut rng);
+            .generate(
+                &mut ConstantSize::blocks(2),
+                tb.now() + 1000,
+                12_000,
+                &mut rng,
+            );
         tb.enqueue(frames);
 
         let cfg = SequencerConfig {

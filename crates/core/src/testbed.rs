@@ -42,12 +42,18 @@ impl TestBedConfig {
 
     /// Same machine with DDIO disabled (§IV-d / §V "without DDIO").
     pub fn no_ddio() -> Self {
-        TestBedConfig { ddio: DdioMode::Disabled, ..TestBedConfig::paper_baseline() }
+        TestBedConfig {
+            ddio: DdioMode::Disabled,
+            ..TestBedConfig::paper_baseline()
+        }
     }
 
     /// Same machine under the adaptive partitioning defense (§VII).
     pub fn adaptive_defense() -> Self {
-        TestBedConfig { ddio: DdioMode::adaptive(), ..TestBedConfig::paper_baseline() }
+        TestBedConfig {
+            ddio: DdioMode::adaptive(),
+            ..TestBedConfig::paper_baseline()
+        }
     }
 
     /// Replaces the seed (builder style).

@@ -33,10 +33,17 @@ impl CacheGeometry {
     /// Panics if `slices` is zero or not a power of two, if `ways` is zero,
     /// or if `sets_per_slice_log2` exceeds 24 (an absurd cache).
     pub fn new(sets_per_slice_log2: u32, slices: u32, ways: u32) -> Self {
-        assert!(slices > 0 && slices.is_power_of_two(), "slices must be a power of two");
+        assert!(
+            slices > 0 && slices.is_power_of_two(),
+            "slices must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         assert!(sets_per_slice_log2 <= 24, "sets_per_slice_log2 too large");
-        CacheGeometry { sets_per_slice_log2, slices, ways }
+        CacheGeometry {
+            sets_per_slice_log2,
+            slices,
+            ways,
+        }
     }
 
     /// The paper's evaluation machine: Xeon E5-2660, 20 MiB LLC,
@@ -133,7 +140,10 @@ impl CacheGeometry {
     ///
     /// Panics if `i` is out of range.
     pub fn page_aligned_set_index(&self, i: usize) -> usize {
-        assert!(i < self.page_aligned_sets_per_slice(), "page-aligned set out of range");
+        assert!(
+            i < self.page_aligned_sets_per_slice(),
+            "page-aligned set out of range"
+        );
         i << (PAGE_SIZE_LOG2 - LINE_SIZE_LOG2)
     }
 

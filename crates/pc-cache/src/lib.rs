@@ -48,15 +48,17 @@ mod hierarchy;
 mod llc;
 mod memory;
 mod partition;
+pub mod reference;
 mod replacement;
 mod set;
 mod slicehash;
 mod stats;
+mod store;
 
 pub use addr::{PhysAddr, LINE_SIZE, LINE_SIZE_LOG2, PAGE_SIZE, PAGE_SIZE_LOG2};
 pub use geometry::CacheGeometry;
-pub use hierarchy::{Hierarchy, LatencyModel};
-pub use llc::{AccessKind, AccessOutcome, DdioMode, SliceSet, SlicedCache};
+pub use hierarchy::{Hierarchy, LatencyModel, TraceSummary};
+pub use llc::{AccessKind, AccessOutcome, BatchOutcome, DdioMode, SliceSet, SlicedCache};
 pub use memory::MemoryStats;
 pub use partition::AdaptiveConfig;
 pub use replacement::ReplacementPolicy;

@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let m = MemoryStats { reads: 3, writes: 4 };
+        let m = MemoryStats {
+            reads: 3,
+            writes: 4,
+        };
         assert_eq!(m.total(), 7);
     }
 }

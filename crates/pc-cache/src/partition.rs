@@ -22,6 +22,39 @@
 //! cycles). The defaults below correspond to the paper's
 //! `p = 10 000` cycles, `T_high = 0.5 p`, `T_low = 0.2 p` regime rescaled
 //! to event counts at the paper's packet rates.
+//!
+//! # Displacement semantics at boundary moves
+//!
+//! When a period re-evaluation moves a set's I/O/CPU boundary, the
+//! losing side's surplus lines are displaced **eagerly, at the
+//! adaptation point** — never lazily on a later fill:
+//!
+//! * **Grow** (`io_limit` +1): CPU lines beyond the shrunken CPU quota
+//!   are invalidated LRU-first, with a writeback if dirty, so a CPU fill
+//!   can never observe more CPU lines than its quota permits.
+//! * **Shrink** (`io_limit` −1): I/O lines beyond the new boundary are
+//!   invalidated LRU-first (DDIO lines are dirty, so these normally
+//!   write back). Occupancy therefore never exceeds the clamped
+//!   boundary, even when the boundary steps below the standing I/O
+//!   occupancy (`t_low` above the presence floor) — the case the
+//!   `adaptive_shrink_below_occupancy_evicts_surplus` regression test
+//!   pins down.
+//!
+//! Both directions count into `CacheStats::partition_invalidations` and
+//! `CacheStats::writebacks`. Eager displacement matches the paper's
+//! description of invalidating lines on partition resize, and it keeps
+//! the security argument local: at every instant, I/O lines occupy at
+//! most `io_limit` ways, so an I/O fill never has cause to touch a CPU
+//! way.
+//!
+//! A set is re-evaluated **exactly once per period**, whether it got
+//! there via the touched list (saw I/O this period) or the elevated
+//! list (holds a grown partition). The original implementation cleared
+//! the touched flags before deduplicating the elevated list against
+//! them, so a set on both lists was evaluated twice — the second pass
+//! read the freshly reset activity counter and moved the boundary a
+//! spurious extra step per period. Fixed in `SlicedCache::adapt` (and
+//! mirrored in the reference model).
 
 use crate::Cycles;
 
@@ -55,7 +88,13 @@ impl AdaptiveConfig {
     /// the combination behind the paper's twin results of "within 2 % of
     /// DDIO traffic" and "< 2.7 % throughput loss".
     pub fn paper_defaults() -> Self {
-        AdaptiveConfig { period: 10_000, t_high: 1, t_low: 1, min_io_lines: 1, max_io_lines: 3 }
+        AdaptiveConfig {
+            period: 10_000,
+            t_high: 1,
+            t_low: 1,
+            min_io_lines: 1,
+            max_io_lines: 3,
+        }
     }
 
     /// Validates invariants; called by the cache at construction.
@@ -66,8 +105,14 @@ impl AdaptiveConfig {
     /// `min_io_lines > max_io_lines`, or `t_low > t_high`.
     pub(crate) fn validate(&self, ways: usize) {
         assert!(self.period > 0, "adaptation period must be non-zero");
-        assert!(self.min_io_lines > 0, "I/O partition must keep at least one line");
-        assert!(self.min_io_lines <= self.max_io_lines, "min_io_lines > max_io_lines");
+        assert!(
+            self.min_io_lines > 0,
+            "I/O partition must keep at least one line"
+        );
+        assert!(
+            self.min_io_lines <= self.max_io_lines,
+            "min_io_lines > max_io_lines"
+        );
         assert!(self.t_low <= self.t_high, "t_low must not exceed t_high");
         assert!(
             (self.max_io_lines as usize) < ways,
@@ -94,18 +139,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "room for CPU lines")]
     fn partition_cannot_swallow_cache() {
-        AdaptiveConfig { max_io_lines: 4, ..AdaptiveConfig::paper_defaults() }.validate(4);
+        AdaptiveConfig {
+            max_io_lines: 4,
+            ..AdaptiveConfig::paper_defaults()
+        }
+        .validate(4);
     }
 
     #[test]
     #[should_panic(expected = "at least one line")]
     fn min_io_lines_nonzero() {
-        AdaptiveConfig { min_io_lines: 0, ..AdaptiveConfig::paper_defaults() }.validate(20);
+        AdaptiveConfig {
+            min_io_lines: 0,
+            ..AdaptiveConfig::paper_defaults()
+        }
+        .validate(20);
     }
 
     #[test]
     #[should_panic(expected = "t_low")]
     fn thresholds_ordered() {
-        AdaptiveConfig { t_low: 5, t_high: 2, ..AdaptiveConfig::paper_defaults() }.validate(20);
+        AdaptiveConfig {
+            t_low: 5,
+            t_high: 2,
+            ..AdaptiveConfig::paper_defaults()
+        }
+        .validate(20);
     }
 }

@@ -1,11 +1,21 @@
-//! Replacement policies for the simulated LLC.
+//! Replacement policies for the simulated LLC, stored flat.
 //!
 //! The attack's observable — "did an I/O fill evict one of my primed
 //! lines?" — depends on the victim-selection policy, so the simulator
 //! supports true LRU (the default, and the policy PRIME+PROBE literature
 //! assumes), tree pseudo-LRU (closer to real Intel parts), and random
 //! (an ablation). The `ablation_replacement` bench compares them.
+//!
+//! Unlike the original per-set objects, replacement state lives in one
+//! flat allocation covering every set of the sliced cache (see
+//! [`crate::llc::SlicedCache`]'s SoA store): LRU keeps one `u32` stamp
+//! per line in a single `Vec`, PLRU one fixed-stride bit block per set.
+//! A single store-wide logical clock replaces the per-set clocks; only
+//! the *relative order* of stamps within one set matters for victim
+//! selection, so this is behavior-preserving while keeping every access
+//! on one cache-friendly array.
 
+use crate::set::Domain;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -22,48 +32,83 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-/// Per-set replacement state.
+/// Flattened replacement state for all sets of the cache.
 ///
-/// Kept separate from the line array so `CacheSet` can consult line
-/// validity/domain while the policy only tracks recency.
+/// LRU stamps are `u32` (half the per-set footprint of a `u64` stamp
+/// array — the victim scan is memory-bound). The shared clock therefore
+/// wraps after 2³²−1 touches; [`FlatReplacement::renormalize`] then
+/// rewrites every set's stamps to small order-preserving ranks, so LRU
+/// order is exact across arbitrarily long runs.
 #[derive(Clone, Debug)]
-pub(crate) enum ReplacementState {
+pub(crate) enum FlatReplacement {
     Lru {
-        /// `stamps[way]` = logical time of last touch; smallest is LRU.
-        stamps: Vec<u64>,
-        clock: u64,
+        /// `stamps[set * ways + way]` = logical time of last touch;
+        /// the smallest stamp among a set's candidate ways is the LRU.
+        stamps: Vec<u32>,
+        /// Store-wide logical clock (monotone, shared by all sets).
+        clock: u32,
     },
     TreePlru {
-        /// Flattened binary tree of direction bits; 1-indexed heap layout.
+        /// Direction bits, `stride` per set, 1-indexed heap layout.
         bits: Vec<bool>,
-        ways: usize,
+        /// Bits reserved per set: `ways.next_power_of_two().max(2)`.
+        stride: usize,
     },
     Random,
 }
 
-impl ReplacementState {
-    pub(crate) fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+impl FlatReplacement {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: usize, total_sets: usize) -> Self {
         match policy {
-            ReplacementPolicy::Lru => ReplacementState::Lru { stamps: vec![0; ways], clock: 0 },
+            ReplacementPolicy::Lru => FlatReplacement::Lru {
+                stamps: vec![0; ways * total_sets],
+                clock: 0,
+            },
             ReplacementPolicy::TreePlru => {
-                let leaves = ways.next_power_of_two();
-                ReplacementState::TreePlru { bits: vec![false; leaves.max(2)], ways }
+                let stride = ways.next_power_of_two().max(2);
+                FlatReplacement::TreePlru {
+                    bits: vec![false; stride * total_sets],
+                    stride,
+                }
             }
-            ReplacementPolicy::Random => ReplacementState::Random,
+            ReplacementPolicy::Random => FlatReplacement::Random,
         }
     }
 
-    /// Records a touch (hit or fill) of `way`.
-    pub(crate) fn touch(&mut self, way: usize) {
-        match self {
-            ReplacementState::Lru { stamps, clock } => {
-                *clock += 1;
-                stamps[way] = *clock;
+    /// Rewrites all LRU stamps as per-set ranks (`1..=ways`, ties broken
+    /// by way index exactly as the victim scan breaks them), resetting
+    /// the clock past every rank. Order within each set — the only thing
+    /// victim selection reads — is unchanged.
+    #[cold]
+    fn renormalize(stamps: &mut [u32], ways: usize) -> u32 {
+        let mut order: Vec<usize> = Vec::with_capacity(ways);
+        for set_stamps in stamps.chunks_mut(ways) {
+            order.clear();
+            order.extend(0..ways);
+            order.sort_by_key(|&w| (set_stamps[w], w));
+            for (rank, &w) in order.iter().enumerate() {
+                set_stamps[w] = rank as u32 + 1;
             }
-            ReplacementState::TreePlru { bits, ways } => {
+        }
+        ways as u32 + 1
+    }
+
+    /// Records a touch (hit or fill) of `way` in set `set`.
+    #[inline]
+    pub(crate) fn touch(&mut self, set: usize, ways: usize, way: usize) {
+        match self {
+            FlatReplacement::Lru { stamps, clock } => {
+                if *clock == u32::MAX {
+                    *clock = FlatReplacement::renormalize(stamps, ways);
+                }
+                *clock += 1;
+                stamps[set * ways + way] = *clock;
+            }
+            FlatReplacement::TreePlru { bits, stride } => {
                 // Walk from the root to the leaf for `way`, flipping each
                 // internal node away from the path taken.
-                let leaves = (*ways).next_power_of_two();
+                let bits = &mut bits[set * *stride..(set + 1) * *stride];
+                let leaves = ways.next_power_of_two();
                 let mut node = 1usize;
                 let mut lo = 0usize;
                 let mut hi = leaves;
@@ -80,26 +125,53 @@ impl ReplacementState {
                     }
                 }
             }
-            ReplacementState::Random => {}
+            FlatReplacement::Random => {}
         }
     }
 
-    /// Chooses a victim among the ways for which `eligible(way)` is true.
+    /// Chooses a victim in set `set` among the ways whose bit is set in
+    /// `eligible` (a mask the caller computes in one pass over the
+    /// packed line words — cheaper than re-deriving eligibility per way
+    /// inside the scan).
     ///
-    /// Returns `None` when no way is eligible (the caller then widens the
-    /// eligibility set; see `CacheSet::fill`).
-    pub(crate) fn victim<F>(&self, ways: usize, rng: &mut SmallRng, eligible: F) -> Option<usize>
-    where
-        F: Fn(usize) -> bool,
-    {
+    /// Returns `None` when the mask is empty (the caller then widens the
+    /// eligibility set; see `LineStore::fill`).
+    ///
+    /// Caches with more than 64 ways are rejected at construction
+    /// (`LineStore::new`), so a `u64` mask always covers the set.
+    #[inline]
+    pub(crate) fn victim(
+        &self,
+        set: usize,
+        ways: usize,
+        rng: &mut SmallRng,
+        eligible: u64,
+    ) -> Option<usize> {
+        if eligible == 0 {
+            return None;
+        }
         match self {
-            ReplacementState::Lru { stamps, .. } => (0..ways)
-                .filter(|&w| eligible(w))
-                .min_by_key(|&w| stamps[w]),
-            ReplacementState::TreePlru { bits, .. } => {
+            FlatReplacement::Lru { stamps, .. } => {
+                let stamps = &stamps[set * ways..(set + 1) * ways];
+                // Walk the set bits only; ties keep the lowest way, same
+                // as the original first-minimum scan.
+                let mut m = eligible;
+                let mut best = m.trailing_zeros() as usize;
+                m &= m - 1;
+                while m != 0 {
+                    let w = m.trailing_zeros() as usize;
+                    if stamps[w] < stamps[best] {
+                        best = w;
+                    }
+                    m &= m - 1;
+                }
+                Some(best)
+            }
+            FlatReplacement::TreePlru { bits, stride } => {
                 // Follow the direction bits; if the indicated leaf is not
                 // eligible, fall back to the eligible way with the smallest
                 // index (PLRU has no total order to consult).
+                let bits = &bits[set * *stride..(set + 1) * *stride];
                 let leaves = ways.next_power_of_two();
                 let mut node = 1usize;
                 let mut lo = 0usize;
@@ -115,22 +187,36 @@ impl ReplacementState {
                     }
                 }
                 let leaf = lo.min(ways - 1);
-                if eligible(leaf) {
+                if eligible & (1 << leaf) != 0 {
                     Some(leaf)
                 } else {
-                    (0..ways).find(|&w| eligible(w))
+                    Some(eligible.trailing_zeros() as usize)
                 }
             }
-            ReplacementState::Random => {
-                let candidates: Vec<usize> = (0..ways).filter(|&w| eligible(w)).collect();
-                if candidates.is_empty() {
-                    None
-                } else {
-                    Some(candidates[rng.gen_range(0..candidates.len())])
+            FlatReplacement::Random => {
+                // Preserve the original RNG semantics: one `gen_range`
+                // over the candidate count, then the k-th candidate in
+                // way order.
+                let n = eligible.count_ones() as usize;
+                let k = rng.gen_range(0..n);
+                let mut m = eligible;
+                for _ in 0..k {
+                    m &= m - 1;
                 }
+                Some(m.trailing_zeros() as usize)
             }
         }
     }
+}
+
+/// Domain-based victim eligibility, replacing the old per-fill closures
+/// (`LineStore` lowers it to a per-set bitmask in one pass).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub(crate) enum Victims {
+    /// Any valid line may be displaced.
+    Any,
+    /// Only valid lines of this domain may be displaced.
+    Only(Domain),
 }
 
 #[cfg(test)]
@@ -144,62 +230,75 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_touched() {
-        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        let mut st = FlatReplacement::new(ReplacementPolicy::Lru, 4, 2);
         for w in 0..4 {
-            st.touch(w);
+            st.touch(1, 4, w);
         }
-        st.touch(0); // order now: 1 (oldest), 2, 3, 0
-        assert_eq!(st.victim(4, &mut rng(), |_| true), Some(1));
-        st.touch(1);
-        assert_eq!(st.victim(4, &mut rng(), |_| true), Some(2));
+        st.touch(1, 4, 0); // order in set 1 now: 1 (oldest), 2, 3, 0
+        assert_eq!(st.victim(1, 4, &mut rng(), 0b1111), Some(1));
+        st.touch(1, 4, 1);
+        assert_eq!(st.victim(1, 4, &mut rng(), 0b1111), Some(2));
+    }
+
+    #[test]
+    fn lru_sets_are_independent_despite_shared_clock() {
+        let mut st = FlatReplacement::new(ReplacementPolicy::Lru, 2, 2);
+        // Interleave touches of two sets; each set's relative order must
+        // be intact.
+        st.touch(0, 2, 0);
+        st.touch(1, 2, 1);
+        st.touch(0, 2, 1);
+        st.touch(1, 2, 0);
+        assert_eq!(st.victim(0, 2, &mut rng(), 0b11), Some(0));
+        assert_eq!(st.victim(1, 2, &mut rng(), 0b11), Some(1));
     }
 
     #[test]
     fn lru_respects_eligibility() {
-        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        let mut st = FlatReplacement::new(ReplacementPolicy::Lru, 4, 1);
         for w in 0..4 {
-            st.touch(w);
+            st.touch(0, 4, w);
         }
-        assert_eq!(st.victim(4, &mut rng(), |w| w >= 2), Some(2));
-        assert_eq!(st.victim(4, &mut rng(), |_| false), None);
+        assert_eq!(st.victim(0, 4, &mut rng(), 0b1100), Some(2));
+        assert_eq!(st.victim(0, 4, &mut rng(), 0), None);
     }
 
     #[test]
     fn plru_never_picks_most_recent() {
-        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 8);
+        let mut st = FlatReplacement::new(ReplacementPolicy::TreePlru, 8, 3);
         for w in 0..8 {
-            st.touch(w);
+            st.touch(2, 8, w);
         }
         for last in 0..8 {
-            st.touch(last);
-            let v = st.victim(8, &mut rng(), |_| true).unwrap();
+            st.touch(2, 8, last);
+            let v = st.victim(2, 8, &mut rng(), 0xff).unwrap();
             assert_ne!(v, last, "PLRU picked the most recently touched way");
         }
     }
 
     #[test]
     fn plru_handles_non_power_of_two_ways() {
-        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 20);
+        let mut st = FlatReplacement::new(ReplacementPolicy::TreePlru, 20, 2);
         for w in 0..20 {
-            st.touch(w);
+            st.touch(1, 20, w);
         }
-        let v = st.victim(20, &mut rng(), |_| true).unwrap();
+        let v = st.victim(1, 20, &mut rng(), (1 << 20) - 1).unwrap();
         assert!(v < 20);
     }
 
     #[test]
     fn random_picks_only_eligible() {
-        let st = ReplacementState::new(ReplacementPolicy::Random, 8);
+        let st = FlatReplacement::new(ReplacementPolicy::Random, 8, 1);
         let mut r = rng();
         for _ in 0..100 {
-            let v = st.victim(8, &mut r, |w| w == 3 || w == 5).unwrap();
+            let v = st.victim(0, 8, &mut r, (1 << 3) | (1 << 5)).unwrap();
             assert!(v == 3 || v == 5);
         }
     }
 
     #[test]
     fn random_with_no_eligible_is_none() {
-        let st = ReplacementState::new(ReplacementPolicy::Random, 8);
-        assert_eq!(st.victim(8, &mut rng(), |_| false), None);
+        let st = FlatReplacement::new(ReplacementPolicy::Random, 8, 1);
+        assert_eq!(st.victim(0, 8, &mut rng(), 0), None);
     }
 }

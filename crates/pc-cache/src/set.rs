@@ -1,8 +1,10 @@
-//! A single cache set: lines, validity, dirtiness, owning domain, and the
-//! partition bookkeeping used by DDIO and the adaptive defense.
-
-use crate::replacement::{ReplacementPolicy, ReplacementState};
-use rand::rngs::SmallRng;
+//! Per-line / per-set semantic types: owning domains and eviction
+//! records.
+//!
+//! The storage itself is no longer a per-set object — all lines of all
+//! sets live in one contiguous structure-of-arrays store
+//! ([`crate::store::LineStore`]); this module keeps the vocabulary types
+//! those flat arrays encode.
 
 /// Who owns a cache line: a CPU core or an I/O device (NIC DMA via DDIO).
 ///
@@ -17,14 +19,6 @@ pub enum Domain {
     Io,
 }
 
-/// One cache line's metadata (the simulator carries no data bytes).
-#[derive(Copy, Clone, Debug)]
-pub(crate) struct Line {
-    pub tag: u64,
-    pub dirty: bool,
-    pub domain: Domain,
-}
-
 /// Metadata of a line displaced by a fill.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub(crate) struct EvictedLine {
@@ -32,283 +26,4 @@ pub(crate) struct EvictedLine {
     pub dirty: bool,
     /// The displaced line belonged to the CPU domain.
     pub was_cpu: bool,
-}
-
-#[derive(Clone, Debug)]
-pub(crate) struct CacheSet {
-    lines: Vec<Option<Line>>,
-    repl: ReplacementState,
-    /// Maximum number of `Io`-domain lines this set may hold
-    /// (2 under plain DDIO; 1..=3 under the adaptive defense).
-    pub io_limit: u8,
-    /// I/O accesses observed during the current adaptation period.
-    pub io_activity: u32,
-    /// Scratch flag: set is on the adaptive defense's touched list.
-    pub in_touched: bool,
-    /// Scratch flag: set is on the elevated (`io_limit > min`) list.
-    pub in_elevated: bool,
-}
-
-impl CacheSet {
-    pub(crate) fn new(ways: usize, policy: ReplacementPolicy, io_limit: u8) -> Self {
-        CacheSet {
-            lines: vec![None; ways],
-            repl: ReplacementState::new(policy, ways),
-            io_limit,
-            io_activity: 0,
-            in_touched: false,
-            in_elevated: false,
-        }
-    }
-
-    pub(crate) fn ways(&self) -> usize {
-        self.lines.len()
-    }
-
-    /// Way holding `tag`, if present and valid.
-    pub(crate) fn lookup(&self, tag: u64) -> Option<usize> {
-        self.lines
-            .iter()
-            .position(|l| matches!(l, Some(line) if line.tag == tag))
-    }
-
-    pub(crate) fn touch(&mut self, way: usize) {
-        self.repl.touch(way);
-    }
-
-    pub(crate) fn mark_dirty(&mut self, way: usize) {
-        if let Some(line) = self.lines[way].as_mut() {
-            line.dirty = true;
-        }
-    }
-
-    /// Clears the dirty bit (after a coherence writeback), reporting
-    /// whether it was set.
-    pub(crate) fn clean(&mut self, way: usize) -> bool {
-        match self.lines[way].as_mut() {
-            Some(line) if line.dirty => {
-                line.dirty = false;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    pub(crate) fn count_domain(&self, domain: Domain) -> usize {
-        self.lines
-            .iter()
-            .filter(|l| matches!(l, Some(line) if line.domain == domain))
-            .count()
-    }
-
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn valid_count(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_some()).count()
-    }
-
-    /// Invalidates `tag` if present, reporting whether it was dirty.
-    pub(crate) fn invalidate(&mut self, tag: u64) -> Option<bool> {
-        let way = self.lookup(tag)?;
-        let dirty = self.lines[way].map(|l| l.dirty).unwrap_or(false);
-        self.lines[way] = None;
-        Some(dirty)
-    }
-
-    /// Invalidates every line, returning the number of dirty writebacks.
-    pub(crate) fn invalidate_all(&mut self) -> usize {
-        let dirty = self
-            .lines
-            .iter()
-            .filter(|l| matches!(l, Some(line) if line.dirty))
-            .count();
-        for l in &mut self.lines {
-            *l = None;
-        }
-        dirty
-    }
-
-    /// Evicts the least-recently-used line of `domain`, if any, reporting
-    /// whether it was dirty.
-    ///
-    /// Used by the adaptive defense when the I/O/CPU boundary moves and a
-    /// line on the losing side must be invalidated (with writeback).
-    pub(crate) fn evict_lru_of_domain(
-        &mut self,
-        domain: Domain,
-        rng: &mut SmallRng,
-    ) -> Option<bool> {
-        let way = self.repl.victim(self.lines.len(), rng, |w| {
-            matches!(&self.lines[w], Some(line) if line.domain == domain)
-        })?;
-        let dirty = self.lines[way].map(|l| l.dirty).unwrap_or(false);
-        self.lines[way] = None;
-        Some(dirty)
-    }
-
-    /// Inserts `tag` into the set. Invalid ways are always preferred;
-    /// otherwise the replacement policy picks a victim among ways whose
-    /// current domain satisfies `eligible`.
-    ///
-    /// Returns the filled way and the displaced line (if a valid line was
-    /// displaced), or `None` when the set is full and no way is eligible —
-    /// the caller decides how to widen eligibility.
-    pub(crate) fn fill<F>(
-        &mut self,
-        tag: u64,
-        domain: Domain,
-        dirty: bool,
-        rng: &mut SmallRng,
-        eligible: F,
-    ) -> Option<(usize, Option<EvictedLine>)>
-    where
-        F: Fn(Domain) -> bool,
-    {
-        if let Some(way) = self.lines.iter().position(|l| l.is_none()) {
-            self.lines[way] = Some(Line { tag, dirty, domain });
-            self.repl.touch(way);
-            return Some((way, None));
-        }
-        self.fill_no_invalid(tag, domain, dirty, rng, eligible)
-    }
-
-    /// Like [`CacheSet::fill`] but never takes an invalid way: a victim is
-    /// always chosen among the *valid* ways satisfying `eligible`.
-    ///
-    /// Used when a quota forbids expanding into free ways (e.g. a CPU fill
-    /// whose partition is already full must recycle a CPU line even if an
-    /// invalid way — reserved for I/O — exists).
-    pub(crate) fn fill_no_invalid<F>(
-        &mut self,
-        tag: u64,
-        domain: Domain,
-        dirty: bool,
-        rng: &mut SmallRng,
-        eligible: F,
-    ) -> Option<(usize, Option<EvictedLine>)>
-    where
-        F: Fn(Domain) -> bool,
-    {
-        let way = self.repl.victim(self.lines.len(), rng, |w| {
-            matches!(&self.lines[w], Some(line) if eligible(line.domain))
-        })?;
-        let old = self.lines[way].expect("victim must be valid");
-        self.lines[way] = Some(Line { tag, dirty, domain });
-        self.repl.touch(way);
-        Some((way, Some(EvictedLine { dirty: old.dirty, was_cpu: old.domain == Domain::Cpu })))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(1)
-    }
-
-    fn set(ways: usize) -> CacheSet {
-        CacheSet::new(ways, ReplacementPolicy::Lru, 2)
-    }
-
-    #[test]
-    fn fill_prefers_invalid_ways() {
-        let mut s = set(4);
-        let mut r = rng();
-        for t in 0..4 {
-            let (_, ev) = s.fill(t, Domain::Cpu, false, &mut r, |_| true).unwrap();
-            assert!(ev.is_none());
-        }
-        assert_eq!(s.valid_count(), 4);
-    }
-
-    #[test]
-    fn full_set_evicts_lru() {
-        let mut s = set(2);
-        let mut r = rng();
-        s.fill(10, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        s.fill(11, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        let (_, ev) = s.fill(12, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        assert!(ev.is_some());
-        assert!(s.lookup(10).is_none(), "tag 10 was LRU and must be gone");
-        assert!(s.lookup(11).is_some());
-        assert!(s.lookup(12).is_some());
-    }
-
-    #[test]
-    fn eligibility_restricts_victims() {
-        let mut s = set(2);
-        let mut r = rng();
-        s.fill(1, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        s.fill(2, Domain::Io, false, &mut r, |_| true).unwrap();
-        // Only Io lines may be displaced:
-        let (_, ev) = s.fill(3, Domain::Io, true, &mut r, |d| d == Domain::Io).unwrap();
-        let ev = ev.expect("must displace the Io line");
-        assert!(!ev.was_cpu);
-        assert!(s.lookup(1).is_some(), "CPU line must survive");
-    }
-
-    #[test]
-    fn fill_with_nothing_eligible_returns_none() {
-        let mut s = set(2);
-        let mut r = rng();
-        s.fill(1, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        s.fill(2, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        assert!(s.fill(3, Domain::Io, false, &mut r, |d| d == Domain::Io).is_none());
-    }
-
-    #[test]
-    fn dirty_eviction_reported() {
-        let mut s = set(1);
-        let mut r = rng();
-        s.fill(1, Domain::Cpu, true, &mut r, |_| true).unwrap();
-        let (_, ev) = s.fill(2, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        let ev = ev.unwrap();
-        assert!(ev.dirty);
-        assert!(ev.was_cpu);
-    }
-
-    #[test]
-    fn invalidate_reports_dirtiness() {
-        let mut s = set(2);
-        let mut r = rng();
-        s.fill(5, Domain::Io, true, &mut r, |_| true).unwrap();
-        assert_eq!(s.invalidate(5), Some(true));
-        assert_eq!(s.invalidate(5), None);
-    }
-
-    #[test]
-    fn evict_lru_of_domain_targets_domain() {
-        let mut s = set(3);
-        let mut r = rng();
-        s.fill(1, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        s.fill(2, Domain::Io, true, &mut r, |_| true).unwrap();
-        s.fill(3, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        assert_eq!(s.evict_lru_of_domain(Domain::Io, &mut r), Some(true));
-        assert_eq!(s.count_domain(Domain::Io), 0);
-        assert_eq!(s.count_domain(Domain::Cpu), 2);
-        assert_eq!(s.evict_lru_of_domain(Domain::Io, &mut r), None);
-    }
-
-    #[test]
-    fn domain_counts() {
-        let mut s = set(4);
-        let mut r = rng();
-        s.fill(1, Domain::Cpu, false, &mut r, |_| true).unwrap();
-        s.fill(2, Domain::Io, false, &mut r, |_| true).unwrap();
-        s.fill(3, Domain::Io, false, &mut r, |_| true).unwrap();
-        assert_eq!(s.count_domain(Domain::Cpu), 1);
-        assert_eq!(s.count_domain(Domain::Io), 2);
-    }
-
-    #[test]
-    fn invalidate_all_counts_dirty_writebacks() {
-        let mut s = set(4);
-        let mut r = rng();
-        s.fill(1, Domain::Cpu, true, &mut r, |_| true).unwrap();
-        s.fill(2, Domain::Io, true, &mut r, |_| true).unwrap();
-        s.fill(3, Domain::Io, false, &mut r, |_| true).unwrap();
-        assert_eq!(s.invalidate_all(), 2);
-        assert_eq!(s.valid_count(), 0);
-    }
 }

@@ -48,7 +48,10 @@ impl SliceHash {
             8 => 3,
             _ => panic!("slice hash supports 1/2/4/8 slices, got {slices}"),
         };
-        SliceHash { masks: INTEL_MASKS, bits }
+        SliceHash {
+            masks: INTEL_MASKS,
+            bits,
+        }
     }
 
     /// The 8-slice hash used by the paper's Xeon E5-2660.

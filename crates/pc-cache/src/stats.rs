@@ -75,7 +75,13 @@ mod tests {
 
     #[test]
     fn rates_compute() {
-        let s = CacheStats { cpu_hits: 3, cpu_misses: 1, io_hits: 4, io_misses: 2, ..Default::default() };
+        let s = CacheStats {
+            cpu_hits: 3,
+            cpu_misses: 1,
+            io_hits: 4,
+            io_misses: 2,
+            ..Default::default()
+        };
         assert_eq!(s.cpu_accesses(), 4);
         assert!((s.cpu_miss_rate() - 0.25).abs() < 1e-12);
         assert_eq!(s.total_accesses(), 10);

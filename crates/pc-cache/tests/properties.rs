@@ -25,7 +25,10 @@ fn mode_strategy() -> impl Strategy<Value = DdioMode> {
     prop_oneof![
         Just(DdioMode::Disabled),
         (1u8..4).prop_map(|w| DdioMode::Enabled { io_way_limit: w }),
-        Just(DdioMode::Adaptive(AdaptiveConfig { period: 64, ..AdaptiveConfig::paper_defaults() })),
+        Just(DdioMode::Adaptive(AdaptiveConfig {
+            period: 64,
+            ..AdaptiveConfig::paper_defaults()
+        })),
     ]
 }
 

@@ -1,0 +1,175 @@
+//! SoA-store ↔ reference-model equivalence.
+//!
+//! The contiguous structure-of-arrays store must be observationally
+//! identical to the original per-set implementation
+//! ([`pc_cache::reference::ReferenceCache`]): same [`AccessOutcome`] for
+//! every access of any random trace, same statistics, same residency,
+//! same partition boundaries — across all three DDIO modes and all
+//! replacement policies (`Random` included, which exercises identical
+//! RNG consumption on both sides).
+
+use pc_cache::reference::ReferenceCache;
+use pc_cache::{
+    AccessKind, AdaptiveConfig, CacheGeometry, DdioMode, Domain, PhysAddr, ReplacementPolicy,
+    SlicedCache,
+};
+use proptest::prelude::*;
+
+fn addr_strategy() -> impl Strategy<Value = PhysAddr> {
+    // A small line-aligned region so sets conflict constantly.
+    (0u64..(1 << 14)).prop_map(|line| PhysAddr::new(line * 64))
+}
+
+fn kind_strategy() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::CpuRead),
+        Just(AccessKind::CpuWrite),
+        Just(AccessKind::IoWrite),
+        Just(AccessKind::IoRead),
+    ]
+}
+
+fn mode_strategy() -> impl Strategy<Value = DdioMode> {
+    prop_oneof![
+        Just(DdioMode::Disabled),
+        (1u8..4).prop_map(|w| DdioMode::Enabled { io_way_limit: w }),
+        Just(DdioMode::Adaptive(AdaptiveConfig {
+            period: 64,
+            ..AdaptiveConfig::paper_defaults()
+        })),
+        Just(DdioMode::Adaptive(AdaptiveConfig {
+            period: 32,
+            t_high: 4,
+            t_low: 4,
+            min_io_lines: 1,
+            max_io_lines: 3,
+        })),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::TreePlru),
+        Just(ReplacementPolicy::Random),
+    ]
+}
+
+/// Drives both implementations through `ops` and asserts identical
+/// observable behaviour at every step.
+fn assert_equivalent(
+    mode: DdioMode,
+    policy: ReplacementPolicy,
+    seed: u64,
+    ops: &[(PhysAddr, AccessKind)],
+) {
+    let geom = CacheGeometry::tiny();
+    let mut soa = SlicedCache::with_policy_and_seed(geom, mode, policy, seed);
+    let mut reference = ReferenceCache::with_policy_and_seed(geom, mode, policy, seed);
+    let mut now = 0u64;
+    for (i, &(a, k)) in ops.iter().enumerate() {
+        let got = soa.access(a, k, now);
+        let want = reference.access(a, k, now);
+        assert_eq!(
+            got, want,
+            "outcome diverged at op {i}: {a} {k:?} mode {mode:?}"
+        );
+        now += 7;
+        let ss = soa.locate(a);
+        assert_eq!(
+            soa.domain_count(ss, Domain::Io),
+            reference.domain_count(ss, Domain::Io),
+            "I/O occupancy diverged at op {i}"
+        );
+        assert_eq!(
+            soa.io_partition_limit(ss),
+            reference.io_partition_limit(ss),
+            "partition boundary diverged at op {i}"
+        );
+    }
+    assert_eq!(soa.stats(), reference.stats(), "statistics diverged");
+    for &(a, _) in ops {
+        assert_eq!(
+            soa.contains(a),
+            reference.contains(a),
+            "residency diverged for {a}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full random traces: every mode × every policy × random seeds.
+    #[test]
+    fn random_traces_are_equivalent(
+        mode in mode_strategy(),
+        policy in policy_strategy(),
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((addr_strategy(), kind_strategy()), 1..600),
+    ) {
+        assert_equivalent(mode, policy, seed, &ops);
+    }
+
+    /// Flush in the middle of a trace: writeback counts and the emptied
+    /// state must agree too.
+    #[test]
+    fn flush_is_equivalent(
+        mode in mode_strategy(),
+        policy in policy_strategy(),
+        before in proptest::collection::vec((addr_strategy(), kind_strategy()), 1..200),
+        after in proptest::collection::vec((addr_strategy(), kind_strategy()), 1..200),
+    ) {
+        let geom = CacheGeometry::tiny();
+        let mut soa = SlicedCache::with_policy_and_seed(geom, mode, policy, 7);
+        let mut reference = ReferenceCache::with_policy_and_seed(geom, mode, policy, 7);
+        let mut now = 0u64;
+        for &(a, k) in &before {
+            assert_eq!(soa.access(a, k, now), reference.access(a, k, now));
+            now += 5;
+        }
+        assert_eq!(soa.flush_all(), reference.flush_all(), "flush writebacks diverged");
+        assert_eq!(soa.stats(), reference.stats());
+        for &(a, k) in &after {
+            assert_eq!(soa.access(a, k, now), reference.access(a, k, now));
+            now += 5;
+        }
+        assert_eq!(soa.stats(), reference.stats());
+    }
+}
+
+/// A long deterministic mixed trace on the paper's full Xeon geometry —
+/// one heavyweight case outside proptest so the big-geometry indexing
+/// (8 slices × 2048 sets) is covered without slowing the property runs.
+#[test]
+fn xeon_geometry_long_trace_equivalent() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let geom = CacheGeometry::xeon_e5_2660();
+    for mode in [
+        DdioMode::Disabled,
+        DdioMode::enabled(),
+        DdioMode::adaptive(),
+    ] {
+        let mut soa = SlicedCache::new(geom, mode);
+        let mut reference = ReferenceCache::new(geom, mode);
+        let mut rng = SmallRng::seed_from_u64(0x5eed);
+        let mut now = 0u64;
+        for i in 0..60_000u64 {
+            let a = PhysAddr::new(rng.gen_range(0..500_000u64) * 64);
+            let k = match i % 5 {
+                0 | 1 => AccessKind::CpuRead,
+                2 => AccessKind::CpuWrite,
+                3 => AccessKind::IoWrite,
+                _ => AccessKind::IoRead,
+            };
+            assert_eq!(
+                soa.access(a, k, now),
+                reference.access(a, k, now),
+                "op {i} {mode:?}"
+            );
+            now += 3;
+        }
+        assert_eq!(soa.stats(), reference.stats(), "{mode:?}");
+    }
+}

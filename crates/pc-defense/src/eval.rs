@@ -89,14 +89,19 @@ pub fn fig14_nginx_throughput(requests: u64, seed: u64) -> Vec<Fig14Row> {
     let cfg = NginxConfig::paper_defaults();
     let mut rows = Vec::new();
     for llc_mib in [20u32, 11, 8] {
-        for (name, mode) in
-            [("Adaptive Partitioning", DdioMode::adaptive()), ("DDIO", DdioMode::enabled())]
-        {
+        for (name, mode) in [
+            ("Adaptive Partitioning", DdioMode::adaptive()),
+            ("DDIO", DdioMode::enabled()),
+        ] {
             let geom = CacheGeometry::xeon_scaled_mib(llc_mib);
             let mut bench = Workbench::new(geom, mode, DriverConfig::paper_defaults(), seed);
             nginx(&mut bench, &cfg, requests / 5); // warm-up
             let m = nginx(&mut bench, &cfg, requests);
-            rows.push(Fig14Row { llc_mib, config: name, krps: m.krps() });
+            rows.push(Fig14Row {
+                llc_mib,
+                config: name,
+                krps: m.krps(),
+            });
         }
     }
     rows
@@ -130,8 +135,14 @@ pub fn fig15_traffic(scale: u64, seed: u64) -> Vec<Fig15Row> {
     let mut rows = Vec::new();
     type WorkloadFn = Box<dyn Fn(&mut Workbench) -> WorkloadMetrics>;
     let workloads: [(&'static str, WorkloadFn); 3] = [
-        ("File Copy", Box::new(move |b: &mut Workbench| file_copy(b, 2 * scale))),
-        ("TCP Recv", Box::new(move |b: &mut Workbench| tcp_recv(b, 5_000 * scale))),
+        (
+            "File Copy",
+            Box::new(move |b: &mut Workbench| file_copy(b, 2 * scale)),
+        ),
+        (
+            "TCP Recv",
+            Box::new(move |b: &mut Workbench| tcp_recv(b, 5_000 * scale)),
+        ),
         (
             "Nginx",
             Box::new(move |b: &mut Workbench| {
@@ -171,11 +182,31 @@ pub struct Fig16Row {
 /// The five configurations of Figure 16.
 pub fn fig16_defenses() -> [(&'static str, DdioMode, RandomizeMode); 5] {
     [
-        ("Vulnerable Baseline", DdioMode::enabled(), RandomizeMode::Off),
-        ("Fully Randomized Ring Buffer", DdioMode::enabled(), RandomizeMode::EveryPacket),
-        ("Partial Randomization (1k Interval)", DdioMode::enabled(), RandomizeMode::EveryNPackets(1_000)),
-        ("Partial Randomization (10k Interval)", DdioMode::enabled(), RandomizeMode::EveryNPackets(10_000)),
-        ("Adaptive Cache Partitioning", DdioMode::adaptive(), RandomizeMode::Off),
+        (
+            "Vulnerable Baseline",
+            DdioMode::enabled(),
+            RandomizeMode::Off,
+        ),
+        (
+            "Fully Randomized Ring Buffer",
+            DdioMode::enabled(),
+            RandomizeMode::EveryPacket,
+        ),
+        (
+            "Partial Randomization (1k Interval)",
+            DdioMode::enabled(),
+            RandomizeMode::EveryNPackets(1_000),
+        ),
+        (
+            "Partial Randomization (10k Interval)",
+            DdioMode::enabled(),
+            RandomizeMode::EveryNPackets(10_000),
+        ),
+        (
+            "Adaptive Cache Partitioning",
+            DdioMode::adaptive(),
+            RandomizeMode::Off,
+        ),
     ]
 }
 
@@ -194,7 +225,10 @@ pub fn fig16_tail_latency(requests: usize, seed: u64) -> Vec<Fig16Row> {
         compute_cycles: 145_000,     // service ≈ 190k cycles → util ≈ 1.01
         ..NginxConfig::paper_defaults()
     };
-    let lg = LoadGenConfig { requests, ..LoadGenConfig::paper_defaults() };
+    let lg = LoadGenConfig {
+        requests,
+        ..LoadGenConfig::paper_defaults()
+    };
     let mut rows = Vec::new();
     for (name, ddio, randomize) in fig16_defenses() {
         let driver_cfg = DriverConfig {
@@ -202,16 +236,22 @@ pub fn fig16_tail_latency(requests: usize, seed: u64) -> Vec<Fig16Row> {
             realloc_cost: 5_000,
             ..DriverConfig::paper_defaults()
         };
-        let mut bench =
-            Workbench::new(CacheGeometry::xeon_e5_2660(), ddio, driver_cfg, seed);
+        let mut bench = Workbench::new(CacheGeometry::xeon_e5_2660(), ddio, driver_cfg, seed);
         // Warm the cache so the measured phase is steady-state.
         for _ in 0..200 {
             bench.nginx_request(&nginx_cfg);
         }
         let mut report = run_http_load(&mut bench, &nginx_cfg, &lg);
-        for (i, p) in crate::histogram::LatencyHistogram::PAPER_PERCENTILES.iter().enumerate() {
+        for (i, p) in crate::histogram::LatencyHistogram::PAPER_PERCENTILES
+            .iter()
+            .enumerate()
+        {
             let ladder = report.histogram.paper_ladder();
-            rows.push(Fig16Row { defense: name, percentile: *p, latency_ms: cycles_to_ms(ladder[i]) });
+            rows.push(Fig16Row {
+                defense: name,
+                percentile: *p,
+                latency_ms: cycles_to_ms(ladder[i]),
+            });
         }
     }
     rows
@@ -291,6 +331,9 @@ mod tests {
         let p1k = p99("Partial Randomization (1k Interval)");
         assert!(full > base, "full randomization must cost tail latency");
         assert!(adaptive < full, "adaptive must beat full randomization");
-        assert!(p1k >= base * 0.95, "1k randomization should not be faster than baseline");
+        assert!(
+            p1k >= base * 0.95,
+            "1k randomization should not be faster than baseline"
+        );
     }
 }

@@ -34,7 +34,13 @@ pub struct LoadGenConfig {
 impl LoadGenConfig {
     /// The paper's experiment: 140 k req/s against 8 workers.
     pub fn paper_defaults() -> Self {
-        LoadGenConfig { target_rps: 140_000, servers: 8, requests: 50_000, jitter: 0.2, seed: 0x10ad }
+        LoadGenConfig {
+            target_rps: 140_000,
+            servers: 8,
+            requests: 50_000,
+            jitter: 0.2,
+            seed: 0x10ad,
+        }
     }
 }
 
@@ -117,11 +123,18 @@ mod tests {
     use pc_cache::DdioMode;
 
     fn quick_cfg(rps: u64) -> LoadGenConfig {
-        LoadGenConfig { target_rps: rps, requests: 2_000, ..LoadGenConfig::paper_defaults() }
+        LoadGenConfig {
+            target_rps: rps,
+            requests: 2_000,
+            ..LoadGenConfig::paper_defaults()
+        }
     }
 
     fn small_nginx() -> NginxConfig {
-        NginxConfig { reads_per_request: 100, ..NginxConfig::paper_defaults() }
+        NginxConfig {
+            reads_per_request: 100,
+            ..NginxConfig::paper_defaults()
+        }
     }
 
     #[test]
@@ -130,7 +143,11 @@ mod tests {
         let mut report = run_http_load(&mut bench, &small_nginx(), &quick_cfg(1_000));
         let ladder = report.ladder_ms();
         // At 1k rps with ~10µs services, p50 ≈ service, far below 1ms.
-        assert!(ladder[1] < 1.0, "p50 {}ms too high for an idle server", ladder[1]);
+        assert!(
+            ladder[1] < 1.0,
+            "p50 {}ms too high for an idle server",
+            ladder[1]
+        );
     }
 
     #[test]

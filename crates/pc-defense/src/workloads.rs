@@ -51,17 +51,32 @@ pub struct Workbench {
 
 impl Workbench {
     /// Builds a bench with the given LLC geometry and DDIO mode.
-    pub fn new(geometry: CacheGeometry, mode: DdioMode, driver_cfg: DriverConfig, seed: u64) -> Self {
+    pub fn new(
+        geometry: CacheGeometry,
+        mode: DdioMode,
+        driver_cfg: DriverConfig,
+        seed: u64,
+    ) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let llc = SlicedCache::new(geometry, mode);
         let h = Hierarchy::with_llc(llc);
         let driver = IgbDriver::new(driver_cfg, PageAllocator::new(seed ^ 0xd15c), &mut rng);
-        Workbench { h, driver, rng, tx_cursor: 0 }
+        Workbench {
+            h,
+            driver,
+            rng,
+            tx_cursor: 0,
+        }
     }
 
     /// The paper's baseline machine in the requested mode.
     pub fn paper_machine(mode: DdioMode, seed: u64) -> Self {
-        Workbench::new(CacheGeometry::xeon_e5_2660(), mode, DriverConfig::paper_defaults(), seed)
+        Workbench::new(
+            CacheGeometry::xeon_e5_2660(),
+            mode,
+            DriverConfig::paper_defaults(),
+            seed,
+        )
     }
 
     /// The underlying hierarchy.
@@ -104,7 +119,8 @@ impl Workbench {
         let ws_lines = (cfg.working_set_bytes / 64) as u64;
         for _ in 0..cfg.reads_per_request {
             let line = self.rng.gen_range(0..ws_lines);
-            self.h.cpu_read(PhysAddr::new(APP_FIRST_PAGE * 4096 + line * 64));
+            self.h
+                .cpu_read(PhysAddr::new(APP_FIRST_PAGE * 4096 + line * 64));
         }
         // Response buffer: a rotating region the NIC DMA-reads out.
         let tx_base = (APP_FIRST_PAGE + (1 << 16)) * 4096;
@@ -241,7 +257,10 @@ mod tests {
         let m_with = file_copy(&mut with, 2);
         let m_without = file_copy(&mut without, 2);
         assert!(m_with.mem.total() < m_without.mem.total());
-        assert!(m_with.elapsed_cycles < m_without.elapsed_cycles, "DDIO must be faster");
+        assert!(
+            m_with.elapsed_cycles < m_without.elapsed_cycles,
+            "DDIO must be faster"
+        );
     }
 
     #[test]
@@ -269,8 +288,12 @@ mod tests {
             randomize: pc_nic::RandomizeMode::EveryPacket,
             ..DriverConfig::paper_defaults()
         };
-        let mut randomized =
-            Workbench::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled(), full_cfg, 77);
+        let mut randomized = Workbench::new(
+            CacheGeometry::xeon_e5_2660(),
+            DdioMode::enabled(),
+            full_cfg,
+            77,
+        );
         let m_plain = tcp_recv(&mut plain, 2_000);
         let m_rand = tcp_recv(&mut randomized, 2_000);
         assert!(m_rand.elapsed_cycles > m_plain.elapsed_cycles);

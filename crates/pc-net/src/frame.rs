@@ -79,25 +79,34 @@ impl EthernetFrame {
     pub fn with_blocks(blocks: u32) -> Self {
         assert!(blocks > 0, "a frame spans at least one cache block");
         let bytes = blocks * 64;
-        assert!(bytes <= MAX_FRAME_BYTES, "{blocks} blocks exceed the maximum frame");
+        assert!(
+            bytes <= MAX_FRAME_BYTES,
+            "{blocks} blocks exceed the maximum frame"
+        );
         EthernetFrame { bytes }
     }
 
     /// Clamps an arbitrary size into the legal frame range. Generators use
     /// this so random perturbations stay valid.
     pub fn clamped(bytes: u32) -> Self {
-        EthernetFrame { bytes: bytes.clamp(MIN_FRAME_BYTES, MAX_FRAME_BYTES) }
+        EthernetFrame {
+            bytes: bytes.clamp(MIN_FRAME_BYTES, MAX_FRAME_BYTES),
+        }
     }
 
     /// A full-MTU frame (1514 bytes of Ethernet header + IP payload,
     /// rounded into the legal range).
     pub fn mtu_sized() -> Self {
-        EthernetFrame { bytes: MTU_BYTES + 14 }
+        EthernetFrame {
+            bytes: MTU_BYTES + 14,
+        }
     }
 
     /// A minimum-size control frame (e.g. a TCP ACK).
     pub fn min_sized() -> Self {
-        EthernetFrame { bytes: MIN_FRAME_BYTES }
+        EthernetFrame {
+            bytes: MIN_FRAME_BYTES,
+        }
     }
 
     /// Total size in bytes.

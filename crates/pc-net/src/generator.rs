@@ -33,7 +33,9 @@ impl ConstantSize {
     ///
     /// Panics under the same conditions as [`EthernetFrame::with_blocks`].
     pub fn blocks(blocks: u32) -> Self {
-        ConstantSize { frame: EthernetFrame::with_blocks(blocks) }
+        ConstantSize {
+            frame: EthernetFrame::with_blocks(blocks),
+        }
     }
 }
 
@@ -87,7 +89,10 @@ impl UniformSizes {
     /// Panics if `lo > hi`.
     pub fn new(lo: u32, hi: u32) -> Self {
         assert!(lo <= hi, "empty size range");
-        UniformSizes { lo: lo.max(MIN_FRAME_BYTES), hi: hi.min(MAX_FRAME_BYTES) }
+        UniformSizes {
+            lo: lo.max(MIN_FRAME_BYTES),
+            hi: hi.min(MAX_FRAME_BYTES),
+        }
     }
 
     /// The full legal frame range.
@@ -117,7 +122,10 @@ impl BimodalMix {
     /// The canonical mix: 40 % control frames, 45 % MTU frames, 15 %
     /// everything in between.
     pub fn internet() -> Self {
-        BimodalMix { small_prob: 0.40, mtu_prob: 0.45 }
+        BimodalMix {
+            small_prob: 0.40,
+            mtu_prob: 0.45,
+        }
     }
 
     /// A custom mix.
@@ -128,7 +136,10 @@ impl BimodalMix {
     pub fn new(small_prob: f64, mtu_prob: f64) -> Self {
         assert!(small_prob >= 0.0 && mtu_prob >= 0.0, "negative probability");
         assert!(small_prob + mtu_prob <= 1.0, "probabilities exceed 1");
-        BimodalMix { small_prob, mtu_prob }
+        BimodalMix {
+            small_prob,
+            mtu_prob,
+        }
     }
 }
 
@@ -211,7 +222,9 @@ mod tests {
         ];
         let mut g = CyclingSizes::new(frames);
         let mut r = rng();
-        let got: Vec<u32> = (0..6).map(|_| g.next_frame(&mut r).cache_blocks()).collect();
+        let got: Vec<u32> = (0..6)
+            .map(|_| g.next_frame(&mut r).cache_blocks())
+            .collect();
         assert_eq!(got, vec![1, 4, 3, 1, 4, 3]);
     }
 

@@ -72,7 +72,10 @@ mod tests {
             if l.state() == start {
                 break;
             }
-            assert!(steps <= Lfsr15::PERIOD, "period exceeded the maximal length");
+            assert!(
+                steps <= Lfsr15::PERIOD,
+                "period exceeded the maximal length"
+            );
         }
         assert_eq!(steps, Lfsr15::PERIOD, "LFSR is not maximal-length");
     }

@@ -125,7 +125,8 @@ mod tests {
     #[test]
     fn faster_links_are_faster() {
         assert!(
-            LineRate::ten_gigabit().cycles_per_frame(256) < LineRate::gigabit().cycles_per_frame(256)
+            LineRate::ten_gigabit().cycles_per_frame(256)
+                < LineRate::gigabit().cycles_per_frame(256)
         );
     }
 

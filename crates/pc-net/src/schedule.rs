@@ -75,7 +75,10 @@ impl ArrivalSchedule {
     ///
     /// Panics if `frac` is negative or ≥ 1.
     pub fn jitter(mut self, frac: f64) -> Self {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0, 1)"
+        );
         self.jitter_frac = frac;
         self
     }
@@ -87,8 +90,14 @@ impl ArrivalSchedule {
     ///
     /// Panics if arguments are outside `[0, 1]`.
     pub fn reordering(mut self, utilization: f64, max_prob: f64) -> Self {
-        assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&max_prob), "probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&max_prob),
+            "probability must be in [0, 1]"
+        );
         self.reorder_utilization = utilization;
         self.reorder_prob_max = max_prob;
         self
@@ -141,7 +150,10 @@ impl ArrivalSchedule {
             Some(fps) => fps,
             None => return, // full line rate: modeled as a well-paced sender
         };
-        let avg_bytes = (frames.iter().map(|f| u64::from(f.frame.bytes())).sum::<u64>()
+        let avg_bytes = (frames
+            .iter()
+            .map(|f| u64::from(f.frame.bytes()))
+            .sum::<u64>()
             / frames.len() as u64) as u32;
         let util = self.utilization(avg_bytes, fps);
         if util <= self.reorder_utilization {
@@ -257,7 +269,10 @@ mod tests {
             .enumerate()
             .filter(|(i, f)| f.frame.cache_blocks() != (*i as u32 % 3) + 1)
             .count();
-        assert!(out_of_place > 0, "expected some reordering at high utilization");
+        assert!(
+            out_of_place > 0,
+            "expected some reordering at high utilization"
+        );
     }
 
     #[test]

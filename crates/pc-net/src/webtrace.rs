@@ -43,7 +43,11 @@ impl WebsiteProfile {
             })
             .collect();
         let control_ratio = rng.gen_range(0.15..0.35);
-        WebsiteProfile { name: name.to_owned(), objects, control_ratio }
+        WebsiteProfile {
+            name: name.to_owned(),
+            objects,
+            control_ratio,
+        }
     }
 
     /// The site's name.
@@ -86,7 +90,7 @@ impl WebsiteProfile {
             }
             let f = if roll < noise * 0.5 {
                 EthernetFrame::clamped(
-                    (f.bytes() as i64 + rng.gen_range(-64i64..=64)).max(64) as u32,
+                    (f.bytes() as i64 + rng.gen_range(-64i64..=64)).max(64) as u32
                 )
             } else {
                 f
@@ -112,7 +116,13 @@ pub struct ClosedWorld {
 impl ClosedWorld {
     /// The paper's five sites (synthetic stand-ins, see module docs).
     pub fn paper_five_sites() -> Self {
-        let names = ["facebook.com", "twitter.com", "google.com", "amazon.com", "apple.com"];
+        let names = [
+            "facebook.com",
+            "twitter.com",
+            "google.com",
+            "amazon.com",
+            "apple.com",
+        ];
         ClosedWorld {
             profiles: names
                 .iter()
@@ -185,7 +195,13 @@ impl LoginTraceSource {
 
     /// One login response trace, truncated/padded to exactly `len`
     /// packets (the paper plots the first 100).
-    pub fn trace(&self, outcome: LoginOutcome, len: usize, noise: f64, rng: &mut SmallRng) -> Vec<EthernetFrame> {
+    pub fn trace(
+        &self,
+        outcome: LoginOutcome,
+        len: usize,
+        noise: f64,
+        rng: &mut SmallRng,
+    ) -> Vec<EthernetFrame> {
         let profile = match outcome {
             LoginOutcome::Successful => &self.success,
             LoginOutcome::Unsuccessful => &self.failure,
@@ -257,7 +273,10 @@ mod tests {
             .collect();
         for i in 0..5 {
             for j in (i + 1)..5 {
-                assert_ne!(traces[i], traces[j], "sites {i} and {j} have identical signatures");
+                assert_ne!(
+                    traces[i], traces[j],
+                    "sites {i} and {j} have identical signatures"
+                );
             }
         }
     }

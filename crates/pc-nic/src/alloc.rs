@@ -98,7 +98,10 @@ impl PageAllocator {
             let page = self.first_page + self.rng.gen_range(0..self.num_pages);
             if self.in_use.insert(page) {
                 let remote = self.remote_prob > 0.0 && self.rng.gen_bool(self.remote_prob);
-                return PageRef { base: PhysAddr::new(page * PAGE_SIZE as u64), remote };
+                return PageRef {
+                    base: PhysAddr::new(page * PAGE_SIZE as u64),
+                    remote,
+                };
             }
         }
     }
@@ -170,7 +173,10 @@ mod tests {
     fn remote_probability_takes_effect() {
         let mut a = PageAllocator::new(9).with_remote_probability(0.5);
         let remote = (0..400).filter(|_| a.alloc_page().remote).count();
-        assert!((100..300).contains(&remote), "remote count {remote} implausible for p=0.5");
+        assert!(
+            (100..300).contains(&remote),
+            "remote count {remote} implausible for p=0.5"
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
     fn drain_runs_everything() {
         let mut h = h();
         let mut q = DeferredReads::new();
-        q.extend([(10_000, PhysAddr::new(0x1000)), (20_000, PhysAddr::new(0x2000))]);
+        q.extend([
+            (10_000, PhysAddr::new(0x1000)),
+            (20_000, PhysAddr::new(0x2000)),
+        ]);
         assert_eq!(q.len(), 2);
         assert_eq!(q.drain_all(&mut h), 2);
         assert!(q.is_empty());

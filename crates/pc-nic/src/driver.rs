@@ -68,7 +68,10 @@ impl DriverConfig {
     /// Panics if `ring_size` is zero or `copybreak` exceeds a buffer.
     fn validate(&self) {
         assert!(self.ring_size > 0, "ring must have descriptors");
-        assert!(self.copybreak <= HALF_PAGE_BYTES, "copybreak exceeds buffer size");
+        assert!(
+            self.copybreak <= HALF_PAGE_BYTES,
+            "copybreak exceeds buffer size"
+        );
         if let RandomizeMode::EveryNPackets(n) = self.randomize {
             assert!(n > 0, "randomization interval must be non-zero");
         }
@@ -133,7 +136,14 @@ impl IgbDriver {
     pub fn new(cfg: DriverConfig, mut alloc: PageAllocator, _rng: &mut SmallRng) -> Self {
         cfg.validate();
         let ring = RxRing::allocate(cfg.ring_size, &mut alloc);
-        IgbDriver { cfg, ring, alloc, packets: 0, reallocations: 0, defense_overhead: 0 }
+        IgbDriver {
+            cfg,
+            ring,
+            alloc,
+            packets: 0,
+            reallocations: 0,
+            defense_overhead: 0,
+        }
     }
 
     /// The active configuration.
@@ -165,7 +175,12 @@ impl IgbDriver {
     ///
     /// Frames longer than a 2048-byte buffer are truncated to the buffer
     /// (jumbo handling is out of scope, as in the paper).
-    pub fn receive(&mut self, h: &mut Hierarchy, frame: EthernetFrame, rng: &mut SmallRng) -> RxEvent {
+    pub fn receive(
+        &mut self,
+        h: &mut Hierarchy,
+        frame: EthernetFrame,
+        rng: &mut SmallRng,
+    ) -> RxEvent {
         let idx = self.ring.advance();
         let buffer_addr = self.ring.buffer(idx).dma_addr();
         let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
@@ -241,7 +256,14 @@ impl IgbDriver {
         }
 
         self.packets += 1;
-        RxEvent { buffer_index: idx, buffer_addr, blocks, reallocated, flipped, deferred_reads }
+        RxEvent {
+            buffer_index: idx,
+            buffer_addr,
+            blocks,
+            reallocated,
+            flipped,
+            deferred_reads,
+        }
     }
 
     /// Replaces the page behind descriptor `idx` with a fresh one.
@@ -272,7 +294,11 @@ mod tests {
     fn setup(mode: DdioMode) -> (Hierarchy, IgbDriver, SmallRng) {
         let mut rng = SmallRng::seed_from_u64(3);
         let h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), mode);
-        let drv = IgbDriver::new(DriverConfig::paper_defaults(), PageAllocator::new(17), &mut rng);
+        let drv = IgbDriver::new(
+            DriverConfig::paper_defaults(),
+            PageAllocator::new(17),
+            &mut rng,
+        );
         (h, drv, rng)
     }
 
@@ -327,7 +353,10 @@ mod tests {
         }
         let ev2 = drv.receive(&mut h, frame(128), &mut rng);
         assert_eq!(ev2.buffer_index, ev1.buffer_index);
-        assert_eq!(ev2.buffer_addr, ev1.buffer_addr, "small-frame buffers are stable");
+        assert_eq!(
+            ev2.buffer_addr, ev1.buffer_addr,
+            "small-frame buffers are stable"
+        );
     }
 
     #[test]
@@ -379,7 +408,10 @@ mod tests {
     fn every_packet_randomization_changes_buffers() {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
-        let cfg = DriverConfig { randomize: RandomizeMode::EveryPacket, ..Default::default() };
+        let cfg = DriverConfig {
+            randomize: RandomizeMode::EveryPacket,
+            ..Default::default()
+        };
         let mut drv = IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
         let before = drv.ring().buffer(0).page().base;
         drv.receive(&mut h, frame(64), &mut rng);
@@ -418,7 +450,10 @@ mod tests {
     #[should_panic(expected = "randomization interval")]
     fn zero_interval_rejected() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let cfg = DriverConfig { randomize: RandomizeMode::EveryNPackets(0), ..Default::default() };
+        let cfg = DriverConfig {
+            randomize: RandomizeMode::EveryNPackets(0),
+            ..Default::default()
+        };
         IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
     }
 }

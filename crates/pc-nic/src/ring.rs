@@ -22,7 +22,10 @@ pub struct RxBuffer {
 impl RxBuffer {
     /// A buffer armed at the first half of `page`.
     pub fn new(page: PageRef) -> Self {
-        RxBuffer { page, page_offset: 0 }
+        RxBuffer {
+            page,
+            page_offset: 0,
+        }
     }
 
     /// The page backing this buffer.
@@ -71,8 +74,14 @@ impl RxRing {
     /// Panics if `size` is zero.
     pub fn allocate(size: usize, alloc: &mut PageAllocator) -> Self {
         assert!(size > 0, "ring must have at least one descriptor");
-        let buffers = (0..size).map(|_| RxBuffer::new(alloc.alloc_page())).collect();
-        RxRing { buffers, next: 0, filled: 0 }
+        let buffers = (0..size)
+            .map(|_| RxBuffer::new(alloc.alloc_page()))
+            .collect();
+        RxRing {
+            buffers,
+            next: 0,
+            filled: 0,
+        }
     }
 
     /// Number of descriptors.
@@ -188,7 +197,10 @@ mod tests {
         let dma = r.dma_addresses();
         let pages = r.page_addresses();
         assert_eq!(dma.len(), 8);
-        assert_eq!(dma, pages, "with no flips, DMA addresses are the page bases");
+        assert_eq!(
+            dma, pages,
+            "with no flips, DMA addresses are the page bases"
+        );
     }
 
     #[test]

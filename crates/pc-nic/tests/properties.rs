@@ -12,7 +12,11 @@ fn frame_strategy() -> impl Strategy<Value = EthernetFrame> {
 }
 
 fn mode_strategy() -> impl Strategy<Value = DdioMode> {
-    prop_oneof![Just(DdioMode::Disabled), Just(DdioMode::enabled()), Just(DdioMode::adaptive())]
+    prop_oneof![
+        Just(DdioMode::Disabled),
+        Just(DdioMode::enabled()),
+        Just(DdioMode::adaptive())
+    ]
 }
 
 proptest! {

@@ -192,7 +192,11 @@ mod tests {
     fn oracle_sets_are_exactly_one_slice_set() {
         let h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
         let pool = AddressPool::allocate(2, 8192);
-        let targets = [SliceSet::new(0, 0), SliceSet::new(5, 64), SliceSet::new(7, 1984)];
+        let targets = [
+            SliceSet::new(0, 0),
+            SliceSet::new(5, 64),
+            SliceSet::new(7, 1984),
+        ];
         let sets = oracle_eviction_sets(h.llc(), &pool, &targets);
         assert_eq!(sets.len(), 3);
         for (set, t) in sets.iter().zip(&targets) {

@@ -32,6 +32,6 @@ mod prime_probe;
 
 pub use calibrate::calibrate_threshold;
 pub use eviction::{build_eviction_sets_for_index, oracle_eviction_sets, EvictionSet};
-pub use monitor::{Monitor, MonitorTarget, SampleMatrix};
+pub use monitor::{Monitor, MonitorTarget, RowBits, SampleMatrix};
 pub use pool::AddressPool;
 pub use prime_probe::{PrimeProbe, ProbeResult};

@@ -20,23 +20,87 @@ pub struct MonitorTarget {
 impl MonitorTarget {
     /// Creates a labelled target.
     pub fn new(label: usize, set: EvictionSet, threshold: Cycles) -> Self {
-        MonitorTarget { label, probe: PrimeProbe::new(set, threshold) }
+        MonitorTarget {
+            label,
+            probe: PrimeProbe::new(set, threshold),
+        }
     }
 }
 
-/// A boolean activity matrix: `rows[sample][target]` is `true` when the
-/// probe of that target observed at least one miss in that interval —
-/// exactly the white dots of the paper's Figure 7.
+/// A boolean activity matrix: sample × target, `true` when the probe of
+/// that target observed at least one miss in that interval — exactly the
+/// white dots of the paper's Figure 7.
+///
+/// Rows are stored as packed `u64` bitsets (one bit per monitored
+/// target) instead of `Vec<Vec<bool>>`: a 256-target row is 4 words, the
+/// whole matrix one contiguous allocation, and per-target totals are
+/// popcount loops. Activity is sparse (a handful of sets light up per
+/// sample), so consumers iterate set bits via [`RowBits::iter_active`]
+/// rather than scanning every column.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SampleMatrix {
     labels: Vec<usize>,
-    rows: Vec<Vec<bool>>,
+    /// `width` words per row, rows back to back.
+    words: Vec<u64>,
+    width: usize,
+    samples: usize,
+}
+
+/// One packed row of a [`SampleMatrix`].
+#[derive(Copy, Clone, Debug)]
+pub struct RowBits<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl RowBits<'_> {
+    /// Number of columns (targets).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the row has zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether column `i` saw activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "column out of range");
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Indices of the active columns, ascending.
+    pub fn iter_active(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors((w != 0).then_some(w), |&m| {
+                let m = m & (m - 1);
+                (m != 0).then_some(m)
+            })
+            .map(move |m| wi * 64 + m.trailing_zeros() as usize)
+        })
+    }
+
+    /// Number of active columns (popcount).
+    pub fn count_active(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
 }
 
 impl SampleMatrix {
     /// An empty matrix over `labels`.
     pub fn new(labels: Vec<usize>) -> Self {
-        SampleMatrix { labels, rows: Vec::new() }
+        let width = labels.len().div_ceil(64);
+        SampleMatrix {
+            labels,
+            words: Vec::new(),
+            width,
+            samples: 0,
+        }
     }
 
     /// The target labels (column order).
@@ -44,19 +108,23 @@ impl SampleMatrix {
         &self.labels
     }
 
-    /// All sample rows.
-    pub fn rows(&self) -> &[Vec<bool>] {
-        &self.rows
+    /// The sample rows, as packed bitsets.
+    pub fn rows(&self) -> impl Iterator<Item = RowBits<'_>> {
+        let len = self.labels.len();
+        self.words
+            .chunks_exact(self.width.max(1))
+            .take(self.samples)
+            .map(move |words| RowBits { words, len })
     }
 
     /// Number of samples taken.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.samples
     }
 
     /// `true` when no samples have been taken.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.samples == 0
     }
 
     /// Appends a sample row.
@@ -65,16 +133,32 @@ impl SampleMatrix {
     ///
     /// Panics if the row width differs from the label count.
     pub fn push(&mut self, row: Vec<bool>) {
+        self.push_bools(&row);
+    }
+
+    /// Appends a sample row from a bool slice (no ownership needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the label count.
+    pub fn push_bools(&mut self, row: &[bool]) {
         assert_eq!(row.len(), self.labels.len(), "row width mismatch");
-        self.rows.push(row);
+        let base = self.words.len();
+        self.words.resize(base + self.width.max(1), 0);
+        for (i, &hit) in row.iter().enumerate() {
+            if hit {
+                self.words[base + i / 64] |= 1 << (i % 64);
+            }
+        }
+        self.samples += 1;
     }
 
     /// Total activity events per target, in label order.
     pub fn activity_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.labels.len()];
-        for row in &self.rows {
-            for (c, &hit) in counts.iter_mut().zip(row) {
-                *c += usize::from(hit);
+        for row in self.rows() {
+            for col in row.iter_active() {
+                counts[col] += 1;
             }
         }
         counts
@@ -82,8 +166,11 @@ impl SampleMatrix {
 
     /// Fraction of samples with activity, per target.
     pub fn activity_fractions(&self) -> Vec<f64> {
-        let n = self.rows.len().max(1) as f64;
-        self.activity_counts().into_iter().map(|c| c as f64 / n).collect()
+        let n = self.samples.max(1) as f64;
+        self.activity_counts()
+            .into_iter()
+            .map(|c| c as f64 / n)
+            .collect()
     }
 }
 
@@ -127,12 +214,18 @@ impl Monitor {
 
     /// Probes every target once, returning per-target activity.
     pub fn sample(&self, h: &mut Hierarchy) -> Vec<bool> {
-        self.targets.iter().map(|t| t.probe.probe(h).activity()).collect()
+        self.targets
+            .iter()
+            .map(|t| t.probe.probe(h).activity())
+            .collect()
     }
 
     /// Probes every target once, returning per-target miss counts.
     pub fn sample_misses(&self, h: &mut Hierarchy) -> Vec<u32> {
-        self.targets.iter().map(|t| t.probe.probe(h).misses).collect()
+        self.targets
+            .iter()
+            .map(|t| t.probe.probe(h).misses)
+            .collect()
     }
 
     /// An empty matrix shaped for this monitor.
@@ -166,7 +259,11 @@ mod tests {
                 continue;
             }
             let set = oracle_eviction_sets(h.llc(), &pool, &[ss]).remove(0);
-            targets.push(MonitorTarget::new(label, set, h.latencies().miss_threshold()));
+            targets.push(MonitorTarget::new(
+                label,
+                set,
+                h.latencies().miss_threshold(),
+            ));
             victims.push(v);
             label += 1;
         }

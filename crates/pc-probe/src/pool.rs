@@ -122,7 +122,10 @@ mod tests {
         let pool = AddressPool::allocate(3, 3200);
         let g = CacheGeometry::xeon_e5_2660();
         let n = pool.addresses_with_index(&g, 0).len();
-        assert!((50..150).contains(&n), "expected ~100 pages for index 0, got {n}");
+        assert!(
+            (50..150).contains(&n),
+            "expected ~100 pages for index 0, got {n}"
+        );
     }
 
     #[test]

@@ -46,10 +46,18 @@ impl PrimeProbe {
     }
 
     /// Fills the target set with the spy's lines.
+    ///
+    /// Primes don't need per-access latencies, so the walk goes through
+    /// the batch trace API ([`Hierarchy::run_trace`]) — identical cache
+    /// and clock behaviour to per-address `cpu_read`s, less call
+    /// overhead.
     pub fn prime(&self, h: &mut Hierarchy) {
-        for &a in self.set.addresses() {
-            h.cpu_read(a);
-        }
+        h.run_trace(
+            self.set
+                .addresses()
+                .iter()
+                .map(|&a| (a, pc_cache::AccessKind::CpuRead)),
+        );
     }
 
     /// Times a pass over the set (in reverse, re-priming as it goes).
@@ -81,7 +89,10 @@ mod tests {
         let victim = PhysAddr::new(4096 * 999);
         let target = h.llc().locate(victim);
         let sets = oracle_eviction_sets(h.llc(), &pool, &[target]);
-        let pp = PrimeProbe::new(sets.into_iter().next().expect("pool covers the set"), h.latencies().miss_threshold());
+        let pp = PrimeProbe::new(
+            sets.into_iter().next().expect("pool covers the set"),
+            h.latencies().miss_threshold(),
+        );
         (h, pp, victim)
     }
 
@@ -141,7 +152,7 @@ mod tests {
         );
         pp.prime(&mut h);
         let _ = pp.probe(&mut h); // settle
-        // Baseline: several idle probes.
+                                  // Baseline: several idle probes.
         let idle: Vec<u32> = (0..5).map(|_| pp.probe(&mut h).misses).collect();
         // Under I/O fire: several probes with packets in between.
         let mut busy = Vec::new();

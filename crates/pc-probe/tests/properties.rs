@@ -66,7 +66,11 @@ fn timing_construction_matches_oracle_across_seeds() {
         let pool = AddressPool::allocate(seed, 8192);
         let thr = h.latencies().miss_threshold();
         let groups = build_eviction_sets_for_index(&mut h, &pool, 64, 20, 8, thr);
-        assert!(groups.len() >= 6, "seed {seed}: only {} groups", groups.len());
+        assert!(
+            groups.len() >= 6,
+            "seed {seed}: only {} groups",
+            groups.len()
+        );
         for g in &groups {
             let ss = h.llc().locate(g.addresses()[0]);
             assert!(g.addresses().iter().all(|a| h.llc().locate(*a) == ss));

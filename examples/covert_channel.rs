@@ -40,7 +40,10 @@ fn main() {
 
     let message = "PACKET CHASING";
     let symbols = encode_text(message);
-    println!("trojan message: {message:?} -> {} ternary symbols", symbols.len());
+    println!(
+        "trojan message: {message:?} -> {} ternary symbols",
+        symbols.len()
+    );
 
     let cfg = ChannelConfig {
         encoding: Encoding::Ternary,

@@ -25,8 +25,11 @@ fn spy_events(cfg: TestBedConfig) -> usize {
     tb.enqueue(frames);
     // Baseline self-noise calibration, then differential measurement.
     monitor.prime_all(tb.hierarchy_mut());
-    let baseline: usize =
-        monitor.sample(tb.hierarchy_mut()).iter().filter(|&&a| a).count();
+    let baseline: usize = monitor
+        .sample(tb.hierarchy_mut())
+        .iter()
+        .filter(|&&a| a)
+        .count();
     let matrix = watch(&mut tb, &monitor, 100, 400_000);
     matrix
         .activity_counts()
@@ -45,18 +48,40 @@ fn main() {
     println!("\n== what does each defense cost? ==");
     let cfg = NginxConfig::paper_defaults();
     for (name, ddio, randomize) in [
-        ("vulnerable baseline", DdioMode::enabled(), RandomizeMode::Off),
-        ("fully randomized ring", DdioMode::enabled(), RandomizeMode::EveryPacket),
-        ("partial randomization (1k)", DdioMode::enabled(), RandomizeMode::EveryNPackets(1000)),
-        ("adaptive partitioning", DdioMode::adaptive(), RandomizeMode::Off),
+        (
+            "vulnerable baseline",
+            DdioMode::enabled(),
+            RandomizeMode::Off,
+        ),
+        (
+            "fully randomized ring",
+            DdioMode::enabled(),
+            RandomizeMode::EveryPacket,
+        ),
+        (
+            "partial randomization (1k)",
+            DdioMode::enabled(),
+            RandomizeMode::EveryNPackets(1000),
+        ),
+        (
+            "adaptive partitioning",
+            DdioMode::adaptive(),
+            RandomizeMode::Off,
+        ),
     ] {
-        let driver = DriverConfig { randomize, ..DriverConfig::paper_defaults() };
+        let driver = DriverConfig {
+            randomize,
+            ..DriverConfig::paper_defaults()
+        };
         let mut bench = Workbench::new(CacheGeometry::xeon_e5_2660(), ddio, driver, 5);
         nginx(&mut bench, &cfg, 200); // warm up
         let m = nginx(&mut bench, &cfg, 800);
         println!("{name:<28} {:.1} kRPS", m.krps());
     }
 
-    assert!(defended * 10 < vulnerable.max(1), "defense must suppress the signal");
+    assert!(
+        defended * 10 < vulnerable.max(1),
+        "defense must suppress the signal"
+    );
     println!("\nadaptive partitioning blocks the channel at ~no throughput cost (Fig. 14/16)");
 }

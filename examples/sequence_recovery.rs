@@ -29,8 +29,15 @@ fn main() {
         .generate(&mut ConstantSize::blocks(2), tb.now() + 1, 80_000, &mut rng);
     tb.enqueue(frames);
 
-    let cfg = SequencerConfig { samples: 18_000, interval: 33_000, ..Default::default() };
-    println!("sampling {} probes over 32 page-aligned sets...", cfg.samples);
+    let cfg = SequencerConfig {
+        samples: 18_000,
+        interval: 33_000,
+        ..Default::default()
+    };
+    println!(
+        "sampling {} probes over 32 page-aligned sets...",
+        cfg.samples
+    );
     let t0 = tb.now();
     let recovered = recover_window(&mut tb, &pool, &targets, &cfg);
     let elapsed = tb.now() - t0;

@@ -26,7 +26,11 @@ fn main() {
         1234,
     );
 
-    println!("accuracy: {:.1}% over {} trials (paper: 89.7%)", result.accuracy * 100.0, result.trials);
+    println!(
+        "accuracy: {:.1}% over {} trials (paper: 89.7%)",
+        result.accuracy * 100.0,
+        result.trials
+    );
     println!("confusion matrix (rows = truth, cols = predicted):");
     for (i, row) in result.confusion.iter().enumerate() {
         println!("  {:<14} {row:?}", world.sites()[i].name());

@@ -53,7 +53,7 @@ pub mod prelude {
     };
     pub use pc_core::chasing::ChasingSpy;
     pub use pc_core::covert::{
-        lfsr_symbols, run_chased_channel, run_channel, ChannelConfig, Encoding,
+        lfsr_symbols, run_channel, run_chased_channel, ChannelConfig, Encoding,
     };
     pub use pc_core::fingerprint::{
         capture_trace, evaluate_closed_world, CaptureConfig, CorrelationClassifier,

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full attack pipeline against the
 //! simulated machine, and the defenses against the attack.
 
-use packet_chasing::core::footprint::{
-    build_monitor, page_aligned_targets, ring_histogram, watch,
-};
+use packet_chasing::core::footprint::{build_monitor, page_aligned_targets, ring_histogram, watch};
 use packet_chasing::core::sequencer::{
     ground_truth_sequence, recover_window, SequenceQuality, SequencerConfig,
 };
@@ -47,7 +45,10 @@ fn footprint_discovery_matches_ring_ground_truth() {
         }
     }
     assert_eq!(false_positives, 0, "activity on sets with no buffer");
-    assert!(hits * 10 >= occupied * 9, "only {hits}/{occupied} buffer sets observed");
+    assert!(
+        hits * 10 >= occupied * 9,
+        "only {hits}/{occupied} buffer sets observed"
+    );
 }
 
 #[test]
@@ -57,7 +58,11 @@ fn sequence_recovery_hits_paper_quality() {
     let pool = AddressPool::allocate(99, 12288);
     let targets: Vec<SliceSet> = page_aligned_targets(&geom).into_iter().take(32).collect();
     broadcast(&mut tb, 200_000, 70_000, 5);
-    let cfg = SequencerConfig { samples: 16_000, interval: 33_000, ..Default::default() };
+    let cfg = SequencerConfig {
+        samples: 16_000,
+        interval: 33_000,
+        ..Default::default()
+    };
     let recovered = recover_window(&mut tb, &pool, &targets, &cfg);
     let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
     let q = SequenceQuality::evaluate(&recovered, &truth, 0);
@@ -77,8 +82,7 @@ fn adaptive_partition_blinds_the_spy() {
         let mut tb = TestBed::new(cfg.with_seed(303));
         let geom = tb.hierarchy().llc().geometry();
         let pool = AddressPool::allocate(77, 12288);
-        let targets: Vec<SliceSet> =
-            page_aligned_targets(&geom).into_iter().take(64).collect();
+        let targets: Vec<SliceSet> = page_aligned_targets(&geom).into_iter().take(64).collect();
         let monitor = build_monitor(tb.hierarchy().llc(), &pool, &targets);
         monitor.prime_all(tb.hierarchy_mut());
         // Warm-up traffic: under the adaptive defense this grows the I/O
@@ -92,7 +96,10 @@ fn adaptive_partition_blinds_the_spy() {
         for _ in 0..20 {
             let next = tb.now() + 400_000;
             tb.advance_to(next);
-            for (b, m) in baseline.iter_mut().zip(monitor.sample_misses(tb.hierarchy_mut())) {
+            for (b, m) in baseline
+                .iter_mut()
+                .zip(monitor.sample_misses(tb.hierarchy_mut()))
+            {
                 *b = (*b).max(m);
             }
         }
@@ -102,7 +109,11 @@ fn adaptive_partition_blinds_the_spy() {
         for _ in 0..100 {
             let next = tb.now() + 400_000;
             tb.advance_to(next);
-            for (m, b) in monitor.sample_misses(tb.hierarchy_mut()).iter().zip(&baseline) {
+            for (m, b) in monitor
+                .sample_misses(tb.hierarchy_mut())
+                .iter()
+                .zip(&baseline)
+            {
                 excess += u64::from(m.saturating_sub(*b));
             }
         }
@@ -112,7 +123,10 @@ fn adaptive_partition_blinds_the_spy() {
     let (defended_excess, defended_leak) = run(TestBedConfig::adaptive_defense());
     assert!(vulnerable_excess > 100, "baseline attack must see packets");
     assert!(vulnerable_leak > 0);
-    assert_eq!(defended_leak, 0, "adaptive mode must never evict CPU lines on I/O fills");
+    assert_eq!(
+        defended_leak, 0,
+        "adaptive mode must never evict CPU lines on I/O fills"
+    );
     assert!(
         defended_excess * 20 < vulnerable_excess,
         "defense leak {defended_excess} vs vulnerable {vulnerable_excess}"
@@ -127,10 +141,13 @@ fn full_randomization_destroys_the_sequence() {
         let mut tb = TestBed::new(cfg);
         let geom = tb.hierarchy().llc().geometry();
         let pool = AddressPool::allocate(88, 12288);
-        let targets: Vec<SliceSet> =
-            page_aligned_targets(&geom).into_iter().take(16).collect();
+        let targets: Vec<SliceSet> = page_aligned_targets(&geom).into_iter().take(16).collect();
         broadcast(&mut tb, 100_000, 40_000, 9);
-        let scfg = SequencerConfig { samples: 10_000, interval: 33_000, ..Default::default() };
+        let scfg = SequencerConfig {
+            samples: 10_000,
+            interval: 33_000,
+            ..Default::default()
+        };
         let recovered = recover_window(&mut tb, &pool, &targets, &scfg);
         let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
         SequenceQuality::evaluate(&recovered, &truth, 0).error_rate
@@ -163,7 +180,10 @@ fn bigger_rings_dilute_the_signal_per_set() {
     let (unique_4096, empty_4096) = run(4096);
     // The covert channel needs unique-set buffers; the max-size ring
     // leaves almost none, and no set stays empty to calibrate against.
-    assert!(unique_256 > 60, "default ring has ~94 unique-set buffers, got {unique_256}");
+    assert!(
+        unique_256 > 60,
+        "default ring has ~94 unique-set buffers, got {unique_256}"
+    );
     assert!(
         unique_4096 < unique_256 / 4,
         "4096-buffer ring should leave few unique sets ({unique_4096} vs {unique_256})"

@@ -49,7 +49,11 @@ fn bandwidth_scales_with_monitored_buffers() {
         (3.0..5.0).contains(&ratio),
         "4 buffers should give ~4x bandwidth, got {ratio:.2}x"
     );
-    assert!(four.error_rate < 0.15, "multi-buffer error {:.1}%", four.error_rate * 100.0);
+    assert!(
+        four.error_rate < 0.15,
+        "multi-buffer error {:.1}%",
+        four.error_rate * 100.0
+    );
 }
 
 #[test]
@@ -64,7 +68,11 @@ fn chased_channel_error_jumps_at_high_rate() {
     };
     let low = run(100_000); // ~160 kbps
     let high = run(400_000); // ~640 kbps
-    assert!(low.error_rate < 0.05, "low-rate error {:.1}%", low.error_rate * 100.0);
+    assert!(
+        low.error_rate < 0.05,
+        "low-rate error {:.1}%",
+        low.error_rate * 100.0
+    );
     assert!(
         high.error_rate > low.error_rate + 0.05,
         "expected the 640 kbps error jump: low {:.2} high {:.2}",
@@ -90,7 +98,13 @@ fn trojan_schedule_respects_symbol_structure() {
     assert_eq!(sched.len(), 24);
     // Without reordering (utilization is low), sizes appear in symbol
     // order.
-    let sent: Vec<u8> = sched.iter().map(|f| class_to_ternary(f.frame.cache_blocks() as u8)).collect();
-    let expected: Vec<u8> = symbols.iter().flat_map(|&s| std::iter::repeat_n(s, 8)).collect();
+    let sent: Vec<u8> = sched
+        .iter()
+        .map(|f| class_to_ternary(f.frame.cache_blocks() as u8))
+        .collect();
+    let expected: Vec<u8> = symbols
+        .iter()
+        .flat_map(|&s| std::iter::repeat_n(s, 8))
+        .collect();
     assert_eq!(error_rate(&sent, &expected), 0.0);
 }

@@ -13,7 +13,10 @@ use rand::SeedableRng;
 #[test]
 fn closed_world_accuracy_beats_chance_by_far() {
     let world = ClosedWorld::paper_five_sites();
-    let capture = CaptureConfig { trace_len: 80, ..CaptureConfig::paper_defaults() };
+    let capture = CaptureConfig {
+        trace_len: 80,
+        ..CaptureConfig::paper_defaults()
+    };
     let mut bed = TestBedConfig::paper_baseline();
     bed.driver.ring_size = 64; // keep the integration test quick
     let result = evaluate_closed_world(bed, world.sites(), 3, 4, 0.2, &capture, 31337);
@@ -40,8 +43,14 @@ fn login_outcome_is_recoverable_through_the_cache() {
     let d_ok_cross = levenshtein(&ok_rec, &bad_orig);
     let d_bad_self = levenshtein(&bad_rec, &bad_orig);
     let d_bad_cross = levenshtein(&bad_rec, &ok_orig);
-    assert!(d_ok_self < d_ok_cross, "success trace misattributed ({d_ok_self} vs {d_ok_cross})");
-    assert!(d_bad_self < d_bad_cross, "failure trace misattributed ({d_bad_self} vs {d_bad_cross})");
+    assert!(
+        d_ok_self < d_ok_cross,
+        "success trace misattributed ({d_ok_self} vs {d_ok_cross})"
+    );
+    assert!(
+        d_bad_self < d_bad_cross,
+        "failure trace misattributed ({d_bad_self} vs {d_bad_cross})"
+    );
 }
 
 #[test]
@@ -56,8 +65,12 @@ fn recovered_trace_tracks_ground_truth_sizes() {
     let mut tb = TestBed::new(bed);
     let pool = AddressPool::allocate(19, 16384);
     let mut spy = ChasingSpy::for_ring(tb.hierarchy().llc(), &pool, tb.driver());
-    let cfg = CaptureConfig { trace_len: 60, ..CaptureConfig::paper_defaults() };
-    let captured = packet_chasing::core::fingerprint::capture_trace(&mut tb, &mut spy, &frames, &cfg);
+    let cfg = CaptureConfig {
+        trace_len: 60,
+        ..CaptureConfig::paper_defaults()
+    };
+    let captured =
+        packet_chasing::core::fingerprint::capture_trace(&mut tb, &mut spy, &frames, &cfg);
 
     let distance = levenshtein(&captured, &truth);
     assert!(

@@ -1,0 +1,378 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! a small wall-clock harness behind criterion's API: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros (both invocation forms).
+//!
+//! Measurement model: each benchmark runs one untimed warm-up pass, then
+//! `sample_size` timed samples; the median per-iteration time is printed
+//! as `name  time: [..]`. Results go to stdout and, when the
+//! `CRITERION_JSON` environment variable names a file, as JSON lines
+//! (`{"name": .., "median_ns": .., "samples": ..}`) appended to it so
+//! callers can track perf trajectories machine-readably.
+//!
+//! A benchmark binary accepts an optional substring filter argument,
+//! mirroring `cargo bench -- <filter>`, and ignores criterion's own
+//! flags (`--bench`, `--save-baseline`, ...) so existing invocations
+//! keep working.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark case (a name plus an optional parameter).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (used inside a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Things accepted where criterion expects a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The display name to report under.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Times closures for one benchmark case.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: one warm-up, then `sample_size` timed
+    /// samples. The routine's return value is black-boxed so the work is
+    /// not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.measured.clear();
+        self.measured.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.measured.push(t.elapsed());
+        }
+    }
+}
+
+fn median_ns(samples: &mut [Duration]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2].as_nanos()
+}
+
+/// The harness: holds configuration and the CLI filter.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Reads the benchmark-name filter from `std::env::args`, skipping
+    /// flags cargo/criterion pass through.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--noplot" | "--quiet" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_owned()),
+            }
+        }
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&self, name: &str, measured: &mut [Duration]) {
+        let med = median_ns(measured);
+        println!(
+            "{name:<56} time: [{}]   ({} samples)",
+            fmt_ns(med),
+            measured.len()
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let mut line = String::new();
+                let _ = writeln!(
+                    line,
+                    "{{\"name\":\"{}\",\"median_ns\":{},\"samples\":{}}}",
+                    name.replace('"', "'"),
+                    med,
+                    measured.len()
+                );
+                let _ = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .map(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+            }
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into_name();
+        if self.selected(&name) {
+            let mut b = Bencher {
+                samples: self.sample_size,
+                measured: Vec::new(),
+            };
+            f(&mut b);
+            self.report(&name, &mut b.measured);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmark cases sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, case: String, mut f: F) {
+        let full = format!("{}/{}", self.name, case);
+        if self.parent.selected(&full) {
+            let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+            let mut b = Bencher {
+                samples,
+                measured: Vec::new(),
+            };
+            f(&mut b);
+            self.parent.report(&full, &mut b.measured);
+        }
+    }
+
+    /// Runs one case of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into_name(), f);
+        self
+    }
+
+    /// Runs one case parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into_name(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; output is streamed).
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_cases_get_prefixed_and_filtered() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("keep".into()),
+        };
+        let mut kept = 0u32;
+        let mut dropped = 0u32;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("keep_this", |b| b.iter(|| kept += 1));
+            g.bench_with_input(BenchmarkId::from_parameter("other"), &1u32, |b, _| {
+                b.iter(|| dropped += 1)
+            });
+            g.finish();
+        }
+        assert!(kept > 0);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn median_of_samples() {
+        let mut v = vec![
+            Duration::from_nanos(5),
+            Duration::from_nanos(1),
+            Duration::from_nanos(9),
+        ];
+        assert_eq!(median_ns(&mut v), 5);
+        assert_eq!(median_ns(&mut []), 0);
+    }
+}

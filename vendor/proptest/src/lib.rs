@@ -1,0 +1,406 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the slice of proptest's API the workspace's property tests
+//! use: the [`Strategy`] trait over ranges / tuples / [`Just`] /
+//! `prop_map` / [`collection::vec`], the [`proptest!`], [`prop_oneof!`]
+//! and `prop_assert*` macros, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (all
+//!   strategy values are `Debug`) and the case number, then re-panics.
+//! * **Deterministic.** Cases derive from a fixed per-test seed (FNV of
+//!   the test name, XORed with the case index), so failures reproduce
+//!   exactly on re-run. Set `PROPTEST_CASES` to override the default
+//!   case count (64) for tests that don't pin one via
+//!   `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration types, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Copy, Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut SmallRng) -> T>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// A union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// An inclusive length range for collection strategies.
+#[derive(Copy, Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Everything a property test module needs, one glob-import away.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+/// FNV-1a, used to derive a per-test RNG seed from the test's name.
+#[doc(hidden)]
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub use rand::rngs::SmallRng as __SmallRng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            let __base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = $strat;)+
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = <$crate::__SmallRng as $crate::__SeedableRng>::seed_from_u64(
+                    __base ^ (__case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                );
+                $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+                let __inputs = format!("{:?}", ($(&$arg,)+));
+                let __outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || { $body },
+                ));
+                if let Err(payload) = __outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed; inputs: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __inputs,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{__SeedableRng, __SmallRng, fnv1a};
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = __SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(5u32..9), &mut rng);
+            assert!((5..9).contains(&v));
+            let w = Strategy::generate(&(0usize..=3), &mut rng);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn map_union_and_vec_compose() {
+        let mut rng = __SmallRng::seed_from_u64(2);
+        let strat = prop_oneof![Just(0u8), (1u8..3).prop_map(|v| v * 10),];
+        let seen: Vec<u8> = (0..100)
+            .map(|_| Strategy::generate(&strat, &mut rng))
+            .collect();
+        assert!(seen.iter().all(|v| [0, 10, 20].contains(v)));
+        let vs = crate::collection::vec(0u8..4, 2..6);
+        for _ in 0..100 {
+            let v = Strategy::generate(&vs, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+        assert_eq!(fnv1a("stable"), fnv1a("stable"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, tuples, trailing comma, config.
+        #[test]
+        fn macro_end_to_end(
+            a in 0u64..100,
+            pair in (0u8..4, 1usize..5),
+        ) {
+            prop_assert!(a < 100);
+            let (x, n) = pair;
+            prop_assert!(x < 4 && (1..5).contains(&n));
+            prop_assert_eq!(n, n);
+            prop_assert_ne!(n, n + 1);
+        }
+    }
+}
