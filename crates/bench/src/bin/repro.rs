@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--full] [--seed N] <experiment|all|bench-cache>
+//! repro [--full] [--smoke] [--seed N] <experiment|all|bench-cache>
 //!
 //! experiments:
 //!   fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab fig12cd
@@ -11,20 +11,29 @@
 //! Output is plain text with CSV-style rows, matching the series the
 //! paper reports. `--full` uses paper-like parameters (minutes);
 //! the default quick scale finishes in seconds per experiment.
-//! Experiments with independent repetitions fan them out over threads
-//! (set `PC_BENCH_THREADS=1` to force sequential execution); results
-//! are identical either way.
+//! Experiments with independent repetitions fan them out over threads,
+//! and the LLC itself simulates slice-parallel (set `PC_BENCH_THREADS=1`
+//! to force sequential execution); *stdout is byte-identical either
+//! way* — the CI determinism job diffs two full runs to enforce it.
+//! Timing chatter goes to stderr so it never perturbs the comparison.
 //!
-//! `bench-cache` times the LLC hot path (SoA store vs the pre-refactor
-//! reference layout, 9 trace/mode cases) and writes `BENCH_cache.json`
-//! next to the working directory so the perf trajectory is tracked
-//! machine-readably from PR to PR.
+//! `bench-cache` times the LLC hot path (scalar SoA loop, the
+//! slice-sharded parallel engine, and the pre-refactor reference
+//! layout; 9 trace/mode cases) and writes `BENCH_cache.json` next to
+//! the working directory so the perf trajectory is tracked
+//! machine-readably from PR to PR. `--smoke` shrinks it to a
+//! seconds-long sanity-checked pass for CI (writing
+//! `BENCH_cache_smoke.json` so the tracked file only ever holds
+//! full-protocol numbers): it fails loudly if any engine produces an
+//! unusable timing. `--smoke` is rejected for other experiments —
+//! they have no reduced mode, and silently ignoring it would be worse.
 
 use pc_bench::experiments::{self as exp, Scale};
 use std::time::Instant;
 
 fn main() {
     let mut scale = Scale::Quick;
+    let mut smoke = false;
     let mut seed = 2020u64;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -32,6 +41,7 @@ fn main() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--smoke" => smoke = true,
             "--seed" => {
                 seed = args
                     .next()
@@ -39,10 +49,11 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "-h" | "--help" => {
-                println!("usage: repro [--full] [--seed N] <experiment|all|bench-cache>");
+                println!("usage: repro [--full] [--smoke] [--seed N] <experiment|all|bench-cache>");
                 println!("experiments: fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab");
                 println!("             fig12cd fig13 fingerprint table2 fig14 fig15 fig16");
                 println!("bench-cache: LLC hot-path microbenchmark -> BENCH_cache.json");
+                println!("             (--smoke: short sanity-checked pass for CI)");
                 return;
             }
             other => cmds.push(other.to_owned()),
@@ -50,6 +61,9 @@ fn main() {
     }
     if cmds.is_empty() {
         cmds.push("all".to_owned());
+    }
+    if smoke && cmds.iter().any(|c| c != "bench-cache") {
+        die("--smoke only applies to bench-cache");
     }
 
     let all = [
@@ -94,10 +108,12 @@ fn main() {
             "fig14" => fig14(scale, seed),
             "fig15" => fig15(scale, seed),
             "fig16" => fig16(scale, seed),
-            "bench-cache" => bench_cache(scale),
+            "bench-cache" => bench_cache(scale, smoke),
             other => die(&format!("unknown experiment `{other}` (try --help)")),
         }
-        println!("[{cmd} done in {:.1}s]", t.elapsed().as_secs_f64());
+        // Wall-clock chatter goes to stderr: stdout must be byte-stable
+        // across runs and thread counts (the CI determinism job diffs it).
+        eprintln!("[{cmd} done in {:.1}s]", t.elapsed().as_secs_f64());
     }
 }
 
@@ -370,28 +386,57 @@ fn print_fig16_row(name: &str, vals: &[f64]) {
     println!("{name},{}", cols.join(","));
 }
 
-fn bench_cache(scale: Scale) {
-    println!("LLC hot path — SoA store vs pre-refactor reference layout");
-    let samples = match scale {
-        Scale::Quick => 5,
-        Scale::Full => 15,
+fn bench_cache(scale: Scale, smoke: bool) {
+    println!("LLC hot path — scalar SoA / sharded-parallel / reference layouts");
+    let (samples, trace_len) = if smoke {
+        (1, pc_bench::cache_bench::TRACE_LEN / 4)
+    } else {
+        match scale {
+            Scale::Quick => (5, pc_bench::cache_bench::TRACE_LEN),
+            Scale::Full => (15, pc_bench::cache_bench::TRACE_LEN),
+        }
     };
-    let results = pc_bench::cache_bench::measure_all(samples);
-    println!("case,soa_ns_per_access,soa_maccesses_per_sec,reference_ns_per_access,speedup");
+    let results = pc_bench::cache_bench::measure_all(samples, trace_len);
+    println!(
+        "case,soa_ns_per_access,sharded_ns_per_access,parallel_speedup,\
+         reference_ns_per_access,speedup"
+    );
     for r in &results {
         println!(
-            "{},{:.1},{:.2},{:.1},{:.2}x",
+            "{},{:.1},{:.1},{:.2}x,{:.1},{:.2}x",
             r.case,
             r.soa_ns_per_access,
-            r.soa_accesses_per_sec() / 1e6,
+            r.sharded_ns_per_access,
+            r.parallel_speedup(),
             r.reference_ns_per_access,
             r.speedup()
         );
     }
-    let json = pc_bench::cache_bench::to_json(&results);
-    let path = "BENCH_cache.json";
+    let json = pc_bench::cache_bench::to_json(&results, trace_len);
+    // Smoke runs are quarter-length single-sample measurements: keep
+    // them away from the tracked BENCH_cache.json so the PR-to-PR perf
+    // trajectory only ever records full-protocol numbers.
+    let path = if smoke {
+        "BENCH_cache_smoke.json"
+    } else {
+        "BENCH_cache.json"
+    };
     match std::fs::write(path, &json) {
         Ok(()) => println!("# wrote {path}"),
         Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+    if smoke {
+        // The CI gate `cargo bench --no-run` only proves the benches
+        // compile; this proves they *measure*: every engine must produce
+        // a finite positive timing on every case or the job fails.
+        for r in &results {
+            if !r.is_sane() {
+                die(&format!(
+                    "bench-cache smoke: unusable timing for {}: {r:?}",
+                    r.case
+                ));
+            }
+        }
+        println!("# smoke: {} cases sane", results.len());
     }
 }

@@ -4,6 +4,14 @@
 //! `cache_throughput` Criterion bench (interactive measurement) and the
 //! `repro bench-cache` subcommand (emits `BENCH_cache.json` so the perf
 //! trajectory is tracked across PRs on one fixed workload).
+//!
+//! Three engines are timed on every (shape, mode) case:
+//!
+//! * `soa` — the scalar access loop over the SoA store (one thread);
+//! * `sharded` — the same store replayed through the slice-sharded
+//!   batch dispatcher on [`pc_par::max_threads`] workers (byte-identical
+//!   results; this is the engine trace-replay workloads actually use);
+//! * `reference` — the pre-refactor per-set-object layout.
 
 use pc_cache::reference::ReferenceCache;
 use pc_cache::{AccessKind, CacheGeometry, DdioMode, PhysAddr, SlicedCache};
@@ -11,8 +19,15 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-/// Accesses per generated trace.
+/// Accesses per generated trace (full runs; `--smoke` shortens it).
 pub const TRACE_LEN: usize = 200_000;
+
+/// Ops per sharded batch: large enough to amortize binning and thread
+/// hand-off, small enough that the adaptive cases keep adapting (each
+/// batch shares one clock value; the clock advances between batches at
+/// the scalar rate). Public so the `cache_throughput` Criterion bench
+/// replays the exact same batch shape.
+pub const SHARD_CHUNK: usize = 32_768;
 
 /// Trace shapes covering the reproduction's real access patterns.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -68,11 +83,16 @@ impl Shape {
     }
 }
 
-/// A reproducible access trace of `TRACE_LEN` ops with `io_pct`% DDIO
+/// A reproducible access trace of `len` ops with `io_pct`% DDIO
 /// writes and a 1-in-4 CPU-write share mixed into the CPU reads.
-pub fn trace(shape: Shape, io_pct: u32, seed: u64) -> Vec<(PhysAddr, AccessKind)> {
+pub fn trace_with_len(
+    shape: Shape,
+    io_pct: u32,
+    seed: u64,
+    len: usize,
+) -> Vec<(PhysAddr, AccessKind)> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..TRACE_LEN)
+    (0..len)
         .map(|_| {
             let addr = shape.address(&mut rng);
             let kind = if rng.gen_range(0..100u32) < io_pct {
@@ -87,6 +107,11 @@ pub fn trace(shape: Shape, io_pct: u32, seed: u64) -> Vec<(PhysAddr, AccessKind)
         .collect()
 }
 
+/// [`trace_with_len`] at the standard [`TRACE_LEN`].
+pub fn trace(shape: Shape, io_pct: u32, seed: u64) -> Vec<(PhysAddr, AccessKind)> {
+    trace_with_len(shape, io_pct, seed, TRACE_LEN)
+}
+
 /// The DDIO modes under measurement, with reporting names.
 pub fn modes() -> [(&'static str, DdioMode); 3] {
     [
@@ -99,15 +124,16 @@ pub fn modes() -> [(&'static str, DdioMode); 3] {
 /// One prebuilt benchmark case: name, trace, mode.
 pub type Case = (String, Vec<(PhysAddr, AccessKind)>, DdioMode);
 
-/// Every (shape, mode) case: name, prebuilt trace, mode.
-pub fn cases() -> Vec<Case> {
+/// Every (shape, mode) case with `len`-op traces: name, prebuilt trace,
+/// mode.
+pub fn cases_with_len(len: usize) -> Vec<Case> {
     let mut out = Vec::new();
     for shape in Shape::all() {
         for (mode_name, mode) in modes() {
             let io_pct = 25;
             out.push((
                 format!("{}/{}", shape.name(), mode_name),
-                trace(shape, io_pct, 0xbead ^ shape.seed_tag()),
+                trace_with_len(shape, io_pct, 0xbead ^ shape.seed_tag(), len),
                 mode,
             ));
         }
@@ -115,13 +141,20 @@ pub fn cases() -> Vec<Case> {
     out
 }
 
+/// [`cases_with_len`] at the standard [`TRACE_LEN`].
+pub fn cases() -> Vec<Case> {
+    cases_with_len(TRACE_LEN)
+}
+
 /// One measured case of [`measure_all`].
 #[derive(Clone, Debug)]
 pub struct CaseResult {
     /// `shape/mode` case name.
     pub case: String,
-    /// Median ns/access for the SoA store.
+    /// Median ns/access for the scalar SoA access loop.
     pub soa_ns_per_access: f64,
+    /// Median ns/access for the slice-sharded parallel engine.
+    pub sharded_ns_per_access: f64,
     /// Median ns/access for the pre-refactor reference layout.
     pub reference_ns_per_access: f64,
 }
@@ -132,9 +165,32 @@ impl CaseResult {
         1e9 / self.soa_ns_per_access
     }
 
-    /// reference_ns / soa_ns.
+    /// Sharded-engine accesses/second.
+    pub fn sharded_accesses_per_sec(&self) -> f64 {
+        1e9 / self.sharded_ns_per_access
+    }
+
+    /// reference_ns / soa_ns — the PR 1 layout speedup.
     pub fn speedup(&self) -> f64 {
         self.reference_ns_per_access / self.soa_ns_per_access
+    }
+
+    /// soa_ns / sharded_ns — the multi-core scaling of this PR (≈1.0 on
+    /// a single-core host or with `PC_BENCH_THREADS=1`).
+    pub fn parallel_speedup(&self) -> f64 {
+        self.soa_ns_per_access / self.sharded_ns_per_access
+    }
+
+    /// `true` when every timing is a usable measurement (finite,
+    /// positive). The `--smoke` CI gate fails the run otherwise.
+    pub fn is_sane(&self) -> bool {
+        [
+            self.soa_ns_per_access,
+            self.sharded_ns_per_access,
+            self.reference_ns_per_access,
+        ]
+        .iter()
+        .all(|ns| ns.is_finite() && *ns > 0.0)
     }
 }
 
@@ -143,29 +199,42 @@ fn median(mut v: Vec<f64>) -> f64 {
     v[v.len() / 2]
 }
 
-/// Times `samples` passes of the trace through `access` (one untimed
-/// warm-up pass first), returning the median ns/access. One measurement
-/// protocol for both layouts — the `access` closure is the only thing
-/// that differs, so the SoA/reference comparison can't skew.
-fn time_passes(
+/// The one measurement protocol every engine goes through: `samples`
+/// timed passes over the trace (one untimed warm-up pass first), clock
+/// carried across passes, median ns/access reported. `pass` replays the
+/// whole trace once, advancing the shared clock — it is the only thing
+/// that differs between engines, so their comparison can't skew.
+fn time_passes_with(
     ops: &[(PhysAddr, AccessKind)],
     samples: usize,
-    mut access: impl FnMut(PhysAddr, AccessKind, u64),
+    mut pass: impl FnMut(&[(PhysAddr, AccessKind)], &mut u64),
 ) -> f64 {
     let mut now = 0u64;
     let mut runs = Vec::with_capacity(samples);
     for i in 0..=samples {
         let t = Instant::now();
-        for &(a, k) in ops {
-            access(a, k, now);
-            now += 3;
-        }
+        pass(ops, &mut now);
         let ns = t.elapsed().as_nanos() as f64 / ops.len() as f64;
         if i > 0 {
             runs.push(ns); // first pass is warm-up
         }
     }
     median(runs)
+}
+
+/// [`time_passes_with`] for scalar engines: one `access` call per op,
+/// clock advancing 3 cycles per access.
+fn time_passes(
+    ops: &[(PhysAddr, AccessKind)],
+    samples: usize,
+    mut access: impl FnMut(PhysAddr, AccessKind, u64),
+) -> f64 {
+    time_passes_with(ops, samples, |ops, now| {
+        for &(a, k) in ops {
+            access(a, k, *now);
+            *now += 3;
+        }
+    })
 }
 
 fn time_soa(ops: &[(PhysAddr, AccessKind)], mode: DdioMode, samples: usize) -> f64 {
@@ -182,13 +251,35 @@ fn time_reference(ops: &[(PhysAddr, AccessKind)], mode: DdioMode, samples: usize
     })
 }
 
-/// Measures every case on both layouts (`samples` timed passes each,
-/// median reported).
-pub fn measure_all(samples: usize) -> Vec<CaseResult> {
-    cases()
+/// Times the slice-sharded batch engine: the trace replays in
+/// [`SHARD_CHUNK`]-op batches (clock advancing between batches at the
+/// scalar rate) on up to `threads` workers. Results are byte-identical
+/// to the scalar loop; only wall clock differs.
+fn time_sharded(
+    ops: &[(PhysAddr, AccessKind)],
+    mode: DdioMode,
+    samples: usize,
+    threads: usize,
+) -> f64 {
+    let mut llc = SlicedCache::new(CacheGeometry::xeon_e5_2660(), mode);
+    time_passes_with(ops, samples, |ops, now| {
+        for chunk in ops.chunks(SHARD_CHUNK) {
+            llc.access_batch_threads(chunk, *now, threads);
+            *now += 3 * chunk.len() as u64;
+        }
+    })
+}
+
+/// Measures every case on all three engines (`samples` timed passes
+/// each, median reported) with `len`-op traces. The sharded engine uses
+/// [`pc_par::max_threads`] workers.
+pub fn measure_all(samples: usize, len: usize) -> Vec<CaseResult> {
+    let threads = pc_par::max_threads();
+    cases_with_len(len)
         .into_iter()
         .map(|(case, ops, mode)| CaseResult {
             soa_ns_per_access: time_soa(&ops, mode, samples),
+            sharded_ns_per_access: time_sharded(&ops, mode, samples, threads),
             reference_ns_per_access: time_reference(&ops, mode, samples),
             case,
         })
@@ -196,20 +287,24 @@ pub fn measure_all(samples: usize) -> Vec<CaseResult> {
 }
 
 /// Renders results as the `BENCH_cache.json` document.
-pub fn to_json(results: &[CaseResult]) -> String {
+pub fn to_json(results: &[CaseResult], trace_len: usize) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v1\",");
-    let _ = writeln!(s, "  \"trace_len\": {TRACE_LEN},");
+    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v2\",");
+    let _ = writeln!(s, "  \"trace_len\": {trace_len},");
+    let _ = writeln!(s, "  \"threads\": {},", pc_par::max_threads());
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"case\": \"{}\", \"soa_ns_per_access\": {:.2}, \"soa_accesses_per_sec\": {:.0}, \"reference_ns_per_access\": {:.2}, \"speedup\": {:.2}}}",
+            "    {{\"case\": \"{}\", \"soa_ns_per_access\": {:.2}, \"soa_accesses_per_sec\": {:.0}, \"sharded_ns_per_access\": {:.2}, \"sharded_accesses_per_sec\": {:.0}, \"parallel_speedup\": {:.2}, \"reference_ns_per_access\": {:.2}, \"speedup\": {:.2}}}",
             r.case,
             r.soa_ns_per_access,
             r.soa_accesses_per_sec(),
+            r.sharded_ns_per_access,
+            r.sharded_accesses_per_sec(),
+            r.parallel_speedup(),
             r.reference_ns_per_access,
             r.speedup()
         );
@@ -234,11 +329,34 @@ mod tests {
         let r = vec![CaseResult {
             case: "stream/enabled".into(),
             soa_ns_per_access: 50.0,
+            sharded_ns_per_access: 25.0,
             reference_ns_per_access: 150.0,
         }];
-        let s = to_json(&r);
+        let s = to_json(&r, TRACE_LEN);
         assert!(s.contains("\"speedup\": 3.00"));
-        assert!(s.contains("pc-bench-cache-v1"));
+        assert!(s.contains("\"parallel_speedup\": 2.00"));
+        assert!(s.contains("pc-bench-cache-v2"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn sanity_gate_rejects_bogus_timings() {
+        let mut r = CaseResult {
+            case: "stream/enabled".into(),
+            soa_ns_per_access: 50.0,
+            sharded_ns_per_access: 25.0,
+            reference_ns_per_access: 150.0,
+        };
+        assert!(r.is_sane());
+        r.sharded_ns_per_access = 0.0;
+        assert!(!r.is_sane());
+        r.sharded_ns_per_access = f64::NAN;
+        assert!(!r.is_sane());
+    }
+
+    #[test]
+    fn short_traces_for_smoke_mode() {
+        assert_eq!(trace_with_len(Shape::Conflict, 25, 9, 1000).len(), 1000);
+        assert_eq!(cases_with_len(500)[0].1.len(), 500);
     }
 }

@@ -412,37 +412,32 @@ pub struct FingerprintResult {
 }
 
 /// The §V experiment: train on clean-ish captures, classify noisy ones.
+///
+/// The site×trial capture grid inside [`evaluate_closed_world`] is
+/// thread-parallel (per-capture seeds, ordered collection), so the two
+/// DDIO configurations run back to back and each one saturates the
+/// worker pool — much better load balance than the old two-way split of
+/// the experiment that dominates `repro all` wall time.
 pub fn fingerprint(scale: Scale, seed: u64) -> FingerprintResult {
     let training = scale.pick(4, 8);
     let trials = scale.pick(8, 40); // per site
     let noise = 0.25;
-    // The two DDIO configurations are independent captures — run them on
-    // separate threads (this experiment dominates `repro all` wall time).
-    let mut results = crate::par::parallel_map(
-        vec![
-            (TestBedConfig::paper_baseline(), seed),
-            (TestBedConfig::no_ddio(), seed + 999),
-        ],
-        |(bed, run_seed)| {
-            let sites = pc_net::ClosedWorld::paper_five_sites();
-            let capture = CaptureConfig::paper_defaults();
-            evaluate_closed_world(
-                bed,
-                sites.sites(),
-                training,
-                trials,
-                noise,
-                &capture,
-                run_seed,
-            )
-        },
-    )
-    .into_iter();
-    let with_ddio = results.next().expect("two configurations");
-    let without_ddio = results.next().expect("two configurations");
+    let sites = pc_net::ClosedWorld::paper_five_sites();
+    let capture = CaptureConfig::paper_defaults();
+    let run = |bed, run_seed| {
+        evaluate_closed_world(
+            bed,
+            sites.sites(),
+            training,
+            trials,
+            noise,
+            &capture,
+            run_seed,
+        )
+    };
     FingerprintResult {
-        with_ddio,
-        without_ddio,
+        with_ddio: run(TestBedConfig::paper_baseline(), seed),
+        without_ddio: run(TestBedConfig::no_ddio(), seed + 999),
     }
 }
 

@@ -1,5 +1,10 @@
 //! Thread-parallel execution of independent experiment repetitions.
 //!
+//! This module is a facade over [`pc_par`], the workspace-wide parallel
+//! substrate (the sharded LLC engine in `pc-cache` and the fingerprint
+//! capture loop in `pc-core` use the same primitives, so
+//! `PC_BENCH_THREADS` governs every parallel path from one place).
+//!
 //! Every experiment in [`crate::experiments`] is a pure function of its
 //! seed: repetitions share no state, so they can run on separate OS
 //! threads without changing any result. [`parallel_map`] preserves input
@@ -7,105 +12,4 @@
 //! experiment prints byte-identical output to the sequential version —
 //! determinism is per-run seeds plus ordered collection, not luck.
 
-use std::num::NonZeroUsize;
-
-/// Upper bound on worker threads (`PC_BENCH_THREADS` overrides; `1`
-/// forces sequential execution, e.g. for debugging).
-fn max_threads() -> usize {
-    if let Ok(v) = std::env::var("PC_BENCH_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
-}
-
-/// Maps `f` over `items` on up to [`max_threads`] worker threads,
-/// returning results in input order.
-///
-/// Work is distributed round-robin (worker `w` takes items `w`,
-/// `w + n`, ...), which keeps the longest-running repetitions of a
-/// typical homogeneous batch spread across workers. Panics in `f`
-/// propagate to the caller.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let threads = max_threads().min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        buckets[i % threads].push((i, item));
-    }
-    let f_ref = &f;
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
-                scope.spawn(move || {
-                    bucket
-                        .into_iter()
-                        .map(|(i, item)| (i, f_ref(item)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("experiment worker panicked") {
-                out[i] = Some(r);
-            }
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every index filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let out = parallel_map((0..100).collect::<Vec<i64>>(), |x| x * x);
-        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<i64>>());
-    }
-
-    #[test]
-    fn single_item_runs_inline() {
-        assert_eq!(parallel_map(vec![41], |x| x + 1), vec![42]);
-    }
-
-    #[test]
-    fn empty_input_is_fine() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn matches_sequential_for_seeded_work() {
-        // The property the experiments rely on: parallel order ==
-        // sequential order for seed-dependent work.
-        let work = |seed: u64| {
-            use rand::rngs::SmallRng;
-            use rand::{Rng, SeedableRng};
-            let mut rng = SmallRng::seed_from_u64(seed);
-            (0..1000)
-                .map(|_| rng.gen_range(0..1_000_000u64))
-                .sum::<u64>()
-        };
-        let seeds: Vec<u64> = (0..16).collect();
-        let sequential: Vec<u64> = seeds.iter().map(|&s| work(s)).collect();
-        let parallel = parallel_map(seeds, work);
-        assert_eq!(parallel, sequential);
-    }
-}
+pub use pc_par::{max_threads, mix_seed, parallel_map, parallel_map_threads};

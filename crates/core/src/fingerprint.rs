@@ -264,6 +264,14 @@ pub struct FingerprintAccuracy {
 ///
 /// `bed_config` selects DDIO on/off — the experiment behind the paper's
 /// 89.7 % (DDIO) vs 86.5 % (no DDIO) numbers.
+///
+/// Every capture (site × training run, then site × trial) is an
+/// independent page load on a fresh test bed with its own RNG stream
+/// derived via [`pc_par::mix_seed`] from `(seed, salt)`, so the whole
+/// site×trial grid fans out over worker threads with ordered collection
+/// — the same per-repetition-seed contract the `pc-bench` experiments
+/// use. `PC_BENCH_THREADS=1` forces sequential capture; results are
+/// identical either way.
 pub fn evaluate_closed_world(
     bed_config: TestBedConfig,
     sites: &[WebsiteProfile],
@@ -273,44 +281,52 @@ pub fn evaluate_closed_world(
     capture: &CaptureConfig,
     seed: u64,
 ) -> FingerprintAccuracy {
-    let mut rng = SmallRng::seed_from_u64(seed);
     let pool = AddressPool::allocate(seed ^ 0xf00d, 16384);
 
-    let capture_one = |profile: &WebsiteProfile, salt: u64, rng: &mut SmallRng| {
+    let capture_one = |site: usize, salt: u64| {
         // A fresh bed per page load: the victim machine's ring state
-        // differs per session; the spy re-syncs each time.
+        // differs per session; the spy re-syncs each time. The page-load
+        // noise stream is a pure function of (seed, salt), never of the
+        // schedule that ran this capture.
+        let mut rng = SmallRng::seed_from_u64(pc_par::mix_seed(seed, salt));
         let mut tb = TestBed::new(bed_config.with_seed(seed ^ salt));
         let mut spy = ChasingSpy::for_ring(tb.hierarchy().llc(), &pool, tb.driver());
-        let frames = profile.page_load(noise, rng);
+        let frames = sites[site].page_load(noise, &mut rng);
         capture_trace(&mut tb, &mut spy, &frames, capture)
     };
 
-    // Train.
-    let mut training: Vec<Vec<SizeTrace>> = Vec::with_capacity(sites.len());
-    for (si, site) in sites.iter().enumerate() {
-        let mut traces = Vec::with_capacity(training_per_site);
-        for t in 0..training_per_site {
-            traces.push(capture_one(site, (si * 1000 + t) as u64, &mut rng));
-        }
-        training.push(traces);
-    }
+    // Train: one job per (site, training run), collected in input order
+    // and regrouped per site.
+    let train_jobs: Vec<(usize, u64)> = (0..sites.len())
+        .flat_map(|si| (0..training_per_site).map(move |t| (si, (si * 1000 + t) as u64)))
+        .collect();
+    let mut captured =
+        pc_par::parallel_map(train_jobs, |(si, salt)| capture_one(si, salt)).into_iter();
+    let training: Vec<Vec<SizeTrace>> = (0..sites.len())
+        .map(|_| captured.by_ref().take(training_per_site).collect())
+        .collect();
     let classifier = EditDistanceClassifier::train(
         sites.iter().map(|s| s.name().to_owned()).collect(),
         training,
     );
 
-    // Evaluate.
+    // Evaluate: one job per (site, trial); classification happens on the
+    // worker too (the classifier is immutable shared state).
+    let eval_jobs: Vec<(usize, u64)> = (0..sites.len())
+        .flat_map(|si| (0..trials_per_site).map(move |t| (si, (0x5a5a + si * 7717 + t) as u64)))
+        .collect();
+    let predictions = pc_par::parallel_map(eval_jobs, |(si, salt)| {
+        let trace = capture_one(si, salt);
+        (si, classifier.classify(&trace).0)
+    });
+
     let mut confusion = vec![vec![0usize; sites.len()]; sites.len()];
     let mut correct = 0usize;
     let mut trials = 0usize;
-    for (si, site) in sites.iter().enumerate() {
-        for t in 0..trials_per_site {
-            let trace = capture_one(site, (0x5a5a + si * 7717 + t) as u64, &mut rng);
-            let (pred, _) = classifier.classify(&trace);
-            confusion[si][pred] += 1;
-            correct += usize::from(pred == si);
-            trials += 1;
-        }
+    for (si, pred) in predictions {
+        confusion[si][pred] += 1;
+        correct += usize::from(pred == si);
+        trials += 1;
     }
     FingerprintAccuracy {
         accuracy: correct as f64 / trials.max(1) as f64,

@@ -44,6 +44,25 @@ impl LatencyModel {
     pub fn miss_threshold(&self) -> Cycles {
         (self.llc_hit + self.dram) / 2
     }
+
+    /// The single latency rule: what one access costs given whether it
+    /// hit and whether I/O writes allocate in the LLC
+    /// ([`crate::DdioMode::allocates_in_llc`]). Shared by the scalar
+    /// entry points, the sequential trace replay and the sharded trace
+    /// replay, so the paths cannot diverge.
+    #[inline]
+    pub fn access_latency(&self, hit: bool, kind: AccessKind, allocates_in_llc: bool) -> Cycles {
+        if hit {
+            self.llc_hit
+        } else {
+            match kind {
+                // Misses pay DRAM; DDIO-allocating writes complete at
+                // cache speed (the whole point of DDIO).
+                AccessKind::IoWrite if allocates_in_llc => self.llc_hit,
+                _ => self.dram,
+            }
+        }
+    }
 }
 
 impl Default for LatencyModel {
@@ -140,20 +159,11 @@ impl Hierarchy {
         self.mem.writes += wb as u64;
     }
 
-    /// The single latency rule, shared by the scalar entry points and
-    /// [`Hierarchy::run_trace`] so the two paths cannot diverge.
+    /// [`LatencyModel::access_latency`] applied to this hierarchy's LLC.
     #[inline]
     fn latency_of(&self, hit: bool, kind: AccessKind) -> Cycles {
-        if hit {
-            self.lat.llc_hit
-        } else {
-            match kind {
-                // Misses pay DRAM; DDIO-allocating writes complete at
-                // cache speed (the whole point of DDIO).
-                AccessKind::IoWrite if self.llc.mode().allocates_in_llc() => self.lat.llc_hit,
-                _ => self.lat.dram,
-            }
-        }
+        self.lat
+            .access_latency(hit, kind, self.llc.mode().allocates_in_llc())
     }
 
     fn run(&mut self, addr: PhysAddr, kind: AccessKind) -> Cycles {
@@ -201,9 +211,59 @@ impl Hierarchy {
     /// — saving a call and two stat read-modify-writes per line.
     /// Per-access behaviour (RNG stream, adaptation timing, statistics)
     /// is identical to issuing the ops one at a time.
+    ///
+    /// In `Disabled`/`Enabled` DDIO modes the cache never reads the
+    /// clock, so a long trace is binned by slice and replayed on worker
+    /// threads (one per shard group; `PC_BENCH_THREADS` bounds the pool,
+    /// `=1` forces the sequential walk) — the summary, statistics and
+    /// final clock are byte-identical either way. `Adaptive` traces
+    /// always replay sequentially: the per-access clock drives each
+    /// slice's adaptation period, so only the clock-advancing walk is
+    /// faithful.
     pub fn run_trace<I>(&mut self, ops: I) -> TraceSummary
     where
         I: IntoIterator<Item = (PhysAddr, AccessKind)>,
+    {
+        let ops = ops.into_iter();
+        // The dominant caller is `PrimeProbe::prime` with a handful of
+        // ops per call: when the trace provably cannot shard (adaptive
+        // mode, one slice, or a known-short iterator) stream it with no
+        // allocation and no thread-pool sizing — both cost real time at
+        // that call rate.
+        let adaptive = matches!(self.llc.mode(), crate::DdioMode::Adaptive(_));
+        let short = matches!(ops.size_hint(), (_, Some(hi)) if hi < crate::llc::PAR_BATCH_MIN);
+        if adaptive || short || self.llc.geometry().slices() <= 1 {
+            return self.run_trace_sequential(ops);
+        }
+        self.run_trace_threads(ops.collect(), pc_par::max_threads())
+    }
+
+    /// [`Hierarchy::run_trace`] with an explicit worker bound (tests pin
+    /// the count; results are byte-identical for every value).
+    pub(crate) fn run_trace_threads(
+        &mut self,
+        ops: Vec<(PhysAddr, AccessKind)>,
+        threads: usize,
+    ) -> TraceSummary {
+        if !matches!(self.llc.mode(), crate::DdioMode::Adaptive(_))
+            && self.llc.batch_worth_sharding(ops.len(), threads)
+        {
+            let sum = self
+                .llc
+                .trace_batch_threads(&ops, self.clock, threads, self.lat);
+            self.clock += sum.cycles;
+            self.mem.reads += sum.dram_reads;
+            self.mem.writes += sum.dram_writes;
+            return sum;
+        }
+        self.run_trace_sequential(ops.into_iter())
+    }
+
+    /// The clock-advancing sequential walk shared by every `run_trace`
+    /// path that doesn't shard.
+    fn run_trace_sequential<I>(&mut self, ops: I) -> TraceSummary
+    where
+        I: Iterator<Item = (PhysAddr, AccessKind)>,
     {
         let mut sum = TraceSummary::default();
         let mut reads = 0u64;
@@ -341,6 +401,48 @@ mod tests {
             assert_eq!(batched.memory_stats(), scalar.memory_stats(), "{mode:?}");
             assert_eq!(batched.llc().stats(), scalar.llc().stats(), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn sharded_trace_replay_is_thread_count_invariant() {
+        // A trace long enough to take the sharded path must leave the
+        // hierarchy in a byte-identical state (summary, clock, memory
+        // traffic, LLC stats, residency) for every worker count. Covers
+        // the non-adaptive modes; adaptive traces always take the
+        // sequential clock-advancing walk (asserted below).
+        let ops: Vec<(PhysAddr, AccessKind)> = (0..6000u64)
+            .map(|i| {
+                let kind = match i % 5 {
+                    0 => AccessKind::IoWrite,
+                    1 => AccessKind::CpuWrite,
+                    2 => AccessKind::IoRead,
+                    _ => AccessKind::CpuRead,
+                };
+                (PhysAddr::new((i % 97) * 0x3040), kind)
+            })
+            .collect();
+        for mode in [DdioMode::Disabled, DdioMode::enabled()] {
+            let mut seq = h(mode);
+            let want = seq.run_trace_threads(ops.clone(), 1);
+            for threads in [2usize, 4, 16] {
+                let mut par = h(mode);
+                let got = par.run_trace_threads(ops.clone(), threads);
+                assert_eq!(got, want, "{mode:?} threads={threads}");
+                assert_eq!(par.now(), seq.now(), "{mode:?} threads={threads}");
+                assert_eq!(par.memory_stats(), seq.memory_stats(), "{mode:?}");
+                assert_eq!(par.llc().stats(), seq.llc().stats(), "{mode:?}");
+                for &(a, _) in &ops {
+                    assert_eq!(par.llc().contains(a), seq.llc().contains(a));
+                }
+            }
+        }
+        // Adaptive mode: the clock-advancing walk is the only faithful
+        // one, so every thread count must produce the sequential result.
+        let mut seq = h(DdioMode::adaptive());
+        let want = seq.run_trace_threads(ops.clone(), 1);
+        let mut par = h(DdioMode::adaptive());
+        assert_eq!(par.run_trace_threads(ops.clone(), 8), want);
+        assert_eq!(par.llc().stats(), seq.llc().stats());
     }
 
     #[test]

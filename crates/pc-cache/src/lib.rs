@@ -51,6 +51,7 @@ mod partition;
 pub mod reference;
 mod replacement;
 mod set;
+mod shard;
 mod slicehash;
 mod stats;
 mod store;

@@ -1,18 +1,24 @@
 //! The sliced last-level cache with DDIO write allocation and the
-//! adaptive I/O partitioning defense, backed by a contiguous
-//! structure-of-arrays line store.
+//! adaptive I/O partitioning defense.
+//!
+//! Storage and simulation state are sharded by slice
+//! ([`crate::shard::Shard`]): each slice owns its cut of the SoA line
+//! store, its RNG stream, its statistics and its adaptive-partition
+//! worklists. Scalar accesses route to the owning shard; the batch entry
+//! points bin a trace by slice hash and can run the shards on worker
+//! threads, merging statistics in slice order — byte-identical to the
+//! sequential walk for any seed and any thread count.
 
 use crate::addr::PhysAddr;
 use crate::geometry::CacheGeometry;
+use crate::hierarchy::{LatencyModel, TraceSummary};
 use crate::partition::AdaptiveConfig;
-use crate::replacement::{ReplacementPolicy, Victims};
+use crate::replacement::ReplacementPolicy;
 use crate::set::Domain;
+use crate::shard::Shard;
 use crate::slicehash::SliceHash;
 use crate::stats::CacheStats;
-use crate::store::{LineStore, FLAG_ELEVATED, FLAG_TOUCHED};
 use crate::Cycles;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::fmt;
 
 /// How DMA from I/O devices interacts with the LLC.
@@ -145,14 +151,35 @@ impl BatchOutcome {
         self.dram_writes += u64::from(out.dram_writes);
         self.evicted_cpu += u64::from(out.evicted_cpu);
     }
+
+    /// Folds another aggregate into this one (all counters are sums, so
+    /// merging per-shard aggregates in any order equals the sequential
+    /// total; the dispatcher still merges in slice order by convention).
+    #[inline]
+    pub fn merge(&mut self, other: BatchOutcome) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+        self.evicted_cpu += other.evicted_cpu;
+    }
 }
+
+/// One decoded access, binned per slice by the batch dispatcher.
+type BinnedOp = (u32, u64, AccessKind); // (local set, tag, kind)
+
+/// Batches shorter than this replay inline: binning + thread hand-off
+/// costs more than it saves. Crossing the threshold never changes
+/// results (the two paths are byte-equivalent), only who runs them.
+pub(crate) const PAR_BATCH_MIN: usize = 4096;
 
 /// The sliced, set-associative LLC.
 ///
 /// All addresses are physical. The cache stores only metadata (tags,
-/// dirty bits, domains); no data bytes are simulated. Storage is a
-/// single contiguous structure-of-arrays ([`crate::store`]) — there is
-/// no per-set object on the hot path.
+/// dirty bits, domains); no data bytes are simulated. Storage is one
+/// contiguous structure-of-arrays *per slice* ([`crate::store`]), owned
+/// by that slice's simulation shard — there is no per-set object on the
+/// hot path, and no cross-slice state at all.
 ///
 /// ```
 /// use pc_cache::{AccessKind, CacheGeometry, DdioMode, PhysAddr, SlicedCache};
@@ -166,13 +193,7 @@ pub struct SlicedCache {
     geom: CacheGeometry,
     hash: SliceHash,
     mode: DdioMode,
-    store: LineStore,
-    rng: SmallRng,
-    stats: CacheStats,
-    // Adaptive-defense bookkeeping (unused in other modes).
-    adapt_last: Cycles,
-    touched: Vec<usize>,
-    elevated: Vec<usize>,
+    shards: Vec<Shard>,
 }
 
 impl SlicedCache {
@@ -188,6 +209,11 @@ impl SlicedCache {
     }
 
     /// Creates a cache with an explicit replacement policy and RNG seed.
+    ///
+    /// Each slice's shard derives its own RNG stream from
+    /// `pc_par::mix_seed(seed, slice)`, so a slice's randomized decisions
+    /// depend only on the accesses that slice receives — the property
+    /// that makes parallel and sequential simulation byte-identical.
     ///
     /// # Panics
     ///
@@ -218,12 +244,18 @@ impl SlicedCache {
             geom,
             hash,
             mode,
-            store: LineStore::new(geom.total_sets(), geom.ways(), policy, initial_io_limit),
-            rng: SmallRng::seed_from_u64(seed),
-            stats: CacheStats::new(),
-            adapt_last: 0,
-            touched: Vec::new(),
-            elevated: Vec::new(),
+            shards: (0..geom.slices())
+                .map(|slice| {
+                    Shard::new(
+                        geom.sets_per_slice(),
+                        geom.ways(),
+                        policy,
+                        initial_io_limit,
+                        seed,
+                        slice,
+                    )
+                })
+                .collect(),
         }
     }
 
@@ -251,36 +283,39 @@ impl SlicedCache {
         }
     }
 
-    fn flat_index(&self, ss: SliceSet) -> usize {
-        ss.slice * self.geom.sets_per_slice() + ss.set
-    }
-
     /// Whether `addr` is currently cached (oracle for tests).
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let ss = self.locate(addr);
-        let idx = self.flat_index(ss);
-        self.store.lookup(idx, self.geom.tag(addr)).is_some()
+        self.shards[ss.slice]
+            .lookup(ss.set, self.geom.tag(addr))
+            .is_some()
     }
 
     /// Number of valid lines of `domain` in a concrete set.
     pub fn domain_count(&self, ss: SliceSet, domain: Domain) -> usize {
-        self.store.count_domain(self.flat_index(ss), domain)
+        self.shards[ss.slice].count_domain(ss.set, domain)
     }
 
     /// Current I/O partition size of a set (meaningful in `Enabled` /
     /// `Adaptive` modes).
     pub fn io_partition_limit(&self, ss: SliceSet) -> usize {
-        self.store.sets[self.flat_index(ss)].io_limit as usize
+        self.shards[ss.slice].io_limit(ss.set)
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, merged over the shards in slice order.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let mut total = CacheStats::new();
+        for shard in &self.shards {
+            total.merge(shard.stats());
+        }
+        total
     }
 
     /// Resets statistics to zero (the cache contents are untouched).
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::new();
+        for shard in &mut self.shards {
+            shard.reset_stats();
+        }
     }
 
     /// Invalidates the whole cache, counting writebacks into the stats.
@@ -290,387 +325,193 @@ impl SlicedCache {
     /// account the flush as memory writes — the original implementation
     /// silently dropped that traffic.
     pub fn flush_all(&mut self) -> usize {
-        let wb = self.store.invalidate_all();
-        self.stats.writebacks += wb as u64;
-        wb
+        self.shards.iter_mut().map(Shard::flush_all).sum()
     }
 
     /// Performs one access at cycle `now` and reports what happened.
     ///
-    /// `now` only matters in `Adaptive` mode, where it drives the
-    /// periodic boundary re-evaluation; other modes ignore it.
+    /// `now` only matters in `Adaptive` mode, where it drives the owning
+    /// slice's periodic boundary re-evaluation; other modes ignore it.
     #[inline]
     pub fn access(&mut self, addr: PhysAddr, kind: AccessKind, now: Cycles) -> AccessOutcome {
         let ss = self.locate(addr);
-        let idx = self.flat_index(ss);
         let tag = self.geom.tag(addr);
-
-        let outcome = match kind {
-            AccessKind::CpuRead | AccessKind::CpuWrite => self.cpu_access(idx, tag, kind),
-            AccessKind::IoWrite => self.io_write(idx, tag),
-            AccessKind::IoRead => self.io_read(idx, tag),
-        };
-
-        // Only I/O *writes* matter to the partition: DDIO is
-        // write-allocate, so only writes ever insert I/O lines that need
-        // protected space. Growing partitions under DMA reads (transmit
-        // traffic) would take CPU ways for nothing.
-        if kind == AccessKind::IoWrite {
-            self.note_io_activity(idx);
-        }
-        if let DdioMode::Adaptive(cfg) = self.mode {
-            if now.saturating_sub(self.adapt_last) >= cfg.period {
-                self.adapt(cfg, now);
-            }
-        }
-        outcome
+        self.shards[ss.slice].access(self.mode, ss.set, tag, kind, now)
     }
 
     /// Runs a slice of accesses, all presented at cycle `now`, and
     /// returns the aggregate outcome.
     ///
     /// Semantically identical to calling [`SlicedCache::access`] once per
-    /// element (in order, same RNG stream, same statistics); the batch
-    /// entry point exists so trace-replay drivers amortize call and
-    /// stats-accumulation overhead instead of paying it per line.
-    /// Clock-advancing callers should use [`crate::Hierarchy::run_trace`]
-    /// (which `PrimeProbe::prime` goes through); this cache-level variant
-    /// serves clockless replay like the `cache_throughput` bench. In
-    /// `Adaptive` mode, remember that a whole batch shares one `now` —
-    /// chunk long traces if periodic adaptation should keep firing.
+    /// element — and, because the shards share no state and the whole
+    /// batch shares one `now`, identical for *any* worker-thread count
+    /// (this entry point fans large batches out over
+    /// [`pc_par::max_threads`] workers; set `PC_BENCH_THREADS=1` to force
+    /// the sequential walk). Clock-advancing callers should use
+    /// [`crate::Hierarchy::run_trace`] (which `PrimeProbe::prime` goes
+    /// through); this cache-level variant serves clockless replay like
+    /// the `cache_throughput` bench. In `Adaptive` mode, remember that a
+    /// whole batch shares one `now` — chunk long traces if periodic
+    /// adaptation should keep firing.
     pub fn access_batch(&mut self, ops: &[(PhysAddr, AccessKind)], now: Cycles) -> BatchOutcome {
-        let mut agg = BatchOutcome::default();
-        for &(addr, kind) in ops {
-            agg.absorb(self.access(addr, kind, now));
+        let threads = pc_par::max_threads();
+        if !self.batch_worth_sharding(ops.len(), threads) {
+            // Short batch: binning + thread hand-off would cost more than
+            // it saves. Same results either way.
+            return self.access_batch_threads(ops, now, 1);
         }
-        agg
+        self.access_batch_threads(ops, now, threads)
     }
 
-    fn cpu_access(&mut self, idx: usize, tag: u64, kind: AccessKind) -> AccessOutcome {
-        let write = kind == AccessKind::CpuWrite;
-        if let Some(way) = self.store.lookup(idx, tag) {
-            self.store.touch(idx, way);
-            if write {
-                self.store.mark_dirty(idx, way);
-            }
-            self.stats.cpu_hits += 1;
-            return AccessOutcome {
-                hit: true,
-                ..AccessOutcome::default()
-            };
-        }
-        self.stats.cpu_misses += 1;
-        let mut out = AccessOutcome {
-            hit: false,
-            dram_reads: 1,
-            ..AccessOutcome::default()
-        };
-
-        let adaptive = matches!(self.mode, DdioMode::Adaptive(_));
-        let filled = if adaptive {
-            // CPU fills must stay inside the CPU partition: they may take
-            // an invalid way only while the CPU quota has room, and may
-            // only displace CPU lines.
-            let cpu_quota = self.store.ways() - self.store.sets[idx].io_limit as usize;
-            if self.store.count_domain(idx, Domain::Cpu) < cpu_quota {
-                self.store.fill(
-                    idx,
-                    tag,
-                    Domain::Cpu,
-                    write,
-                    &mut self.rng,
-                    Victims::Only(Domain::Cpu),
-                )
-            } else {
-                self.store.fill_no_invalid(
-                    idx,
-                    tag,
-                    Domain::Cpu,
-                    write,
-                    &mut self.rng,
-                    Victims::Only(Domain::Cpu),
-                )
-            }
-        } else {
-            self.store
-                .fill(idx, tag, Domain::Cpu, write, &mut self.rng, Victims::Any)
-        };
-        let filled = filled.or_else(|| {
-            // Quota accounting should always leave a CPU victim available;
-            // fall back to an unrestricted fill rather than dropping the
-            // line if an edge case slips through.
-            debug_assert!(false, "CPU fill found no victim");
-            self.store
-                .fill(idx, tag, Domain::Cpu, write, &mut self.rng, Victims::Any)
-        });
-        if let Some((_, Some(ev))) = filled {
-            self.stats.evictions += 1;
-            if ev.dirty {
-                self.stats.writebacks += 1;
-                out.dram_writes += 1;
-            }
-        }
-        out
-    }
-
-    fn io_write(&mut self, idx: usize, tag: u64) -> AccessOutcome {
-        match self.mode {
-            DdioMode::Disabled => {
-                // DMA goes to memory; any cached copy is invalidated (the
-                // DMA write supersedes it, so no writeback is needed).
-                let _ = self.store.invalidate(idx, tag);
-                self.stats.io_misses += 1;
-                AccessOutcome {
-                    hit: false,
-                    dram_writes: 1,
-                    ..AccessOutcome::default()
-                }
-            }
-            DdioMode::Enabled { io_way_limit } => {
-                if let Some(way) = self.store.lookup(idx, tag) {
-                    // DDIO write update: refresh in place.
-                    self.store.touch(idx, way);
-                    self.store.mark_dirty(idx, way);
-                    self.stats.io_hits += 1;
-                    return AccessOutcome {
-                        hit: true,
-                        ..AccessOutcome::default()
-                    };
-                }
-                self.stats.io_misses += 1;
-                let mut out = AccessOutcome::default();
-                let io_count = self.store.count_domain(idx, Domain::Io);
-                let filled = if io_count >= io_way_limit as usize {
-                    // Allocation limit reached: recycle an I/O line.
-                    self.store.fill_no_invalid(
-                        idx,
-                        tag,
-                        Domain::Io,
-                        true,
-                        &mut self.rng,
-                        Victims::Only(Domain::Io),
-                    )
-                } else {
-                    // Within the limit: free choice — this is the fill
-                    // that can displace a primed spy line.
-                    self.store
-                        .fill(idx, tag, Domain::Io, true, &mut self.rng, Victims::Any)
-                };
-                if let Some((_, Some(ev))) = filled {
-                    self.stats.evictions += 1;
-                    if ev.dirty {
-                        self.stats.writebacks += 1;
-                        out.dram_writes += 1;
-                    }
-                    if ev.was_cpu {
-                        self.stats.io_evicted_cpu += 1;
-                        out.evicted_cpu = true;
-                    }
-                }
-                out
-            }
-            DdioMode::Adaptive(_) => {
-                if let Some(way) = self.store.lookup(idx, tag) {
-                    self.store.touch(idx, way);
-                    self.store.mark_dirty(idx, way);
-                    self.stats.io_hits += 1;
-                    return AccessOutcome {
-                        hit: true,
-                        ..AccessOutcome::default()
-                    };
-                }
-                self.stats.io_misses += 1;
-                let mut out = AccessOutcome::default();
-                let io_limit = self.store.sets[idx].io_limit as usize;
-                let io_count = self.store.count_domain(idx, Domain::Io);
-                let filled = if io_count < io_limit {
-                    // Room in the I/O partition: quota accounting
-                    // guarantees an invalid way exists or an I/O line can
-                    // be recycled; never touch CPU lines.
-                    self.store.fill(
-                        idx,
-                        tag,
-                        Domain::Io,
-                        true,
-                        &mut self.rng,
-                        Victims::Only(Domain::Io),
-                    )
-                } else {
-                    self.store.fill_no_invalid(
-                        idx,
-                        tag,
-                        Domain::Io,
-                        true,
-                        &mut self.rng,
-                        Victims::Only(Domain::Io),
-                    )
-                };
-                let filled = filled.or_else(|| {
-                    // Partition was starved (e.g. right after a boundary
-                    // shrink): make room by displacing the LRU I/O line,
-                    // or as a last resort take an invalid way.
-                    self.store.fill(
-                        idx,
-                        tag,
-                        Domain::Io,
-                        true,
-                        &mut self.rng,
-                        Victims::Only(Domain::Io),
-                    )
-                });
-                if let Some((_, Some(ev))) = filled {
-                    self.stats.evictions += 1;
-                    if ev.dirty {
-                        self.stats.writebacks += 1;
-                        out.dram_writes += 1;
-                    }
-                    debug_assert!(!ev.was_cpu, "adaptive partition displaced a CPU line");
-                    if ev.was_cpu {
-                        self.stats.io_evicted_cpu += 1;
-                        out.evicted_cpu = true;
-                    }
-                }
-                out
-            }
-        }
-    }
-
-    fn io_read(&mut self, idx: usize, tag: u64) -> AccessOutcome {
-        if self.mode.allocates_in_llc() {
-            if let Some(way) = self.store.lookup(idx, tag) {
-                self.store.touch(idx, way);
-                self.stats.io_hits += 1;
-                return AccessOutcome {
-                    hit: true,
-                    ..AccessOutcome::default()
-                };
-            }
-            // DDIO performs write allocation but *read* transactions that
-            // miss are served from DRAM without allocating.
-            self.stats.io_misses += 1;
-            return AccessOutcome {
-                hit: false,
-                dram_reads: 1,
-                ..AccessOutcome::default()
-            };
-        }
-        // Pre-DDIO DMA read: coherent with the cache — a dirty cached
-        // copy is written back before the device reads DRAM. This is why
-        // transmit-side traffic costs extra memory writes without DDIO
-        // (Figure 15's write-traffic gap).
-        self.stats.io_misses += 1;
-        let mut out = AccessOutcome {
-            hit: false,
-            dram_reads: 1,
-            ..AccessOutcome::default()
-        };
-        if let Some(way) = self.store.lookup(idx, tag) {
-            if self.store.clean(idx, way) {
-                self.stats.writebacks += 1;
-                out.dram_writes = 1;
-            }
-        }
-        out
-    }
-
-    #[inline]
-    fn note_io_activity(&mut self, idx: usize) {
-        if !matches!(self.mode, DdioMode::Adaptive(_)) {
-            return;
-        }
-        self.store.sets[idx].io_activity = self.store.sets[idx].io_activity.saturating_add(1);
-        if self.store.sets[idx].flags & FLAG_TOUCHED == 0 {
-            self.store.sets[idx].flags |= FLAG_TOUCHED;
-            self.touched.push(idx);
-        }
-    }
-
-    /// Re-evaluates the I/O/CPU boundary of every recently active set.
+    /// [`SlicedCache::access_batch`] with an explicit worker bound.
     ///
-    /// Displacement semantics when the boundary moves are **eager**: the
-    /// losing side's surplus lines are invalidated (with writeback if
-    /// dirty) at the adaptation point, never lazily on a later fill —
-    /// see the discussion in [`crate::partition`].
-    fn adapt(&mut self, cfg: AdaptiveConfig, now: Cycles) {
-        self.adapt_last = now;
-        let touched = std::mem::take(&mut self.touched);
-        let elevated = std::mem::take(&mut self.elevated);
-        let mut revisit: Vec<usize> = Vec::with_capacity(touched.len() + elevated.len());
-        revisit.extend_from_slice(&touched);
-        // The touched flags must stay up while the elevated list is
-        // deduplicated against them. (The original implementation cleared
-        // them in the loop above, so sets on both lists were revisited
-        // twice per period — the second visit saw the freshly zeroed
-        // activity counter and moved the boundary a spurious step. With
-        // the paper's `t_high = 1` that grew every active partition to
-        // `max_io_lines` within one period and pinned it there.)
-        for idx in elevated {
-            self.store.sets[idx].flags &= !FLAG_ELEVATED;
-            if self.store.sets[idx].flags & FLAG_TOUCHED == 0 {
-                revisit.push(idx);
+    /// Shards whenever `threads > 1` — no batch-length heuristic — so
+    /// determinism tests and benches exercise the dispatcher on traces
+    /// of any size; results are byte-identical for every `threads`
+    /// value.
+    pub fn access_batch_threads(
+        &mut self,
+        ops: &[(PhysAddr, AccessKind)],
+        now: Cycles,
+        threads: usize,
+    ) -> BatchOutcome {
+        if threads <= 1 || self.shards.len() <= 1 || ops.is_empty() {
+            let mut agg = BatchOutcome::default();
+            for &(addr, kind) in ops {
+                agg.absorb(self.access(addr, kind, now));
             }
+            return agg;
         }
-        for idx in touched {
-            self.store.sets[idx].flags &= !FLAG_TOUCHED;
+        let mode = self.mode;
+        let per_shard = self.run_binned(self.bin_ops(ops), threads, &|shard, bin| {
+            let mut agg = BatchOutcome::default();
+            for (set, tag, kind) in bin {
+                agg.absorb(shard.access(mode, set as usize, tag, kind, now));
+            }
+            agg
+        });
+        let mut total = BatchOutcome::default();
+        for out in per_shard {
+            total.merge(out);
         }
-        for idx in revisit {
-            // The paper's hardware counts cycles with a valid I/O line
-            // *present*; a standing I/O line keeps the counter above
-            // T_high for the whole period. Our event count is therefore
-            // floored by the number of I/O lines currently resident.
-            let present = self.store.count_domain(idx, Domain::Io) as u32;
-            let activity = self.store.sets[idx].io_activity.max(present);
-            self.store.sets[idx].io_activity = 0;
-            let old = self.store.sets[idx].io_limit;
-            let new = if activity >= cfg.t_high {
-                old.saturating_add(1).min(cfg.max_io_lines)
-            } else if activity < cfg.t_low {
-                old.saturating_sub(1).max(cfg.min_io_lines)
-            } else {
-                old
-            };
-            if new > old {
-                // Growing I/O partition: push CPU lines out so the CPU
-                // quota holds.
-                let cpu_quota = self.store.ways() - new as usize;
-                while self.store.count_domain(idx, Domain::Cpu) > cpu_quota {
-                    match self
-                        .store
-                        .evict_lru_of_domain(idx, Domain::Cpu, &mut self.rng)
-                    {
-                        Some(dirty) => {
-                            self.stats.partition_invalidations += 1;
-                            if dirty {
-                                self.stats.writebacks += 1;
-                            }
-                        }
-                        None => break,
-                    }
+        total
+    }
+
+    /// Sharded trace replay for [`crate::Hierarchy::run_trace`]: like
+    /// [`SlicedCache::access_batch_threads`] but also prices every access
+    /// with `lat`, so the caller can advance its clock by the summed
+    /// cycles.
+    ///
+    /// Only valid for modes that ignore the per-access clock (the caller
+    /// guards this): in `Disabled`/`Enabled` mode an access outcome is a
+    /// pure function of the owning shard's prior accesses, so per-shard
+    /// replay at a fixed `now` equals the sequential clock-advancing
+    /// walk byte for byte.
+    pub(crate) fn trace_batch_threads(
+        &mut self,
+        ops: &[(PhysAddr, AccessKind)],
+        now: Cycles,
+        threads: usize,
+        lat: LatencyModel,
+    ) -> TraceSummary {
+        debug_assert!(
+            !matches!(self.mode, DdioMode::Adaptive(_)),
+            "adaptive traces must replay on the clock-advancing path"
+        );
+        let mode = self.mode;
+        let allocates = mode.allocates_in_llc();
+        let per_shard = self.run_binned(self.bin_ops(ops), threads, &|shard, bin| {
+            let mut sum = TraceSummary::default();
+            for (set, tag, kind) in bin {
+                let out = shard.access(mode, set as usize, tag, kind, now);
+                sum.accesses += 1;
+                sum.hits += u64::from(out.hit);
+                sum.cycles += lat.access_latency(out.hit, kind, allocates);
+                sum.dram_reads += u64::from(out.dram_reads);
+                sum.dram_writes += u64::from(out.dram_writes);
+            }
+            sum
+        });
+        let mut total = TraceSummary::default();
+        for sum in per_shard {
+            total.accesses += sum.accesses;
+            total.hits += sum.hits;
+            total.cycles += sum.cycles;
+            total.dram_reads += sum.dram_reads;
+            total.dram_writes += sum.dram_writes;
+        }
+        total
+    }
+
+    /// Whether a batch of `len` ops should take the sharded path.
+    pub(crate) fn batch_worth_sharding(&self, len: usize, threads: usize) -> bool {
+        threads > 1 && self.shards.len() > 1 && len >= PAR_BATCH_MIN
+    }
+
+    /// Decodes and bins a trace by owning slice, preserving per-slice
+    /// op order (the only order that matters: shards share no state).
+    fn bin_ops(&self, ops: &[(PhysAddr, AccessKind)]) -> Vec<Vec<BinnedOp>> {
+        let mut bins: Vec<Vec<BinnedOp>> = vec![Vec::new(); self.shards.len()];
+        // One sizing pass keeps the per-slice pushes allocation-free.
+        let per_slice_hint = ops.len() / self.shards.len() + ops.len() / 8 + 1;
+        for bin in &mut bins {
+            bin.reserve(per_slice_hint);
+        }
+        for &(addr, kind) in ops {
+            let slice = self.hash.slice_of(addr);
+            bins[slice].push((self.geom.set_index(addr) as u32, self.geom.tag(addr), kind));
+        }
+        bins
+    }
+
+    /// Runs `run` once per shard with that shard's bin, on up to
+    /// `threads` workers (shards are distributed in contiguous groups),
+    /// and returns the results in slice order.
+    fn run_binned<R, F>(&mut self, mut bins: Vec<Vec<BinnedOp>>, threads: usize, run: &F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Shard, Vec<BinnedOp>) -> R + Sync,
+    {
+        let shards = self.shards.len();
+        if threads <= 1 {
+            return self
+                .shards
+                .iter_mut()
+                .zip(bins)
+                .map(|(shard, bin)| run(shard, bin))
+                .collect();
+        }
+        let per = shards.div_ceil(threads.min(shards));
+        let mut out: Vec<Option<R>> = Vec::with_capacity(shards);
+        out.resize_with(shards, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .chunks_mut(per)
+                .zip(bins.chunks_mut(per))
+                .enumerate()
+                .map(|(group, (shard_group, bin_group))| {
+                    let bins_owned: Vec<Vec<BinnedOp>> =
+                        bin_group.iter_mut().map(std::mem::take).collect();
+                    scope.spawn(move || {
+                        shard_group
+                            .iter_mut()
+                            .zip(bins_owned)
+                            .enumerate()
+                            .map(|(j, (shard, bin))| (group * per + j, run(shard, bin)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("cache shard worker panicked") {
+                    out[i] = Some(r);
                 }
-            } else if new < old {
-                // Shrinking: push surplus I/O lines out so occupancy never
-                // exceeds the clamped boundary.
-                while self.store.count_domain(idx, Domain::Io) > new as usize {
-                    match self
-                        .store
-                        .evict_lru_of_domain(idx, Domain::Io, &mut self.rng)
-                    {
-                        Some(dirty) => {
-                            self.stats.partition_invalidations += 1;
-                            if dirty {
-                                self.stats.writebacks += 1;
-                            }
-                        }
-                        None => break,
-                    }
-                }
             }
-            self.store.sets[idx].io_limit = new;
-            if new > cfg.min_io_lines && self.store.sets[idx].flags & FLAG_ELEVATED == 0 {
-                self.store.sets[idx].flags |= FLAG_ELEVATED;
-                self.elevated.push(idx);
-            }
-        }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every shard produced a result"))
+            .collect()
     }
 }
 
@@ -697,6 +538,21 @@ mod tests {
             a += stride;
         }
         out
+    }
+
+    /// An address in the same slice as `base` but a different set — used
+    /// to drive the adaptation clock of `base`'s slice without touching
+    /// its set (adaptation is per-slice, so traffic in *another* slice
+    /// would not re-evaluate this one).
+    fn same_slice_other_set(llc: &SlicedCache, base: PhysAddr) -> PhysAddr {
+        let target = llc.locate(base);
+        (1u64..)
+            .map(|i| PhysAddr::new(base.raw() + i * crate::LINE_SIZE as u64))
+            .find(|&a| {
+                let ss = llc.locate(a);
+                ss.slice == target.slice && ss.set != target.set
+            })
+            .expect("a same-slice, different-set address exists")
     }
 
     #[test]
@@ -854,9 +710,10 @@ mod tests {
         // Standing I/O lines keep the partition grown (presence
         // semantics); once they leave the cache and I/O stays idle, the
         // partition shrinks back to the floor. CPU traffic in a
-        // different set keeps the clock moving so adaptation fires.
+        // different set *of the same slice* keeps that shard's
+        // adaptation clock moving.
         llc.flush_all();
-        let other = PhysAddr::new(0x40);
+        let other = same_slice_other_set(&llc, addrs[0]);
         for i in 0..50u64 {
             llc.access(other, AccessKind::CpuRead, now + i * 10);
         }
@@ -900,10 +757,10 @@ mod tests {
         }
         assert_eq!(llc.domain_count(ss, Domain::Io), 3);
         let wb_before = llc.stats().writebacks;
-        // Idle periods: ticks in another set drive adaptation. The
-        // boundary steps down one line per period; each step displaces a
-        // surplus resident I/O line.
-        let other = PhysAddr::new(0x40);
+        // Idle periods: ticks in another set of the same slice drive
+        // adaptation. The boundary steps down one line per period; each
+        // step displaces a surplus resident I/O line.
+        let other = same_slice_other_set(&llc, addrs[0]);
         for i in 0..80u64 {
             llc.access(other, AccessKind::CpuRead, now + i * 10);
         }
@@ -923,6 +780,47 @@ mod tests {
         assert!(
             llc.stats().writebacks > wb_before,
             "dirty DDIO lines write back"
+        );
+    }
+
+    #[test]
+    fn adaptation_is_per_slice() {
+        // Traffic in one slice must never re-evaluate another slice's
+        // partitions: grow a partition in `base`'s slice, then hammer a
+        // *different* slice with CPU reads — the grown partition must
+        // stay exactly where it was (its shard's clock never advanced).
+        let cfg = AdaptiveConfig {
+            period: 10,
+            t_high: 2,
+            t_low: 1,
+            min_io_lines: 1,
+            max_io_lines: 3,
+        };
+        let mut llc = tiny_llc(DdioMode::Adaptive(cfg));
+        let base = PhysAddr::new(0);
+        let addrs = conflicting_addrs(&llc, base, 6);
+        let ss = llc.locate(base);
+        let mut now = 0;
+        for _ in 0..20 {
+            for &a in &addrs {
+                llc.access(a, AccessKind::IoWrite, now);
+                now += 3;
+            }
+        }
+        let grown = llc.io_partition_limit(ss);
+        assert!(grown > 1);
+        llc.flush_all();
+        let other_slice = (1u64..)
+            .map(|i| PhysAddr::new(i * crate::LINE_SIZE as u64))
+            .find(|&a| llc.locate(a).slice != ss.slice)
+            .expect("tiny geometry has two slices");
+        for i in 0..100u64 {
+            llc.access(other_slice, AccessKind::CpuRead, now + i * 10);
+        }
+        assert_eq!(
+            llc.io_partition_limit(ss),
+            grown,
+            "cross-slice traffic must not drive this slice's adaptation"
         );
     }
 
@@ -959,9 +857,8 @@ mod tests {
         assert_eq!(llc.stats().writebacks, 1);
     }
 
-    #[test]
-    fn access_batch_matches_scalar_accesses() {
-        let ops: Vec<(PhysAddr, AccessKind)> = (0..200u64)
+    fn mixed_ops(n: u64) -> Vec<(PhysAddr, AccessKind)> {
+        (0..n)
             .map(|i| {
                 let kind = match i % 4 {
                     0 => AccessKind::IoWrite,
@@ -971,7 +868,12 @@ mod tests {
                 };
                 (PhysAddr::new((i % 37) * 0x1040), kind)
             })
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_matches_scalar_accesses() {
+        let ops = mixed_ops(200);
         let mut scalar = tiny_llc(DdioMode::enabled());
         let mut agg = BatchOutcome::default();
         for &(a, k) in &ops {
@@ -983,6 +885,38 @@ mod tests {
         assert_eq!(batched.stats(), scalar.stats());
         for &(a, _) in &ops {
             assert_eq!(batched.contains(a), scalar.contains(a));
+        }
+    }
+
+    #[test]
+    fn sharded_batch_is_thread_count_invariant() {
+        // The determinism contract in one test: a batch large enough to
+        // take the sharded path must produce identical aggregates, stats
+        // and residency for every worker count, in every mode.
+        let ops = mixed_ops(PAR_BATCH_MIN as u64 + 500);
+        for mode in [
+            DdioMode::Disabled,
+            DdioMode::enabled(),
+            DdioMode::adaptive(),
+        ] {
+            let mut scalar = tiny_llc(mode);
+            let mut want = BatchOutcome::default();
+            for &(a, k) in &ops {
+                want.absorb(scalar.access(a, k, 9));
+            }
+            for threads in [1usize, 2, 3, 8] {
+                let mut sharded = tiny_llc(mode);
+                let got = sharded.access_batch_threads(&ops, 9, threads);
+                assert_eq!(got, want, "{mode:?} threads={threads}");
+                assert_eq!(
+                    sharded.stats(),
+                    scalar.stats(),
+                    "{mode:?} threads={threads}"
+                );
+                for &(a, _) in &ops {
+                    assert_eq!(sharded.contains(a), scalar.contains(a));
+                }
+            }
         }
     }
 

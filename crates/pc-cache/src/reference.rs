@@ -20,7 +20,12 @@
 //! The model is *not* a fossil of old bugs: behavioral fixes applied to
 //! the real cache (the adaptation-list deduplication, see
 //! [`crate::partition`]) are mirrored here, because the reference defines
-//! intended semantics, not historical accidents. Do not use this type
+//! intended semantics, not historical accidents. Likewise the sharded
+//! engine's per-slice contract — one RNG stream per slice (seeded with
+//! [`pc_par::mix_seed`]) and per-slice adaptation timing/worklists — is
+//! part of the intended semantics and is mirrored here, so the
+//! equivalence tests hold the parallel engine to this model for every
+//! policy, `Random` (RNG-consuming) included. Do not use this type
 //! outside tests and benches — it is an order of magnitude slower on
 //! large geometries.
 
@@ -262,6 +267,17 @@ impl CacheSet {
     }
 }
 
+/// Per-slice control state: the slice's RNG stream and its adaptive
+/// defense bookkeeping (mirrors the sharded engine's per-slice
+/// decoupling; worklists hold flat set indices).
+#[derive(Clone, Debug)]
+struct SliceCtl {
+    rng: SmallRng,
+    adapt_last: Cycles,
+    touched: Vec<usize>,
+    elevated: Vec<usize>,
+}
+
 /// The original per-set-object LLC implementation (reference model).
 ///
 /// See the module docs for why this exists; use [`crate::SlicedCache`]
@@ -272,11 +288,8 @@ pub struct ReferenceCache {
     hash: SliceHash,
     mode: DdioMode,
     sets: Vec<CacheSet>,
-    rng: SmallRng,
+    ctl: Vec<SliceCtl>,
     stats: CacheStats,
-    adapt_last: Cycles,
-    touched: Vec<usize>,
-    elevated: Vec<usize>,
 }
 
 impl ReferenceCache {
@@ -316,16 +329,21 @@ impl ReferenceCache {
         let sets = (0..geom.total_sets())
             .map(|_| CacheSet::new(geom.ways(), policy, initial_io_limit))
             .collect();
+        let ctl = (0..geom.slices())
+            .map(|slice| SliceCtl {
+                rng: SmallRng::seed_from_u64(pc_par::mix_seed(seed, slice as u64)),
+                adapt_last: 0,
+                touched: Vec::new(),
+                elevated: Vec::new(),
+            })
+            .collect();
         ReferenceCache {
             geom,
             hash,
             mode,
             sets,
-            rng: SmallRng::seed_from_u64(seed),
+            ctl,
             stats: CacheStats::new(),
-            adapt_last: 0,
-            touched: Vec::new(),
-            elevated: Vec::new(),
         }
     }
 
@@ -388,14 +406,16 @@ impl ReferenceCache {
             self.note_io_activity(idx);
         }
         if let DdioMode::Adaptive(cfg) = self.mode {
-            if now.saturating_sub(self.adapt_last) >= cfg.period {
-                self.adapt(cfg, now);
+            let slice = ss.slice;
+            if now.saturating_sub(self.ctl[slice].adapt_last) >= cfg.period {
+                self.adapt(cfg, now, slice);
             }
         }
         outcome
     }
 
     fn cpu_access(&mut self, idx: usize, tag: u64, kind: AccessKind) -> AccessOutcome {
+        let slice = idx / self.geom.sets_per_slice();
         let write = kind == AccessKind::CpuWrite;
         if let Some(way) = self.sets[idx].lookup(tag) {
             self.sets[idx].repl.touch(way);
@@ -422,16 +442,20 @@ impl ReferenceCache {
         let filled = if adaptive {
             let cpu_quota = set.ways() - set.io_limit as usize;
             if set.count_domain(Domain::Cpu) < cpu_quota {
-                set.fill(tag, Domain::Cpu, write, &mut self.rng, |d| d == Domain::Cpu)
+                set.fill(tag, Domain::Cpu, write, &mut self.ctl[slice].rng, |d| {
+                    d == Domain::Cpu
+                })
             } else {
-                set.fill_no_invalid(tag, Domain::Cpu, write, &mut self.rng, |d| d == Domain::Cpu)
+                set.fill_no_invalid(tag, Domain::Cpu, write, &mut self.ctl[slice].rng, |d| {
+                    d == Domain::Cpu
+                })
             }
         } else {
-            set.fill(tag, Domain::Cpu, write, &mut self.rng, |_| true)
+            set.fill(tag, Domain::Cpu, write, &mut self.ctl[slice].rng, |_| true)
         };
         let filled = filled.or_else(|| {
             debug_assert!(false, "CPU fill found no victim");
-            self.sets[idx].fill(tag, Domain::Cpu, write, &mut self.rng, |_| true)
+            self.sets[idx].fill(tag, Domain::Cpu, write, &mut self.ctl[slice].rng, |_| true)
         });
         if let Some((_, Some(ev))) = filled {
             self.stats.evictions += 1;
@@ -444,6 +468,7 @@ impl ReferenceCache {
     }
 
     fn io_write(&mut self, idx: usize, tag: u64) -> AccessOutcome {
+        let slice = idx / self.geom.sets_per_slice();
         match self.mode {
             DdioMode::Disabled => {
                 let _ = self.sets[idx].invalidate(tag);
@@ -471,9 +496,11 @@ impl ReferenceCache {
                 let set = &mut self.sets[idx];
                 let io_count = set.count_domain(Domain::Io);
                 let filled = if io_count >= io_way_limit as usize {
-                    set.fill_no_invalid(tag, Domain::Io, true, &mut self.rng, |d| d == Domain::Io)
+                    set.fill_no_invalid(tag, Domain::Io, true, &mut self.ctl[slice].rng, |d| {
+                        d == Domain::Io
+                    })
                 } else {
-                    set.fill(tag, Domain::Io, true, &mut self.rng, |_| true)
+                    set.fill(tag, Domain::Io, true, &mut self.ctl[slice].rng, |_| true)
                 };
                 if let Some((_, Some(ev))) = filled {
                     self.stats.evictions += 1;
@@ -506,12 +533,18 @@ impl ReferenceCache {
                 let io_limit = set.io_limit as usize;
                 let io_count = set.count_domain(Domain::Io);
                 let filled = if io_count < io_limit {
-                    set.fill(tag, Domain::Io, true, &mut self.rng, |d| d == Domain::Io)
+                    set.fill(tag, Domain::Io, true, &mut self.ctl[slice].rng, |d| {
+                        d == Domain::Io
+                    })
                 } else {
-                    set.fill_no_invalid(tag, Domain::Io, true, &mut self.rng, |d| d == Domain::Io)
+                    set.fill_no_invalid(tag, Domain::Io, true, &mut self.ctl[slice].rng, |d| {
+                        d == Domain::Io
+                    })
                 };
                 let filled = filled.or_else(|| {
-                    self.sets[idx].fill(tag, Domain::Io, true, &mut self.rng, |d| d == Domain::Io)
+                    self.sets[idx].fill(tag, Domain::Io, true, &mut self.ctl[slice].rng, |d| {
+                        d == Domain::Io
+                    })
                 });
                 if let Some((_, Some(ev))) = filled {
                     self.stats.evictions += 1;
@@ -572,18 +605,19 @@ impl ReferenceCache {
         if !matches!(self.mode, DdioMode::Adaptive(_)) {
             return;
         }
+        let slice = idx / self.geom.sets_per_slice();
         let set = &mut self.sets[idx];
         set.io_activity = set.io_activity.saturating_add(1);
         if !set.in_touched {
             set.in_touched = true;
-            self.touched.push(idx);
+            self.ctl[slice].touched.push(idx);
         }
     }
 
-    fn adapt(&mut self, cfg: AdaptiveConfig, now: Cycles) {
-        self.adapt_last = now;
-        let touched = std::mem::take(&mut self.touched);
-        let elevated = std::mem::take(&mut self.elevated);
+    fn adapt(&mut self, cfg: AdaptiveConfig, now: Cycles, slice: usize) {
+        self.ctl[slice].adapt_last = now;
+        let touched = std::mem::take(&mut self.ctl[slice].touched);
+        let elevated = std::mem::take(&mut self.ctl[slice].elevated);
         let mut revisit: Vec<usize> = Vec::with_capacity(touched.len() + elevated.len());
         revisit.extend_from_slice(&touched);
         // Mirrors the deduplication fix in `SlicedCache::adapt`: the
@@ -613,7 +647,8 @@ impl ReferenceCache {
             if new > old {
                 let cpu_quota = self.sets[idx].ways() - new as usize;
                 while self.sets[idx].count_domain(Domain::Cpu) > cpu_quota {
-                    match self.sets[idx].evict_lru_of_domain(Domain::Cpu, &mut self.rng) {
+                    match self.sets[idx].evict_lru_of_domain(Domain::Cpu, &mut self.ctl[slice].rng)
+                    {
                         Some(dirty) => {
                             self.stats.partition_invalidations += 1;
                             if dirty {
@@ -625,7 +660,7 @@ impl ReferenceCache {
                 }
             } else if new < old {
                 while self.sets[idx].count_domain(Domain::Io) > new as usize {
-                    match self.sets[idx].evict_lru_of_domain(Domain::Io, &mut self.rng) {
+                    match self.sets[idx].evict_lru_of_domain(Domain::Io, &mut self.ctl[slice].rng) {
                         Some(dirty) => {
                             self.stats.partition_invalidations += 1;
                             if dirty {
@@ -639,7 +674,7 @@ impl ReferenceCache {
             self.sets[idx].io_limit = new;
             if new > cfg.min_io_lines && !self.sets[idx].in_elevated {
                 self.sets[idx].in_elevated = true;
-                self.elevated.push(idx);
+                self.ctl[slice].elevated.push(idx);
             }
         }
     }

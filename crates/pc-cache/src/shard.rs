@@ -1,0 +1,479 @@
+//! One LLC slice as an independent simulation engine.
+//!
+//! A [`Shard`] owns everything needed to simulate the sets of one cache
+//! slice: the slice's cut of the SoA line store, its replacement state,
+//! its statistics, its RNG stream and its adaptive-defense bookkeeping.
+//! Nothing in a shard references another slice, which is the whole
+//! point: the Packet Chasing threat model is per-slice (DDIO ways,
+//! prime+probe sets and adaptive partitions are all sliced state), so
+//! slices can simulate concurrently on worker threads and still produce
+//! results byte-identical to a sequential walk.
+//!
+//! The determinism contract, concretely:
+//!
+//! * **RNG.** Each shard draws from its own `SmallRng` seeded with
+//!   [`pc_par::mix_seed`]`(cache_seed, slice)`. A slice's stream depends
+//!   only on the accesses *that slice* receives, never on the schedule.
+//! * **Replacement clock.** The LRU stamp clock is per-shard. Only the
+//!   relative stamp order within one set matters for victim selection,
+//!   and all touches of a set happen in its shard, so per-shard clocks
+//!   are observationally identical to a store-wide clock.
+//! * **Adaptation.** The adaptive defense's period timer and
+//!   touched/elevated worklists are per-shard: a slice re-evaluates its
+//!   partitions when *its own* access stream crosses the period
+//!   boundary. (The paper's hardware proposal is per-set counters +
+//!   per-set decision logic, so per-slice timing is the faithful
+//!   granularity; a global timer would couple slices and make parallel
+//!   simulation order-dependent.)
+//!
+//! [`crate::SlicedCache`] owns one shard per slice and routes scalar
+//! accesses; its batch entry points bin ops by slice and fan shards out
+//! over threads, merging statistics in slice order.
+
+use crate::llc::{AccessKind, AccessOutcome, DdioMode};
+use crate::partition::AdaptiveConfig;
+use crate::replacement::{ReplacementPolicy, Victims};
+use crate::set::Domain;
+use crate::stats::CacheStats;
+use crate::store::{LineStore, FLAG_ELEVATED, FLAG_TOUCHED};
+use crate::Cycles;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The simulation engine for one slice: line store, RNG, statistics and
+/// adaptive-partition state. Set indices are slice-local
+/// (`0..sets_per_slice`).
+#[derive(Clone, Debug)]
+pub(crate) struct Shard {
+    store: LineStore,
+    rng: SmallRng,
+    stats: CacheStats,
+    // Adaptive-defense bookkeeping (unused in other modes).
+    adapt_last: Cycles,
+    touched: Vec<usize>,
+    elevated: Vec<usize>,
+}
+
+impl Shard {
+    /// Creates the shard for slice `slice` of a cache constructed with
+    /// `seed`. The RNG stream is a pure function of `(seed, slice)`.
+    pub(crate) fn new(
+        sets: usize,
+        ways: usize,
+        policy: ReplacementPolicy,
+        io_limit: u8,
+        seed: u64,
+        slice: usize,
+    ) -> Self {
+        Shard {
+            store: LineStore::new(sets, ways, policy, io_limit),
+            rng: SmallRng::seed_from_u64(pc_par::mix_seed(seed, slice as u64)),
+            stats: CacheStats::new(),
+            adapt_last: 0,
+            touched: Vec::new(),
+            elevated: Vec::new(),
+        }
+    }
+
+    /// Statistics accumulated by this shard alone.
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    /// Way of local set `set` holding `tag`, if valid (oracle).
+    pub(crate) fn lookup(&self, set: usize, tag: u64) -> Option<usize> {
+        self.store.lookup(set, tag)
+    }
+
+    /// Valid lines of `domain` in local set `set`.
+    pub(crate) fn count_domain(&self, set: usize, domain: Domain) -> usize {
+        self.store.count_domain(set, domain)
+    }
+
+    /// Current I/O partition boundary of local set `set`.
+    pub(crate) fn io_limit(&self, set: usize) -> usize {
+        self.store.sets[set].io_limit as usize
+    }
+
+    /// Invalidates every line of the shard, counting writebacks into the
+    /// shard's stats and returning them.
+    pub(crate) fn flush_all(&mut self) -> usize {
+        let wb = self.store.invalidate_all();
+        self.stats.writebacks += wb as u64;
+        wb
+    }
+
+    /// Performs one access to local set `set` at cycle `now`.
+    ///
+    /// `mode` is passed per call (it is shared, `Copy` cache
+    /// configuration owned by [`crate::SlicedCache`]); everything
+    /// mutable is shard-local, so concurrent `access` calls on
+    /// *different* shards are race-free by construction.
+    #[inline]
+    pub(crate) fn access(
+        &mut self,
+        mode: DdioMode,
+        set: usize,
+        tag: u64,
+        kind: AccessKind,
+        now: Cycles,
+    ) -> AccessOutcome {
+        let outcome = match kind {
+            AccessKind::CpuRead | AccessKind::CpuWrite => self.cpu_access(mode, set, tag, kind),
+            AccessKind::IoWrite => self.io_write(mode, set, tag),
+            AccessKind::IoRead => self.io_read(mode, set, tag),
+        };
+
+        // Only I/O *writes* matter to the partition: DDIO is
+        // write-allocate, so only writes ever insert I/O lines that need
+        // protected space. Growing partitions under DMA reads (transmit
+        // traffic) would take CPU ways for nothing.
+        if kind == AccessKind::IoWrite {
+            self.note_io_activity(mode, set);
+        }
+        if let DdioMode::Adaptive(cfg) = mode {
+            if now.saturating_sub(self.adapt_last) >= cfg.period {
+                self.adapt(cfg, now);
+            }
+        }
+        outcome
+    }
+
+    fn cpu_access(
+        &mut self,
+        mode: DdioMode,
+        set: usize,
+        tag: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        let write = kind == AccessKind::CpuWrite;
+        if let Some(way) = self.store.lookup(set, tag) {
+            self.store.touch(set, way);
+            if write {
+                self.store.mark_dirty(set, way);
+            }
+            self.stats.cpu_hits += 1;
+            return AccessOutcome {
+                hit: true,
+                ..AccessOutcome::default()
+            };
+        }
+        self.stats.cpu_misses += 1;
+        let mut out = AccessOutcome {
+            hit: false,
+            dram_reads: 1,
+            ..AccessOutcome::default()
+        };
+
+        let adaptive = matches!(mode, DdioMode::Adaptive(_));
+        let filled = if adaptive {
+            // CPU fills must stay inside the CPU partition: they may take
+            // an invalid way only while the CPU quota has room, and may
+            // only displace CPU lines.
+            let cpu_quota = self.store.ways() - self.store.sets[set].io_limit as usize;
+            if self.store.count_domain(set, Domain::Cpu) < cpu_quota {
+                self.store.fill(
+                    set,
+                    tag,
+                    Domain::Cpu,
+                    write,
+                    &mut self.rng,
+                    Victims::Only(Domain::Cpu),
+                )
+            } else {
+                self.store.fill_no_invalid(
+                    set,
+                    tag,
+                    Domain::Cpu,
+                    write,
+                    &mut self.rng,
+                    Victims::Only(Domain::Cpu),
+                )
+            }
+        } else {
+            self.store
+                .fill(set, tag, Domain::Cpu, write, &mut self.rng, Victims::Any)
+        };
+        let filled = filled.or_else(|| {
+            // Quota accounting should always leave a CPU victim available;
+            // fall back to an unrestricted fill rather than dropping the
+            // line if an edge case slips through.
+            debug_assert!(false, "CPU fill found no victim");
+            self.store
+                .fill(set, tag, Domain::Cpu, write, &mut self.rng, Victims::Any)
+        });
+        if let Some((_, Some(ev))) = filled {
+            self.stats.evictions += 1;
+            if ev.dirty {
+                self.stats.writebacks += 1;
+                out.dram_writes += 1;
+            }
+        }
+        out
+    }
+
+    fn io_write(&mut self, mode: DdioMode, set: usize, tag: u64) -> AccessOutcome {
+        match mode {
+            DdioMode::Disabled => {
+                // DMA goes to memory; any cached copy is invalidated (the
+                // DMA write supersedes it, so no writeback is needed).
+                let _ = self.store.invalidate(set, tag);
+                self.stats.io_misses += 1;
+                AccessOutcome {
+                    hit: false,
+                    dram_writes: 1,
+                    ..AccessOutcome::default()
+                }
+            }
+            DdioMode::Enabled { io_way_limit } => {
+                if let Some(way) = self.store.lookup(set, tag) {
+                    // DDIO write update: refresh in place.
+                    self.store.touch(set, way);
+                    self.store.mark_dirty(set, way);
+                    self.stats.io_hits += 1;
+                    return AccessOutcome {
+                        hit: true,
+                        ..AccessOutcome::default()
+                    };
+                }
+                self.stats.io_misses += 1;
+                let mut out = AccessOutcome::default();
+                let io_count = self.store.count_domain(set, Domain::Io);
+                let filled = if io_count >= io_way_limit as usize {
+                    // Allocation limit reached: recycle an I/O line.
+                    self.store.fill_no_invalid(
+                        set,
+                        tag,
+                        Domain::Io,
+                        true,
+                        &mut self.rng,
+                        Victims::Only(Domain::Io),
+                    )
+                } else {
+                    // Within the limit: free choice — this is the fill
+                    // that can displace a primed spy line.
+                    self.store
+                        .fill(set, tag, Domain::Io, true, &mut self.rng, Victims::Any)
+                };
+                if let Some((_, Some(ev))) = filled {
+                    self.stats.evictions += 1;
+                    if ev.dirty {
+                        self.stats.writebacks += 1;
+                        out.dram_writes += 1;
+                    }
+                    if ev.was_cpu {
+                        self.stats.io_evicted_cpu += 1;
+                        out.evicted_cpu = true;
+                    }
+                }
+                out
+            }
+            DdioMode::Adaptive(_) => {
+                if let Some(way) = self.store.lookup(set, tag) {
+                    self.store.touch(set, way);
+                    self.store.mark_dirty(set, way);
+                    self.stats.io_hits += 1;
+                    return AccessOutcome {
+                        hit: true,
+                        ..AccessOutcome::default()
+                    };
+                }
+                self.stats.io_misses += 1;
+                let mut out = AccessOutcome::default();
+                let io_limit = self.store.sets[set].io_limit as usize;
+                let io_count = self.store.count_domain(set, Domain::Io);
+                let filled = if io_count < io_limit {
+                    // Room in the I/O partition: quota accounting
+                    // guarantees an invalid way exists or an I/O line can
+                    // be recycled; never touch CPU lines.
+                    self.store.fill(
+                        set,
+                        tag,
+                        Domain::Io,
+                        true,
+                        &mut self.rng,
+                        Victims::Only(Domain::Io),
+                    )
+                } else {
+                    self.store.fill_no_invalid(
+                        set,
+                        tag,
+                        Domain::Io,
+                        true,
+                        &mut self.rng,
+                        Victims::Only(Domain::Io),
+                    )
+                };
+                let filled = filled.or_else(|| {
+                    // Partition was starved (e.g. right after a boundary
+                    // shrink): make room by displacing the LRU I/O line,
+                    // or as a last resort take an invalid way.
+                    self.store.fill(
+                        set,
+                        tag,
+                        Domain::Io,
+                        true,
+                        &mut self.rng,
+                        Victims::Only(Domain::Io),
+                    )
+                });
+                if let Some((_, Some(ev))) = filled {
+                    self.stats.evictions += 1;
+                    if ev.dirty {
+                        self.stats.writebacks += 1;
+                        out.dram_writes += 1;
+                    }
+                    debug_assert!(!ev.was_cpu, "adaptive partition displaced a CPU line");
+                    if ev.was_cpu {
+                        self.stats.io_evicted_cpu += 1;
+                        out.evicted_cpu = true;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn io_read(&mut self, mode: DdioMode, set: usize, tag: u64) -> AccessOutcome {
+        if mode.allocates_in_llc() {
+            if let Some(way) = self.store.lookup(set, tag) {
+                self.store.touch(set, way);
+                self.stats.io_hits += 1;
+                return AccessOutcome {
+                    hit: true,
+                    ..AccessOutcome::default()
+                };
+            }
+            // DDIO performs write allocation but *read* transactions that
+            // miss are served from DRAM without allocating.
+            self.stats.io_misses += 1;
+            return AccessOutcome {
+                hit: false,
+                dram_reads: 1,
+                ..AccessOutcome::default()
+            };
+        }
+        // Pre-DDIO DMA read: coherent with the cache — a dirty cached
+        // copy is written back before the device reads DRAM. This is why
+        // transmit-side traffic costs extra memory writes without DDIO
+        // (Figure 15's write-traffic gap).
+        self.stats.io_misses += 1;
+        let mut out = AccessOutcome {
+            hit: false,
+            dram_reads: 1,
+            ..AccessOutcome::default()
+        };
+        if let Some(way) = self.store.lookup(set, tag) {
+            if self.store.clean(set, way) {
+                self.stats.writebacks += 1;
+                out.dram_writes = 1;
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn note_io_activity(&mut self, mode: DdioMode, set: usize) {
+        if !matches!(mode, DdioMode::Adaptive(_)) {
+            return;
+        }
+        self.store.sets[set].io_activity = self.store.sets[set].io_activity.saturating_add(1);
+        if self.store.sets[set].flags & FLAG_TOUCHED == 0 {
+            self.store.sets[set].flags |= FLAG_TOUCHED;
+            self.touched.push(set);
+        }
+    }
+
+    /// Re-evaluates the I/O/CPU boundary of every recently active set of
+    /// this shard.
+    ///
+    /// Displacement semantics when the boundary moves are **eager**: the
+    /// losing side's surplus lines are invalidated (with writeback if
+    /// dirty) at the adaptation point, never lazily on a later fill —
+    /// see the discussion in [`crate::partition`].
+    fn adapt(&mut self, cfg: AdaptiveConfig, now: Cycles) {
+        self.adapt_last = now;
+        let touched = std::mem::take(&mut self.touched);
+        let elevated = std::mem::take(&mut self.elevated);
+        let mut revisit: Vec<usize> = Vec::with_capacity(touched.len() + elevated.len());
+        revisit.extend_from_slice(&touched);
+        // The touched flags must stay up while the elevated list is
+        // deduplicated against them. (The original implementation cleared
+        // them in the loop above, so sets on both lists were revisited
+        // twice per period — the second visit saw the freshly zeroed
+        // activity counter and moved the boundary a spurious step. With
+        // the paper's `t_high = 1` that grew every active partition to
+        // `max_io_lines` within one period and pinned it there.)
+        for set in elevated {
+            self.store.sets[set].flags &= !FLAG_ELEVATED;
+            if self.store.sets[set].flags & FLAG_TOUCHED == 0 {
+                revisit.push(set);
+            }
+        }
+        for set in touched {
+            self.store.sets[set].flags &= !FLAG_TOUCHED;
+        }
+        for set in revisit {
+            // The paper's hardware counts cycles with a valid I/O line
+            // *present*; a standing I/O line keeps the counter above
+            // T_high for the whole period. Our event count is therefore
+            // floored by the number of I/O lines currently resident.
+            let present = self.store.count_domain(set, Domain::Io) as u32;
+            let activity = self.store.sets[set].io_activity.max(present);
+            self.store.sets[set].io_activity = 0;
+            let old = self.store.sets[set].io_limit;
+            let new = if activity >= cfg.t_high {
+                old.saturating_add(1).min(cfg.max_io_lines)
+            } else if activity < cfg.t_low {
+                old.saturating_sub(1).max(cfg.min_io_lines)
+            } else {
+                old
+            };
+            if new > old {
+                // Growing I/O partition: push CPU lines out so the CPU
+                // quota holds.
+                let cpu_quota = self.store.ways() - new as usize;
+                while self.store.count_domain(set, Domain::Cpu) > cpu_quota {
+                    match self
+                        .store
+                        .evict_lru_of_domain(set, Domain::Cpu, &mut self.rng)
+                    {
+                        Some(dirty) => {
+                            self.stats.partition_invalidations += 1;
+                            if dirty {
+                                self.stats.writebacks += 1;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            } else if new < old {
+                // Shrinking: push surplus I/O lines out so occupancy never
+                // exceeds the clamped boundary.
+                while self.store.count_domain(set, Domain::Io) > new as usize {
+                    match self
+                        .store
+                        .evict_lru_of_domain(set, Domain::Io, &mut self.rng)
+                    {
+                        Some(dirty) => {
+                            self.stats.partition_invalidations += 1;
+                            if dirty {
+                                self.stats.writebacks += 1;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+            self.store.sets[set].io_limit = new;
+            if new > cfg.min_io_lines && self.store.sets[set].flags & FLAG_ELEVATED == 0 {
+                self.store.sets[set].flags |= FLAG_ELEVATED;
+                self.elevated.push(set);
+            }
+        }
+    }
+}

@@ -31,6 +31,21 @@ impl CacheStats {
         CacheStats::default()
     }
 
+    /// Folds another counter set into this one. Every field is a sum, so
+    /// merging the per-slice shards of a [`crate::SlicedCache`] (in any
+    /// order; slice order by convention) reproduces the totals a single
+    /// shared counter set would have accumulated.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.cpu_hits += other.cpu_hits;
+        self.cpu_misses += other.cpu_misses;
+        self.io_hits += other.io_hits;
+        self.io_misses += other.io_misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.io_evicted_cpu += other.io_evicted_cpu;
+        self.partition_invalidations += other.partition_invalidations;
+    }
+
     /// Total CPU accesses.
     pub fn cpu_accesses(&self) -> u64 {
         self.cpu_hits + self.cpu_misses

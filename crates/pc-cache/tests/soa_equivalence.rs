@@ -1,12 +1,18 @@
 //! SoA-store ↔ reference-model equivalence.
 //!
-//! The contiguous structure-of-arrays store must be observationally
-//! identical to the original per-set implementation
+//! The sharded structure-of-arrays engine must be observationally
+//! identical to the per-set reference implementation
 //! ([`pc_cache::reference::ReferenceCache`]): same [`AccessOutcome`] for
 //! every access of any random trace, same statistics, same residency,
 //! same partition boundaries — across all three DDIO modes and all
 //! replacement policies (`Random` included, which exercises identical
-//! RNG consumption on both sides).
+//! per-slice RNG consumption on both sides).
+//!
+//! On top of the scalar equivalence, the sharded batch dispatcher must
+//! be **thread-count invariant**: replaying the same trace through
+//! `access_batch_threads` with 1, 2 or 4 workers must land in the same
+//! state as the reference model driven one op at a time — that is the
+//! determinism contract the CI gate (`repro` stdout diff) rests on.
 
 use pc_cache::reference::ReferenceCache;
 use pc_cache::{
@@ -97,6 +103,60 @@ fn assert_equivalent(
     }
 }
 
+/// Drives the sharded batch engine (at several worker counts) and the
+/// reference model through the same trace, chunked so the batch clock
+/// keeps advancing (each chunk shares one `now`, exactly the batch-API
+/// contract), and asserts identical end state everywhere it is
+/// observable.
+fn assert_sharded_equivalent(
+    mode: DdioMode,
+    policy: ReplacementPolicy,
+    seed: u64,
+    ops: &[(PhysAddr, AccessKind)],
+) {
+    const CHUNK: usize = 96;
+    let geom = CacheGeometry::tiny();
+    let mut reference = ReferenceCache::with_policy_and_seed(geom, mode, policy, seed);
+    let mut now = 0u64;
+    for chunk in ops.chunks(CHUNK) {
+        for &(a, k) in chunk {
+            reference.access(a, k, now);
+        }
+        now += 64;
+    }
+    for threads in [1usize, 2, 4] {
+        let mut sharded = SlicedCache::with_policy_and_seed(geom, mode, policy, seed);
+        let mut now = 0u64;
+        for chunk in ops.chunks(CHUNK) {
+            sharded.access_batch_threads(chunk, now, threads);
+            now += 64;
+        }
+        assert_eq!(
+            sharded.stats(),
+            reference.stats(),
+            "stats diverged: {mode:?} {policy:?} threads={threads}"
+        );
+        for &(a, _) in ops {
+            let ss = sharded.locate(a);
+            assert_eq!(
+                sharded.contains(a),
+                reference.contains(a),
+                "residency diverged for {a}: {mode:?} {policy:?} threads={threads}"
+            );
+            assert_eq!(
+                sharded.domain_count(ss, Domain::Io),
+                reference.domain_count(ss, Domain::Io),
+                "I/O occupancy diverged at {ss}: {mode:?} threads={threads}"
+            );
+            assert_eq!(
+                sharded.io_partition_limit(ss),
+                reference.io_partition_limit(ss),
+                "partition boundary diverged at {ss}: {mode:?} threads={threads}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -109,6 +169,19 @@ proptest! {
         ops in proptest::collection::vec((addr_strategy(), kind_strategy()), 1..600),
     ) {
         assert_equivalent(mode, policy, seed, &ops);
+    }
+
+    /// The sharded batch engine at 1/2/4 worker threads against the
+    /// reference model: identical stats, partition boundaries and
+    /// residency for every mode × policy.
+    #[test]
+    fn sharded_batches_are_equivalent_across_thread_counts(
+        mode in mode_strategy(),
+        policy in policy_strategy(),
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((addr_strategy(), kind_strategy()), 1..600),
+    ) {
+        assert_sharded_equivalent(mode, policy, seed, &ops);
     }
 
     /// Flush in the middle of a trace: writeback counts and the emptied

@@ -1,0 +1,179 @@
+//! # pc-par — deterministic thread-parallel primitives
+//!
+//! The whole reproduction rests on one guarantee: **thread count never
+//! changes results**. Every parallel construct in the workspace goes
+//! through this crate so the guarantee has a single implementation:
+//!
+//! * [`parallel_map`] — ordered fan-out of independent work items; item
+//!   `i`'s result lands at index `i` regardless of which worker ran it.
+//! * [`max_threads`] — the one place the `PC_BENCH_THREADS` environment
+//!   variable is read. `PC_BENCH_THREADS=1` forces every parallel path
+//!   in the workspace (experiment repetitions, the sharded LLC engine,
+//!   fingerprint captures) down its sequential branch end to end.
+//! * [`mix_seed`] — the shared seed-derivation mix. Work that runs on
+//!   another thread must *never* consume a caller's RNG stream; it gets
+//!   its own `SmallRng` seeded with `mix_seed(base, salt)` where `salt`
+//!   identifies the item (slice number, trial index, …). Sequential and
+//!   parallel schedules then draw identical streams by construction.
+//!
+//! This crate sits below `pc-cache` (which shards the LLC simulation by
+//! slice) and is re-exported as `pc_bench::par` for the harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Upper bound on worker threads (`PC_BENCH_THREADS` overrides; `1`
+/// forces sequential execution, e.g. for debugging or the CI
+/// determinism gate).
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("PC_BENCH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Derives an independent seed from a base seed and a work-item salt
+/// (splitmix64 finalizer — one multiply-xor cascade per draw).
+///
+/// Every parallelized loop in the workspace uses this mix so that a
+/// work item's RNG stream depends only on `(seed, salt)`, never on the
+/// schedule that ran it. Distinct salts give uncorrelated streams even
+/// when base seeds are small consecutive integers.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `items` on up to [`max_threads`] worker threads,
+/// returning results in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_threads(items, max_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker bound, for callers (tests,
+/// the sharded-cache dispatcher) that must pin the thread count rather
+/// than read the environment.
+///
+/// Work is distributed round-robin (worker `w` takes items `w`,
+/// `w + n`, ...), which keeps the longest-running repetitions of a
+/// typical homogeneous batch spread across workers. Panics in `f`
+/// propagate to the caller.
+pub fn parallel_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let f_ref = &f;
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f_ref(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("parallel_map worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<i64>>(), |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(parallel_map(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let work = |x: u64| x.wrapping_mul(x) ^ (x >> 3);
+        let items: Vec<u64> = (0..57).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| work(x)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map_threads(items.clone(), threads, work),
+                sequential,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_for_seeded_work() {
+        // The property the experiments rely on: parallel order ==
+        // sequential order for seed-dependent work.
+        let work = |seed: u64| {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..1000)
+                .map(|_| rng.gen_range(0..1_000_000u64))
+                .sum::<u64>()
+        };
+        let seeds: Vec<u64> = (0..16).collect();
+        let sequential: Vec<u64> = seeds.iter().map(|&s| work(s)).collect();
+        let parallel = parallel_map(seeds, work);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn mix_seed_separates_salts_and_seeds() {
+        let a = mix_seed(2020, 0);
+        let b = mix_seed(2020, 1);
+        let c = mix_seed(2021, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix_seed(2020, 0), "pure function of (seed, salt)");
+    }
+}
