@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md calls out:
+//! Ablation benches for the simulator's load-bearing design choices:
 //! replacement policy, DDIO way limit, slice count, eviction-set
 //! construction, and the decode window.
 
@@ -41,7 +41,7 @@ fn replacement(c: &mut Criterion) {
                         } else {
                             AccessKind::CpuRead
                         };
-                        llc.access(addr, kind, i);
+                        llc.access(addr, kind);
                     }
                     llc.stats()
                 });

@@ -18,10 +18,12 @@
 //! Timing chatter goes to stderr so it never perturbs the comparison.
 //!
 //! `bench-cache` times the LLC hot path (scalar SoA loop, the
-//! slice-sharded parallel engine, and the pre-refactor reference
-//! layout; 9 trace/mode cases) and writes `BENCH_cache.json` next to
-//! the working directory so the perf trajectory is tracked
-//! machine-readably from PR to PR. `--smoke` shrinks it to a
+//! slice-sharded batch engine, the sharded `run_trace` replay — now
+//! parallel in every DDIO mode, adaptive included — and the
+//! pre-refactor reference layout; 9 trace/mode cases) and writes
+//! `BENCH_cache.json` next to the working directory so the perf
+//! trajectory is tracked machine-readably from PR to PR (see
+//! `crates/bench/README.md` for the schema). `--smoke` shrinks it to a
 //! seconds-long sanity-checked pass for CI (writing
 //! `BENCH_cache_smoke.json` so the tracked file only ever holds
 //! full-protocol numbers): it fails loudly if any engine produces an
@@ -387,7 +389,7 @@ fn print_fig16_row(name: &str, vals: &[f64]) {
 }
 
 fn bench_cache(scale: Scale, smoke: bool) {
-    println!("LLC hot path — scalar SoA / sharded-parallel / reference layouts");
+    println!("LLC hot path — scalar SoA / sharded batch / sharded trace replay / reference");
     let (samples, trace_len) = if smoke {
         (1, pc_bench::cache_bench::TRACE_LEN / 4)
     } else {
@@ -399,17 +401,26 @@ fn bench_cache(scale: Scale, smoke: bool) {
     let results = pc_bench::cache_bench::measure_all(samples, trace_len);
     println!(
         "case,soa_ns_per_access,sharded_ns_per_access,parallel_speedup,\
+         trace_ns_per_access,trace_parallel_speedup,\
          reference_ns_per_access,speedup"
     );
     for r in &results {
         println!(
-            "{},{:.1},{:.1},{:.2}x,{:.1},{:.2}x",
+            "{},{:.1},{:.1},{:.2}x,{:.1},{:.2}x,{:.1},{:.2}x",
             r.case,
             r.soa_ns_per_access,
             r.sharded_ns_per_access,
             r.parallel_speedup(),
+            r.trace_ns_per_access,
+            r.trace_parallel_speedup(),
             r.reference_ns_per_access,
             r.speedup()
+        );
+    }
+    for m in pc_bench::cache_bench::mode_speedups(&results) {
+        println!(
+            "# mode {}: batch parallel_speedup {:.2}x, trace parallel_speedup {:.2}x (geomean over shapes)",
+            m.mode, m.parallel_speedup, m.trace_parallel_speedup
         );
     }
     let json = pc_bench::cache_bench::to_json(&results, trace_len);

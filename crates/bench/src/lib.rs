@@ -4,6 +4,22 @@
 //! the `repro` binary (full printouts) and the Criterion benches
 //! (scaled-down timed runs). Each function returns plain row structs so
 //! callers decide how to render them.
+//!
+//! * [`cache_bench`] — the LLC hot-path microbenchmark behind
+//!   `repro bench-cache` (four engines × nine trace/mode cases →
+//!   `BENCH_cache.json`; schema documented in this crate's README).
+//! * [`par`] — facade over [`pc_par`], the workspace-wide deterministic
+//!   parallelism substrate (`PC_BENCH_THREADS` governs every parallel
+//!   path from one place).
+//!
+//! The `repro` CLI (subcommands, flags, environment variables, output
+//! discipline) is documented in `crates/bench/README.md`; the
+//! subcommand → paper-figure map lives in the top-level
+//! `ARCHITECTURE.md`.
+//!
+//! Every experiment is deterministic: for a fixed `--seed`, stdout is
+//! byte-identical at any worker count — CI diffs a sequential against
+//! a threaded `repro all` run to enforce it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

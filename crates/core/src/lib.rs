@@ -22,6 +22,25 @@
 //!   89.7 % / 86.5 % closed-world result).
 //! * [`levenshtein`] — the edit-distance metric used for both sequence
 //!   quality (Table I) and channel error rates.
+//!
+//! ## Example
+//!
+//! Stand up the paper's machine and watch one packet land:
+//!
+//! ```
+//! use pc_core::{TestBed, TestBedConfig};
+//! use pc_net::{EthernetFrame, ScheduledFrame};
+//!
+//! let mut tb = TestBed::new(TestBedConfig::paper_baseline());
+//! let before = tb.hierarchy().llc().stats().io_misses;
+//! tb.enqueue(vec![ScheduledFrame {
+//!     at: tb.now(),
+//!     frame: EthernetFrame::clamped(192), // 3 cache blocks via DDIO
+//! }]);
+//! tb.drain();
+//! assert!(tb.hierarchy().llc().stats().io_misses > before);
+//! assert_eq!(tb.records().len(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -167,7 +167,7 @@ impl Hierarchy {
     }
 
     fn run(&mut self, addr: PhysAddr, kind: AccessKind) -> Cycles {
-        let out = self.llc.access(addr, kind, self.clock);
+        let out = self.llc.access(addr, kind);
         self.mem.reads += out.dram_reads as u64;
         self.mem.writes += out.dram_writes as u64;
         let latency = self.latency_of(out.hit, kind);
@@ -212,51 +212,58 @@ impl Hierarchy {
     /// Per-access behaviour (RNG stream, adaptation timing, statistics)
     /// is identical to issuing the ops one at a time.
     ///
-    /// In `Disabled`/`Enabled` DDIO modes the cache never reads the
-    /// clock, so a long trace is binned by slice and replayed on worker
-    /// threads (one per shard group; `PC_BENCH_THREADS` bounds the pool,
-    /// `=1` forces the sequential walk) — the summary, statistics and
-    /// final clock are byte-identical either way. `Adaptive` traces
-    /// always replay sequentially: the per-access clock drives each
-    /// slice's adaptation period, so only the clock-advancing walk is
-    /// faithful.
+    /// A long trace is partitioned by slice inside worker threads and
+    /// replayed sharded (one shard group per worker; `PC_BENCH_THREADS`
+    /// bounds the pool, `=1` forces the sequential walk) — in **every**
+    /// [`DdioMode`], `Adaptive` included, because each slice's
+    /// adaptation period runs off that slice's own access-count defense
+    /// clock rather than the outcome-dependent cycle clock. The
+    /// summary, statistics and final clock are byte-identical for any
+    /// worker count.
+    ///
+    /// ```
+    /// use pc_cache::{AccessKind, CacheGeometry, DdioMode, Hierarchy, PhysAddr};
+    /// let mut h = Hierarchy::new(CacheGeometry::tiny(), DdioMode::adaptive());
+    /// let ops = (0..100u64).map(|i| (PhysAddr::new(i * 0x1040), AccessKind::CpuRead));
+    /// let sum = h.run_trace(ops);
+    /// assert_eq!(sum.accesses, 100);
+    /// assert_eq!(sum.cycles, h.now(), "the clock advanced by the replay");
+    /// ```
     pub fn run_trace<I>(&mut self, ops: I) -> TraceSummary
     where
         I: IntoIterator<Item = (PhysAddr, AccessKind)>,
     {
         let ops = ops.into_iter();
         // The dominant caller is `PrimeProbe::prime` with a handful of
-        // ops per call: when the trace provably cannot shard (adaptive
-        // mode, one slice, or a known-short iterator) stream it with no
-        // allocation and no thread-pool sizing — both cost real time at
-        // that call rate.
-        let adaptive = matches!(self.llc.mode(), crate::DdioMode::Adaptive(_));
+        // ops per call: when the trace provably cannot shard (one slice,
+        // or a known-short iterator) stream it with no allocation and no
+        // thread-pool sizing — both cost real time at that call rate.
         let short = matches!(ops.size_hint(), (_, Some(hi)) if hi < crate::llc::PAR_BATCH_MIN);
-        if adaptive || short || self.llc.geometry().slices() <= 1 {
+        if short || self.llc.geometry().slices() <= 1 {
             return self.run_trace_sequential(ops);
         }
-        self.run_trace_threads(ops.collect(), pc_par::max_threads())
+        let ops: Vec<(PhysAddr, AccessKind)> = ops.collect();
+        self.run_trace_threads(&ops, pc_par::max_threads())
     }
 
-    /// [`Hierarchy::run_trace`] with an explicit worker bound (tests pin
-    /// the count; results are byte-identical for every value).
-    pub(crate) fn run_trace_threads(
+    /// [`Hierarchy::run_trace`] with an explicit worker bound, for
+    /// callers that must pin the count instead of reading
+    /// `PC_BENCH_THREADS` (thread-invariance tests, benches) or that
+    /// replay a borrowed trace repeatedly. Results are byte-identical
+    /// for every `threads` value; short traces still replay inline.
+    pub fn run_trace_threads(
         &mut self,
-        ops: Vec<(PhysAddr, AccessKind)>,
+        ops: &[(PhysAddr, AccessKind)],
         threads: usize,
     ) -> TraceSummary {
-        if !matches!(self.llc.mode(), crate::DdioMode::Adaptive(_))
-            && self.llc.batch_worth_sharding(ops.len(), threads)
-        {
-            let sum = self
-                .llc
-                .trace_batch_threads(&ops, self.clock, threads, self.lat);
+        if self.llc.batch_worth_sharding(ops.len(), threads) {
+            let sum = self.llc.trace_batch_threads(ops, threads, self.lat);
             self.clock += sum.cycles;
             self.mem.reads += sum.dram_reads;
             self.mem.writes += sum.dram_writes;
             return sum;
         }
-        self.run_trace_sequential(ops.into_iter())
+        self.run_trace_sequential(ops.iter().copied())
     }
 
     /// The clock-advancing sequential walk shared by every `run_trace`
@@ -270,7 +277,7 @@ impl Hierarchy {
         let mut writes = 0u64;
         let mut clock = self.clock;
         for (addr, kind) in ops {
-            let out = self.llc.access(addr, kind, clock);
+            let out = self.llc.access(addr, kind);
             reads += u64::from(out.dram_reads);
             writes += u64::from(out.dram_writes);
             let latency = self.latency_of(out.hit, kind);
@@ -407,9 +414,9 @@ mod tests {
     fn sharded_trace_replay_is_thread_count_invariant() {
         // A trace long enough to take the sharded path must leave the
         // hierarchy in a byte-identical state (summary, clock, memory
-        // traffic, LLC stats, residency) for every worker count. Covers
-        // the non-adaptive modes; adaptive traces always take the
-        // sequential clock-advancing walk (asserted below).
+        // traffic, LLC stats — per slice, so adaptation boundaries are
+        // pinned too — and residency) for every worker count, in every
+        // mode including `Adaptive`.
         let ops: Vec<(PhysAddr, AccessKind)> = (0..6000u64)
             .map(|i| {
                 let kind = match i % 5 {
@@ -421,28 +428,37 @@ mod tests {
                 (PhysAddr::new((i % 97) * 0x3040), kind)
             })
             .collect();
-        for mode in [DdioMode::Disabled, DdioMode::enabled()] {
+        for mode in [
+            DdioMode::Disabled,
+            DdioMode::enabled(),
+            DdioMode::adaptive(),
+        ] {
             let mut seq = h(mode);
-            let want = seq.run_trace_threads(ops.clone(), 1);
+            let want = seq.run_trace_threads(&ops, 1);
+            if matches!(mode, DdioMode::Adaptive(_)) {
+                assert!(
+                    seq.llc().stats().defense_evals > 0,
+                    "the trace must actually exercise adaptation"
+                );
+            }
             for threads in [2usize, 4, 16] {
                 let mut par = h(mode);
-                let got = par.run_trace_threads(ops.clone(), threads);
+                let got = par.run_trace_threads(&ops, threads);
                 assert_eq!(got, want, "{mode:?} threads={threads}");
                 assert_eq!(par.now(), seq.now(), "{mode:?} threads={threads}");
                 assert_eq!(par.memory_stats(), seq.memory_stats(), "{mode:?}");
-                assert_eq!(par.llc().stats(), seq.llc().stats(), "{mode:?}");
+                for slice in 0..par.llc().geometry().slices() {
+                    assert_eq!(
+                        par.llc().slice_stats(slice),
+                        seq.llc().slice_stats(slice),
+                        "{mode:?} threads={threads} slice={slice}"
+                    );
+                }
                 for &(a, _) in &ops {
                     assert_eq!(par.llc().contains(a), seq.llc().contains(a));
                 }
             }
         }
-        // Adaptive mode: the clock-advancing walk is the only faithful
-        // one, so every thread count must produce the sequential result.
-        let mut seq = h(DdioMode::adaptive());
-        let want = seq.run_trace_threads(ops.clone(), 1);
-        let mut par = h(DdioMode::adaptive());
-        assert_eq!(par.run_trace_threads(ops.clone(), 8), want);
-        assert_eq!(par.llc().stats(), seq.llc().stats());
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //!
 //! Storage and simulation state are sharded by slice
 //! ([`crate::shard::Shard`]): each slice owns its cut of the SoA line
-//! store, its RNG stream, its statistics and its adaptive-partition
-//! worklists. Scalar accesses route to the owning shard; the batch entry
-//! points bin a trace by slice hash and can run the shards on worker
-//! threads, merging statistics in slice order — byte-identical to the
-//! sequential walk for any seed and any thread count.
+//! store, its RNG stream, its statistics, its defense clock and its
+//! adaptive-partition worklists. Scalar accesses route to the owning
+//! shard; the batch entry points partition a trace by slice-hash range
+//! *inside* the worker threads (each worker bins and replays its own
+//! shard group), merging statistics in slice order — byte-identical to
+//! the sequential walk for any seed and any thread count, in every
+//! [`DdioMode`] including `Adaptive`.
 
 use crate::addr::PhysAddr;
 use crate::geometry::CacheGeometry;
@@ -18,7 +20,6 @@ use crate::set::Domain;
 use crate::shard::Shard;
 use crate::slicehash::SliceHash;
 use crate::stats::CacheStats;
-use crate::Cycles;
 use std::fmt;
 
 /// How DMA from I/O devices interacts with the LLC.
@@ -168,6 +169,32 @@ impl BatchOutcome {
 /// One decoded access, binned per slice by the batch dispatcher.
 type BinnedOp = (u32, u64, AccessKind); // (local set, tag, kind)
 
+/// Reusable per-slice bin scratch for the batch dispatchers.
+///
+/// Binning a trace needs one `Vec` per slice; allocating them per batch
+/// costs real time at `Hierarchy::run_trace` call rates, so the cache
+/// carries one of these across batches (every dispatching entry point —
+/// `run_trace` through [`crate::Hierarchy`], `access_batch*` directly —
+/// shares it) and the dispatcher clears (capacity-preserving) rather
+/// than reallocates. The content never outlives a dispatch — this is
+/// scratch, not state — so a cloned cache starting from an empty
+/// scratch is equivalent.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TraceBins {
+    bins: Vec<Vec<BinnedOp>>,
+}
+
+impl TraceBins {
+    /// Clears all bins and makes sure one exists per slice; keeps
+    /// whatever capacity previous batches grew.
+    fn reset(&mut self, slices: usize) {
+        self.bins.resize_with(slices, Vec::new);
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+    }
+}
+
 /// Batches shorter than this replay inline: binning + thread hand-off
 /// costs more than it saves. Crossing the threshold never changes
 /// results (the two paths are byte-equivalent), only who runs them.
@@ -177,7 +204,7 @@ pub(crate) const PAR_BATCH_MIN: usize = 4096;
 ///
 /// All addresses are physical. The cache stores only metadata (tags,
 /// dirty bits, domains); no data bytes are simulated. Storage is one
-/// contiguous structure-of-arrays *per slice* ([`crate::store`]), owned
+/// contiguous structure-of-arrays *per slice* (`src/store.rs`), owned
 /// by that slice's simulation shard — there is no per-set object on the
 /// hot path, and no cross-slice state at all.
 ///
@@ -185,8 +212,8 @@ pub(crate) const PAR_BATCH_MIN: usize = 4096;
 /// use pc_cache::{AccessKind, CacheGeometry, DdioMode, PhysAddr, SlicedCache};
 /// let mut llc = SlicedCache::new(CacheGeometry::tiny(), DdioMode::enabled());
 /// let a = PhysAddr::new(0x8000);
-/// assert!(!llc.access(a, AccessKind::CpuRead, 0).hit);
-/// assert!(llc.access(a, AccessKind::CpuRead, 10).hit);
+/// assert!(!llc.access(a, AccessKind::CpuRead).hit);
+/// assert!(llc.access(a, AccessKind::CpuRead).hit);
 /// ```
 #[derive(Clone, Debug)]
 pub struct SlicedCache {
@@ -194,6 +221,8 @@ pub struct SlicedCache {
     hash: SliceHash,
     mode: DdioMode,
     shards: Vec<Shard>,
+    /// Per-slice bin scratch reused across batch dispatches.
+    bins: TraceBins,
 }
 
 impl SlicedCache {
@@ -256,6 +285,7 @@ impl SlicedCache {
                     )
                 })
                 .collect(),
+            bins: TraceBins::default(),
         }
     }
 
@@ -311,6 +341,21 @@ impl SlicedCache {
         total
     }
 
+    /// Statistics accumulated by one slice's shard alone.
+    ///
+    /// Summing this over all slices equals [`SlicedCache::stats`]. The
+    /// per-slice view exists so tests can pin the sharded replay to the
+    /// sequential walk at slice granularity — in particular
+    /// [`CacheStats::defense_evals`], the per-slice count of adaptive
+    /// period re-evaluations, must match exactly, not just in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice >= geometry().slices()`.
+    pub fn slice_stats(&self, slice: usize) -> CacheStats {
+        self.shards[slice].stats()
+    }
+
     /// Resets statistics to zero (the cache contents are untouched).
     pub fn reset_stats(&mut self) {
         for shard in &mut self.shards {
@@ -328,39 +373,56 @@ impl SlicedCache {
         self.shards.iter_mut().map(Shard::flush_all).sum()
     }
 
-    /// Performs one access at cycle `now` and reports what happened.
+    /// Performs one access and reports what happened.
     ///
-    /// `now` only matters in `Adaptive` mode, where it drives the owning
-    /// slice's periodic boundary re-evaluation; other modes ignore it.
+    /// In `Adaptive` mode the access ticks the owning slice's defense
+    /// clock, which drives that slice's periodic boundary re-evaluation
+    /// (see [`crate::AdaptiveConfig`]); other modes keep the clock
+    /// ticking but never read it.
     #[inline]
-    pub fn access(&mut self, addr: PhysAddr, kind: AccessKind, now: Cycles) -> AccessOutcome {
+    pub fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> AccessOutcome {
         let ss = self.locate(addr);
         let tag = self.geom.tag(addr);
-        self.shards[ss.slice].access(self.mode, ss.set, tag, kind, now)
+        self.shards[ss.slice].access(self.mode, ss.set, tag, kind)
     }
 
-    /// Runs a slice of accesses, all presented at cycle `now`, and
-    /// returns the aggregate outcome.
+    /// Runs a slice of accesses and returns the aggregate outcome.
     ///
     /// Semantically identical to calling [`SlicedCache::access`] once per
-    /// element — and, because the shards share no state and the whole
-    /// batch shares one `now`, identical for *any* worker-thread count
-    /// (this entry point fans large batches out over
-    /// [`pc_par::max_threads`] workers; set `PC_BENCH_THREADS=1` to force
-    /// the sequential walk). Clock-advancing callers should use
+    /// element — and, because the shards share no state and every
+    /// slice's defense clock is a pure function of its own access
+    /// stream, identical for *any* worker-thread count, in every mode
+    /// including `Adaptive` (this entry point fans large batches out
+    /// over [`pc_par::max_threads`] workers; set `PC_BENCH_THREADS=1` to
+    /// force the sequential walk). Clock-advancing callers should use
     /// [`crate::Hierarchy::run_trace`] (which `PrimeProbe::prime` goes
     /// through); this cache-level variant serves clockless replay like
-    /// the `cache_throughput` bench. In `Adaptive` mode, remember that a
-    /// whole batch shares one `now` — chunk long traces if periodic
-    /// adaptation should keep firing.
-    pub fn access_batch(&mut self, ops: &[(PhysAddr, AccessKind)], now: Cycles) -> BatchOutcome {
+    /// the `cache_throughput` bench.
+    ///
+    /// ```
+    /// use pc_cache::{AccessKind, CacheGeometry, DdioMode, PhysAddr, SlicedCache};
+    /// let mut llc = SlicedCache::new(CacheGeometry::tiny(), DdioMode::adaptive());
+    /// // Prime every set with CPU lines, then storm the same sets with
+    /// // DMA fills at conflicting tags.
+    /// let cpu: Vec<_> = (0..64u64)
+    ///     .map(|i| (PhysAddr::new(i * 0x1040), AccessKind::CpuRead))
+    ///     .collect();
+    /// let io: Vec<_> = (0..64u64)
+    ///     .map(|i| (PhysAddr::new(0x10_0000 + i * 0x1040), AccessKind::IoWrite))
+    ///     .collect();
+    /// llc.access_batch(&cpu);
+    /// let out = llc.access_batch(&io);
+    /// assert_eq!(out.hits + out.misses, 64);
+    /// assert_eq!(out.evicted_cpu, 0, "the adaptive defense shields CPU lines");
+    /// ```
+    pub fn access_batch(&mut self, ops: &[(PhysAddr, AccessKind)]) -> BatchOutcome {
         let threads = pc_par::max_threads();
         if !self.batch_worth_sharding(ops.len(), threads) {
             // Short batch: binning + thread hand-off would cost more than
             // it saves. Same results either way.
-            return self.access_batch_threads(ops, now, 1);
+            return self.access_batch_threads(ops, 1);
         }
-        self.access_batch_threads(ops, now, threads)
+        self.access_batch_threads(ops, threads)
     }
 
     /// [`SlicedCache::access_batch`] with an explicit worker bound.
@@ -372,21 +434,20 @@ impl SlicedCache {
     pub fn access_batch_threads(
         &mut self,
         ops: &[(PhysAddr, AccessKind)],
-        now: Cycles,
         threads: usize,
     ) -> BatchOutcome {
         if threads <= 1 || self.shards.len() <= 1 || ops.is_empty() {
             let mut agg = BatchOutcome::default();
             for &(addr, kind) in ops {
-                agg.absorb(self.access(addr, kind, now));
+                agg.absorb(self.access(addr, kind));
             }
             return agg;
         }
         let mode = self.mode;
-        let per_shard = self.run_binned(self.bin_ops(ops), threads, &|shard, bin| {
+        let per_shard = self.run_sharded(ops, threads, &|shard, bin| {
             let mut agg = BatchOutcome::default();
-            for (set, tag, kind) in bin {
-                agg.absorb(shard.access(mode, set as usize, tag, kind, now));
+            for &(set, tag, kind) in bin {
+                agg.absorb(shard.access(mode, set as usize, tag, kind));
             }
             agg
         });
@@ -402,28 +463,22 @@ impl SlicedCache {
     /// with `lat`, so the caller can advance its clock by the summed
     /// cycles.
     ///
-    /// Only valid for modes that ignore the per-access clock (the caller
-    /// guards this): in `Disabled`/`Enabled` mode an access outcome is a
-    /// pure function of the owning shard's prior accesses, so per-shard
-    /// replay at a fixed `now` equals the sequential clock-advancing
-    /// walk byte for byte.
+    /// Valid for **every** mode: an access outcome is a pure function of
+    /// the owning shard's prior accesses (the adaptive period runs off
+    /// the shard's own defense clock, not the cycle clock), so per-shard
+    /// replay equals the sequential clock-advancing walk byte for byte.
     pub(crate) fn trace_batch_threads(
         &mut self,
         ops: &[(PhysAddr, AccessKind)],
-        now: Cycles,
         threads: usize,
         lat: LatencyModel,
     ) -> TraceSummary {
-        debug_assert!(
-            !matches!(self.mode, DdioMode::Adaptive(_)),
-            "adaptive traces must replay on the clock-advancing path"
-        );
         let mode = self.mode;
         let allocates = mode.allocates_in_llc();
-        let per_shard = self.run_binned(self.bin_ops(ops), threads, &|shard, bin| {
+        let per_shard = self.run_sharded(ops, threads, &|shard, bin| {
             let mut sum = TraceSummary::default();
-            for (set, tag, kind) in bin {
-                let out = shard.access(mode, set as usize, tag, kind, now);
+            for &(set, tag, kind) in bin {
+                let out = shard.access(mode, set as usize, tag, kind);
                 sum.accesses += 1;
                 sum.hits += u64::from(out.hit);
                 sum.cycles += lat.access_latency(out.hit, kind, allocates);
@@ -448,70 +503,74 @@ impl SlicedCache {
         threads > 1 && self.shards.len() > 1 && len >= PAR_BATCH_MIN
     }
 
-    /// Decodes and bins a trace by owning slice, preserving per-slice
-    /// op order (the only order that matters: shards share no state).
-    fn bin_ops(&self, ops: &[(PhysAddr, AccessKind)]) -> Vec<Vec<BinnedOp>> {
-        let mut bins: Vec<Vec<BinnedOp>> = vec![Vec::new(); self.shards.len()];
-        // One sizing pass keeps the per-slice pushes allocation-free.
-        let per_slice_hint = ops.len() / self.shards.len() + ops.len() / 8 + 1;
-        for bin in &mut bins {
-            bin.reserve(per_slice_hint);
-        }
-        for &(addr, kind) in ops {
-            let slice = self.hash.slice_of(addr);
-            bins[slice].push((self.geom.set_index(addr) as u32, self.geom.tag(addr), kind));
-        }
-        bins
-    }
-
-    /// Runs `run` once per shard with that shard's bin, on up to
-    /// `threads` workers (shards are distributed in contiguous groups),
-    /// and returns the results in slice order.
-    fn run_binned<R, F>(&mut self, mut bins: Vec<Vec<BinnedOp>>, threads: usize, run: &F) -> Vec<R>
+    /// Partitions `ops` by slice-hash range and runs `run` once per
+    /// shard with that shard's bin, on up to `threads` workers, returning
+    /// results in slice order.
+    ///
+    /// The binning pass is folded *into* the workers: shards are cut
+    /// into contiguous groups ([`pc_par::parallel_zip_chunks_threads`]
+    /// pairs each group with its cut of the bin scratch), and each
+    /// worker scans the whole trace once, decoding and keeping only the
+    /// ops whose slice hash lands in its range. Per-slice op order is
+    /// preserved by construction (one scanner per slice), so the bins —
+    /// and therefore the replay — are identical to a single sequential
+    /// binning pass, with no serial phase left in front of the workers.
+    fn run_sharded<R, F>(
+        &mut self,
+        ops: &[(PhysAddr, AccessKind)],
+        threads: usize,
+        run: &F,
+    ) -> Vec<R>
     where
         R: Send,
-        F: Fn(&mut Shard, Vec<BinnedOp>) -> R + Sync,
+        F: Fn(&mut Shard, &[BinnedOp]) -> R + Sync,
     {
-        let shards = self.shards.len();
-        if threads <= 1 {
-            return self
-                .shards
+        let slices = self.shards.len();
+        self.bins.reset(slices);
+        let hash = self.hash;
+        let geom = self.geom;
+        // Disjoint field borrows: the workers mutate the shards and the
+        // bin scratch, nothing else of `self`.
+        let shards = &mut self.shards;
+        let bins = &mut self.bins.bins;
+        let bin_one = |bin: &mut Vec<BinnedOp>, addr: PhysAddr, kind: AccessKind| {
+            bin.push((geom.set_index(addr) as u32, geom.tag(addr), kind));
+        };
+        if threads <= 1 || slices <= 1 {
+            // One sequential binning pass, then the shards in order.
+            let per_slice_hint = ops.len() / slices + ops.len() / 8 + 1;
+            for bin in bins.iter_mut() {
+                bin.reserve(per_slice_hint);
+            }
+            for &(addr, kind) in ops {
+                bin_one(&mut bins[hash.slice_of(addr)], addr, kind);
+            }
+            return shards
                 .iter_mut()
-                .zip(bins)
+                .zip(bins.iter())
                 .map(|(shard, bin)| run(shard, bin))
                 .collect();
         }
-        let per = shards.div_ceil(threads.min(shards));
-        let mut out: Vec<Option<R>> = Vec::with_capacity(shards);
-        out.resize_with(shards, || None);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .chunks_mut(per)
-                .zip(bins.chunks_mut(per))
-                .enumerate()
-                .map(|(group, (shard_group, bin_group))| {
-                    let bins_owned: Vec<Vec<BinnedOp>> =
-                        bin_group.iter_mut().map(std::mem::take).collect();
-                    scope.spawn(move || {
-                        shard_group
-                            .iter_mut()
-                            .zip(bins_owned)
-                            .enumerate()
-                            .map(|(j, (shard, bin))| (group * per + j, run(shard, bin)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (i, r) in h.join().expect("cache shard worker panicked") {
-                    out[i] = Some(r);
+        let groups = pc_par::parallel_zip_chunks_threads(
+            shards,
+            bins,
+            threads,
+            |first_slice, shard_group, bin_group| {
+                let range = first_slice..first_slice + shard_group.len();
+                for &(addr, kind) in ops {
+                    let slice = hash.slice_of(addr);
+                    if range.contains(&slice) {
+                        bin_one(&mut bin_group[slice - first_slice], addr, kind);
+                    }
                 }
-            }
-        });
-        out.into_iter()
-            .map(|r| r.expect("every shard produced a result"))
-            .collect()
+                shard_group
+                    .iter_mut()
+                    .zip(bin_group.iter())
+                    .map(|(shard, bin)| run(shard, bin))
+                    .collect::<Vec<R>>()
+            },
+        );
+        groups.into_iter().flatten().collect()
     }
 }
 
@@ -559,8 +618,8 @@ mod tests {
     fn miss_then_hit() {
         let mut llc = tiny_llc(DdioMode::enabled());
         let a = PhysAddr::new(0x4_0000);
-        assert!(!llc.access(a, AccessKind::CpuRead, 0).hit);
-        assert!(llc.access(a, AccessKind::CpuRead, 1).hit);
+        assert!(!llc.access(a, AccessKind::CpuRead).hit);
+        assert!(llc.access(a, AccessKind::CpuRead).hit);
         assert_eq!(llc.stats().cpu_hits, 1);
         assert_eq!(llc.stats().cpu_misses, 1);
     }
@@ -571,7 +630,7 @@ mod tests {
         let ways = llc.geometry().ways();
         let addrs = conflicting_addrs(&llc, PhysAddr::new(0), ways + 1);
         for &a in &addrs {
-            llc.access(a, AccessKind::CpuRead, 0);
+            llc.access(a, AccessKind::CpuRead);
         }
         // First (LRU) address must have been displaced by the last fill.
         assert!(!llc.contains(addrs[0]));
@@ -588,10 +647,10 @@ mod tests {
         let primes = conflicting_addrs(&llc, base, ways + 1);
         // Prime the set with CPU lines using addresses [1..=ways].
         for &a in &primes[1..] {
-            llc.access(a, AccessKind::CpuRead, 0);
+            llc.access(a, AccessKind::CpuRead);
         }
         // An I/O write to the same set must displace a primed line.
-        let out = llc.access(primes[0], AccessKind::IoWrite, 0);
+        let out = llc.access(primes[0], AccessKind::IoWrite);
         assert!(out.evicted_cpu, "DDIO fill should displace a CPU line");
         assert_eq!(llc.stats().io_evicted_cpu, 1);
     }
@@ -601,7 +660,7 @@ mod tests {
         let mut llc = tiny_llc(DdioMode::Enabled { io_way_limit: 2 });
         let addrs = conflicting_addrs(&llc, PhysAddr::new(0), 5);
         for &a in &addrs {
-            llc.access(a, AccessKind::IoWrite, 0);
+            llc.access(a, AccessKind::IoWrite);
         }
         let ss = llc.locate(addrs[0]);
         assert!(
@@ -614,12 +673,12 @@ mod tests {
     fn disabled_ddio_sends_dma_to_memory() {
         let mut llc = tiny_llc(DdioMode::Disabled);
         let a = PhysAddr::new(0x8000);
-        let out = llc.access(a, AccessKind::IoWrite, 0);
+        let out = llc.access(a, AccessKind::IoWrite);
         assert!(!out.hit);
         assert_eq!(out.dram_writes, 1);
         assert!(!llc.contains(a), "no allocation without DDIO");
         // CPU read later demand-fetches it.
-        let out = llc.access(a, AccessKind::CpuRead, 0);
+        let out = llc.access(a, AccessKind::CpuRead);
         assert!(!out.hit);
         assert_eq!(out.dram_reads, 1);
         assert!(llc.contains(a));
@@ -629,9 +688,9 @@ mod tests {
     fn disabled_ddio_invalidates_stale_cached_copy() {
         let mut llc = tiny_llc(DdioMode::Disabled);
         let a = PhysAddr::new(0x8000);
-        llc.access(a, AccessKind::CpuRead, 0);
+        llc.access(a, AccessKind::CpuRead);
         assert!(llc.contains(a));
-        llc.access(a, AccessKind::IoWrite, 0);
+        llc.access(a, AccessKind::IoWrite);
         assert!(
             !llc.contains(a),
             "DMA write must invalidate the cached copy"
@@ -645,11 +704,11 @@ mod tests {
         let addrs = conflicting_addrs(&llc, PhysAddr::new(0), 2 * ways);
         // Fill the CPU partition.
         for &a in &addrs[..ways] {
-            llc.access(a, AccessKind::CpuRead, 0);
+            llc.access(a, AccessKind::CpuRead);
         }
         // Hammer the set with I/O fills.
-        for (i, &a) in addrs[ways..].iter().enumerate() {
-            let out = llc.access(a, AccessKind::IoWrite, i as Cycles);
+        for &a in &addrs[ways..] {
+            let out = llc.access(a, AccessKind::IoWrite);
             assert!(
                 !out.evicted_cpu,
                 "adaptive mode must never displace CPU lines"
@@ -671,14 +730,12 @@ mod tests {
         let addrs = conflicting_addrs(&llc, PhysAddr::new(0), 6);
         let ss = llc.locate(addrs[0]);
         assert_eq!(llc.io_partition_limit(ss), 1);
-        // Sustained I/O activity across several periods grows the limit.
-        let mut now = 0;
-        for round in 0..20 {
+        // Sustained I/O activity across several periods (one per 10
+        // accesses to this slice) grows the limit.
+        for _ in 0..20 {
             for &a in &addrs {
-                llc.access(a, AccessKind::IoWrite, now);
-                now += 3;
+                llc.access(a, AccessKind::IoWrite);
             }
-            let _ = round;
         }
         assert!(
             llc.io_partition_limit(ss) > 1,
@@ -699,11 +756,9 @@ mod tests {
         let mut llc = tiny_llc(DdioMode::Adaptive(cfg));
         let addrs = conflicting_addrs(&llc, PhysAddr::new(0), 6);
         let ss = llc.locate(addrs[0]);
-        let mut now = 0;
         for _ in 0..20 {
             for &a in &addrs {
-                llc.access(a, AccessKind::IoWrite, now);
-                now += 3;
+                llc.access(a, AccessKind::IoWrite);
             }
         }
         assert!(llc.io_partition_limit(ss) > 1);
@@ -714,8 +769,8 @@ mod tests {
         // adaptation clock moving.
         llc.flush_all();
         let other = same_slice_other_set(&llc, addrs[0]);
-        for i in 0..50u64 {
-            llc.access(other, AccessKind::CpuRead, now + i * 10);
+        for _ in 0..50 {
+            llc.access(other, AccessKind::CpuRead);
         }
         assert_eq!(
             llc.io_partition_limit(ss),
@@ -743,17 +798,14 @@ mod tests {
         let mut llc = tiny_llc(DdioMode::Adaptive(cfg));
         let addrs = conflicting_addrs(&llc, PhysAddr::new(0), 8);
         let ss = llc.locate(addrs[0]);
-        let mut now = 0;
         while llc.io_partition_limit(ss) < 3 {
             for &a in &addrs[..6] {
-                llc.access(a, AccessKind::IoWrite, now);
-                now += 1;
+                llc.access(a, AccessKind::IoWrite);
             }
         }
         // Refill the grown partition so occupancy == 3.
         for &a in &addrs[..3] {
-            llc.access(a, AccessKind::IoWrite, now);
-            now += 1;
+            llc.access(a, AccessKind::IoWrite);
         }
         assert_eq!(llc.domain_count(ss, Domain::Io), 3);
         let wb_before = llc.stats().writebacks;
@@ -761,8 +813,8 @@ mod tests {
         // adaptation. The boundary steps down one line per period; each
         // step displaces a surplus resident I/O line.
         let other = same_slice_other_set(&llc, addrs[0]);
-        for i in 0..80u64 {
-            llc.access(other, AccessKind::CpuRead, now + i * 10);
+        for _ in 0..80 {
+            llc.access(other, AccessKind::CpuRead);
         }
         let limit = llc.io_partition_limit(ss);
         assert_eq!(
@@ -800,11 +852,9 @@ mod tests {
         let base = PhysAddr::new(0);
         let addrs = conflicting_addrs(&llc, base, 6);
         let ss = llc.locate(base);
-        let mut now = 0;
         for _ in 0..20 {
             for &a in &addrs {
-                llc.access(a, AccessKind::IoWrite, now);
-                now += 3;
+                llc.access(a, AccessKind::IoWrite);
             }
         }
         let grown = llc.io_partition_limit(ss);
@@ -814,8 +864,8 @@ mod tests {
             .map(|i| PhysAddr::new(i * crate::LINE_SIZE as u64))
             .find(|&a| llc.locate(a).slice != ss.slice)
             .expect("tiny geometry has two slices");
-        for i in 0..100u64 {
-            llc.access(other_slice, AccessKind::CpuRead, now + i * 10);
+        for _ in 0..100 {
+            llc.access(other_slice, AccessKind::CpuRead);
         }
         assert_eq!(
             llc.io_partition_limit(ss),
@@ -830,9 +880,9 @@ mod tests {
         let ways = llc.geometry().ways();
         let addrs = conflicting_addrs(&llc, PhysAddr::new(0), ways + 1);
         for &a in &addrs[..ways] {
-            llc.access(a, AccessKind::CpuWrite, 0); // dirty lines
+            llc.access(a, AccessKind::CpuWrite); // dirty lines
         }
-        let out = llc.access(addrs[ways], AccessKind::CpuRead, 0);
+        let out = llc.access(addrs[ways], AccessKind::CpuRead);
         assert_eq!(out.dram_writes, 1, "dirty LRU line must write back");
         assert_eq!(llc.stats().writebacks, 1);
     }
@@ -841,7 +891,7 @@ mod tests {
     fn io_read_does_not_allocate() {
         let mut llc = tiny_llc(DdioMode::enabled());
         let a = PhysAddr::new(0xc000);
-        let out = llc.access(a, AccessKind::IoRead, 0);
+        let out = llc.access(a, AccessKind::IoRead);
         assert!(!out.hit);
         assert_eq!(out.dram_reads, 1);
         assert!(!llc.contains(a));
@@ -851,7 +901,7 @@ mod tests {
     fn flush_all_empties_cache_and_reports_writebacks() {
         let mut llc = tiny_llc(DdioMode::enabled());
         let a = PhysAddr::new(0x1000);
-        llc.access(a, AccessKind::CpuWrite, 0);
+        llc.access(a, AccessKind::CpuWrite);
         assert_eq!(llc.flush_all(), 1, "one dirty line flushed");
         assert!(!llc.contains(a));
         assert_eq!(llc.stats().writebacks, 1);
@@ -877,10 +927,10 @@ mod tests {
         let mut scalar = tiny_llc(DdioMode::enabled());
         let mut agg = BatchOutcome::default();
         for &(a, k) in &ops {
-            agg.absorb(scalar.access(a, k, 5));
+            agg.absorb(scalar.access(a, k));
         }
         let mut batched = tiny_llc(DdioMode::enabled());
-        let got = batched.access_batch(&ops, 5);
+        let got = batched.access_batch(&ops);
         assert_eq!(got, agg);
         assert_eq!(batched.stats(), scalar.stats());
         for &(a, _) in &ops {
@@ -902,11 +952,11 @@ mod tests {
             let mut scalar = tiny_llc(mode);
             let mut want = BatchOutcome::default();
             for &(a, k) in &ops {
-                want.absorb(scalar.access(a, k, 9));
+                want.absorb(scalar.access(a, k));
             }
             for threads in [1usize, 2, 3, 8] {
                 let mut sharded = tiny_llc(mode);
-                let got = sharded.access_batch_threads(&ops, 9, threads);
+                let got = sharded.access_batch_threads(&ops, threads);
                 assert_eq!(got, want, "{mode:?} threads={threads}");
                 assert_eq!(
                     sharded.stats(),

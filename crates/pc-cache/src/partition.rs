@@ -8,20 +8,34 @@
 //!   paper). I/O fills may only displace lines inside the I/O partition,
 //!   so incoming packets can never evict a CPU (spy) line.
 //! * `io_activity` — how much I/O traffic the set saw during the current
-//!   adaptation period. Every `period` cycles the boundary is
-//!   re-evaluated: activity above `t_high` grows the I/O partition,
-//!   activity below `t_low` shrinks it, and displaced lines are
-//!   invalidated (with writeback if dirty).
+//!   adaptation period. Every `period` ticks of the owning slice's
+//!   defense clock the boundary is re-evaluated: activity at or above
+//!   `t_high` grows the I/O partition, activity below `t_low` shrinks
+//!   it, and displaced lines are invalidated (with writeback if dirty).
 //!
-//! **Deviation from the paper, documented:** the hardware proposal
-//! increments `io_activity` every *cycle* in which a valid I/O line is
-//! present in the set. Sampling 16 384 sets every cycle is infeasible in
-//! an event-driven simulator, so we count *I/O accesses to the set per
-//! period* instead. Both are monotone proxies for "sustained I/O traffic
-//! hits this set"; only the threshold units change (events instead of
-//! cycles). The defaults below correspond to the paper's
-//! `p = 10 000` cycles, `T_high = 0.5 p`, `T_low = 0.2 p` regime rescaled
-//! to event counts at the paper's packet rates.
+//! **Deviations from the paper, documented:**
+//!
+//! 1. *Events, not cycles.* The hardware proposal increments
+//!    `io_activity` every cycle in which a valid I/O line is present in
+//!    the set. Sampling 16 384 sets every cycle is infeasible in an
+//!    event-driven simulator, so we count *I/O accesses to the set per
+//!    period* instead. Both are monotone proxies for "sustained I/O
+//!    traffic hits this set"; only the threshold units change.
+//! 2. *A per-slice access-count period clock.* The period timer ticks
+//!    once per access **presented to the owning slice**, not once per
+//!    machine cycle. The cycle clock is a global, outcome-dependent
+//!    quantity (each access's latency depends on every prior hit/miss
+//!    across all slices), so a cycle-driven period would couple slices
+//!    and pin adaptive traces to the sequential walk. The access-count
+//!    clock is a pure function of the slice's own access stream — which
+//!    makes a slice's adaptation schedule reconstructible during trace
+//!    binning and lets adaptive traces shard across worker threads with
+//!    byte-identical results. (Either clock only ever *samples* I/O
+//!    pressure; the security property — I/O fills never displace CPU
+//!    lines — is enforced on every fill and does not depend on the
+//!    period at all.) `paper_defaults` rescales the paper's
+//!    `p = 10 000` cycles by the modelled average access cost
+//!    (~80–100 cycles) over the 8 slices to ≈16 accesses per slice.
 //!
 //! # Displacement semantics at boundary moves
 //!
@@ -56,13 +70,13 @@
 //! spurious extra step per period. Fixed in `SlicedCache::adapt` (and
 //! mirrored in the reference model).
 
-use crate::Cycles;
-
 /// Tuning knobs for [`crate::DdioMode::Adaptive`].
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct AdaptiveConfig {
-    /// Adaptation period in cycles (`p` in the paper; 10 k by default).
-    pub period: Cycles,
+    /// Adaptation period, in ticks of the owning slice's defense clock —
+    /// one tick per access presented to that slice (`p` in the paper,
+    /// rescaled from cycles; see the module docs).
+    pub period: u64,
     /// Grow the I/O partition when a set's per-period I/O activity is at
     /// least this many accesses.
     pub t_high: u32,
@@ -75,7 +89,8 @@ pub struct AdaptiveConfig {
 }
 
 impl AdaptiveConfig {
-    /// The paper's configuration: `p = 10k` cycles, partition ∈ `[1, 3]`.
+    /// The paper's configuration: `p = 10k` cycles — ≈16 accesses per
+    /// slice at the modelled access costs — partition ∈ `[1, 3]`.
     ///
     /// The paper's hardware increments a per-set counter every *cycle* a
     /// valid I/O line is present, so a set's partition grows within one
@@ -89,7 +104,7 @@ impl AdaptiveConfig {
     /// DDIO traffic" and "< 2.7 % throughput loss".
     pub fn paper_defaults() -> Self {
         AdaptiveConfig {
-            period: 10_000,
+            period: 16,
             t_high: 1,
             t_low: 1,
             min_io_lines: 1,

@@ -19,7 +19,7 @@
 //!
 //! The model is *not* a fossil of old bugs: behavioral fixes applied to
 //! the real cache (the adaptation-list deduplication, see
-//! [`crate::partition`]) are mirrored here, because the reference defines
+//! `src/partition.rs`) are mirrored here, because the reference defines
 //! intended semantics, not historical accidents. Likewise the sharded
 //! engine's per-slice contract — one RNG stream per slice (seeded with
 //! [`pc_par::mix_seed`]) and per-slice adaptation timing/worklists — is
@@ -37,7 +37,6 @@ use crate::replacement::ReplacementPolicy;
 use crate::set::Domain;
 use crate::slicehash::SliceHash;
 use crate::stats::CacheStats;
-use crate::Cycles;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -267,13 +266,15 @@ impl CacheSet {
     }
 }
 
-/// Per-slice control state: the slice's RNG stream and its adaptive
-/// defense bookkeeping (mirrors the sharded engine's per-slice
-/// decoupling; worklists hold flat set indices).
+/// Per-slice control state: the slice's RNG stream, its access-count
+/// defense clock and its adaptive defense bookkeeping (mirrors the
+/// sharded engine's per-slice decoupling; worklists hold flat set
+/// indices).
 #[derive(Clone, Debug)]
 struct SliceCtl {
     rng: SmallRng,
-    adapt_last: Cycles,
+    clock: u64,
+    adapt_last: u64,
     touched: Vec<usize>,
     elevated: Vec<usize>,
 }
@@ -332,6 +333,7 @@ impl ReferenceCache {
         let ctl = (0..geom.slices())
             .map(|slice| SliceCtl {
                 rng: SmallRng::seed_from_u64(pc_par::mix_seed(seed, slice as u64)),
+                clock: 0,
                 adapt_last: 0,
                 touched: Vec::new(),
                 elevated: Vec::new(),
@@ -390,11 +392,13 @@ impl ReferenceCache {
         wb
     }
 
-    /// Performs one access at cycle `now` (original algorithm).
-    pub fn access(&mut self, addr: PhysAddr, kind: AccessKind, now: Cycles) -> AccessOutcome {
+    /// Performs one access (original algorithm), ticking the owning
+    /// slice's defense clock exactly as the sharded engine does.
+    pub fn access(&mut self, addr: PhysAddr, kind: AccessKind) -> AccessOutcome {
         let ss = self.locate(addr);
         let idx = self.flat_index(ss);
         let tag = self.geom.tag(addr);
+        self.ctl[ss.slice].clock += 1;
 
         let outcome = match kind {
             AccessKind::CpuRead | AccessKind::CpuWrite => self.cpu_access(idx, tag, kind),
@@ -407,8 +411,8 @@ impl ReferenceCache {
         }
         if let DdioMode::Adaptive(cfg) = self.mode {
             let slice = ss.slice;
-            if now.saturating_sub(self.ctl[slice].adapt_last) >= cfg.period {
-                self.adapt(cfg, now, slice);
+            if self.ctl[slice].clock - self.ctl[slice].adapt_last >= cfg.period {
+                self.adapt(cfg, slice);
             }
         }
         outcome
@@ -614,8 +618,9 @@ impl ReferenceCache {
         }
     }
 
-    fn adapt(&mut self, cfg: AdaptiveConfig, now: Cycles, slice: usize) {
-        self.ctl[slice].adapt_last = now;
+    fn adapt(&mut self, cfg: AdaptiveConfig, slice: usize) {
+        self.ctl[slice].adapt_last = self.ctl[slice].clock;
+        self.stats.defense_evals += 1;
         let touched = std::mem::take(&mut self.ctl[slice].touched);
         let elevated = std::mem::take(&mut self.ctl[slice].elevated);
         let mut revisit: Vec<usize> = Vec::with_capacity(touched.len() + elevated.len());

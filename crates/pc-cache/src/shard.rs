@@ -19,12 +19,19 @@
 //!   and all touches of a set happen in its shard, so per-shard clocks
 //!   are observationally identical to a store-wide clock.
 //! * **Adaptation.** The adaptive defense's period timer and
-//!   touched/elevated worklists are per-shard: a slice re-evaluates its
-//!   partitions when *its own* access stream crosses the period
-//!   boundary. (The paper's hardware proposal is per-set counters +
-//!   per-set decision logic, so per-slice timing is the faithful
-//!   granularity; a global timer would couple slices and make parallel
-//!   simulation order-dependent.)
+//!   touched/elevated worklists are per-shard: the shard's *defense
+//!   clock* ticks once per access it receives, and a slice re-evaluates
+//!   its partitions when its own clock crosses the period boundary
+//!   ([`crate::partition`] documents the deviation from the paper's
+//!   cycle-based period). Because the clock is a pure function of the
+//!   slice's own access stream — never of other slices' hit/miss
+//!   outcomes — a shard replaying its bin of a trace reconstructs
+//!   exactly the adaptation schedule the sequential walk would produce,
+//!   which is what lets *adaptive* traces shard across worker threads.
+//!   (The paper's hardware proposal is per-set counters + per-set
+//!   decision logic, so per-slice timing is the faithful granularity; a
+//!   global timer would couple slices and make parallel simulation
+//!   order-dependent.)
 //!
 //! [`crate::SlicedCache`] owns one shard per slice and routes scalar
 //! accesses; its batch entry points bin ops by slice and fan shards out
@@ -36,7 +43,6 @@ use crate::replacement::{ReplacementPolicy, Victims};
 use crate::set::Domain;
 use crate::stats::CacheStats;
 use crate::store::{LineStore, FLAG_ELEVATED, FLAG_TOUCHED};
-use crate::Cycles;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -48,8 +54,11 @@ pub(crate) struct Shard {
     store: LineStore,
     rng: SmallRng,
     stats: CacheStats,
+    /// The defense clock: accesses this shard has processed. Drives the
+    /// adaptive period; pure function of the slice's own access stream.
+    clock: u64,
     // Adaptive-defense bookkeeping (unused in other modes).
-    adapt_last: Cycles,
+    adapt_last: u64,
     touched: Vec<usize>,
     elevated: Vec<usize>,
 }
@@ -69,6 +78,7 @@ impl Shard {
             store: LineStore::new(sets, ways, policy, io_limit),
             rng: SmallRng::seed_from_u64(pc_par::mix_seed(seed, slice as u64)),
             stats: CacheStats::new(),
+            clock: 0,
             adapt_last: 0,
             touched: Vec::new(),
             elevated: Vec::new(),
@@ -107,7 +117,8 @@ impl Shard {
         wb
     }
 
-    /// Performs one access to local set `set` at cycle `now`.
+    /// Performs one access to local set `set`, ticking the shard's
+    /// defense clock.
     ///
     /// `mode` is passed per call (it is shared, `Copy` cache
     /// configuration owned by [`crate::SlicedCache`]); everything
@@ -120,8 +131,8 @@ impl Shard {
         set: usize,
         tag: u64,
         kind: AccessKind,
-        now: Cycles,
     ) -> AccessOutcome {
+        self.clock += 1;
         let outcome = match kind {
             AccessKind::CpuRead | AccessKind::CpuWrite => self.cpu_access(mode, set, tag, kind),
             AccessKind::IoWrite => self.io_write(mode, set, tag),
@@ -136,8 +147,8 @@ impl Shard {
             self.note_io_activity(mode, set);
         }
         if let DdioMode::Adaptive(cfg) = mode {
-            if now.saturating_sub(self.adapt_last) >= cfg.period {
-                self.adapt(cfg, now);
+            if self.clock - self.adapt_last >= cfg.period {
+                self.adapt(cfg);
             }
         }
         outcome
@@ -395,8 +406,9 @@ impl Shard {
     /// losing side's surplus lines are invalidated (with writeback if
     /// dirty) at the adaptation point, never lazily on a later fill —
     /// see the discussion in [`crate::partition`].
-    fn adapt(&mut self, cfg: AdaptiveConfig, now: Cycles) {
-        self.adapt_last = now;
+    fn adapt(&mut self, cfg: AdaptiveConfig) {
+        self.adapt_last = self.clock;
+        self.stats.defense_evals += 1;
         let touched = std::mem::take(&mut self.touched);
         let elevated = std::mem::take(&mut self.elevated);
         let mut revisit: Vec<usize> = Vec::with_capacity(touched.len() + elevated.len());

@@ -23,6 +23,14 @@ pub struct CacheStats {
     pub io_evicted_cpu: u64,
     /// Lines invalidated by adaptive-partition boundary moves.
     pub partition_invalidations: u64,
+    /// Adaptive-defense period re-evaluations: how many times a slice's
+    /// defense clock crossed a period boundary and its recently active
+    /// sets were re-evaluated (see [`crate::AdaptiveConfig`]). Always 0
+    /// outside `Adaptive` mode. Per-slice counts are observable through
+    /// [`crate::SlicedCache::slice_stats`] — the sharded trace replay
+    /// must reproduce the sequential walk's per-slice period boundaries
+    /// exactly, and this counter is how tests pin that down.
+    pub defense_evals: u64,
 }
 
 impl CacheStats {
@@ -44,6 +52,7 @@ impl CacheStats {
         self.writebacks += other.writebacks;
         self.io_evicted_cpu += other.io_evicted_cpu;
         self.partition_invalidations += other.partition_invalidations;
+        self.defense_evals += other.defense_evals;
     }
 
     /// Total CPU accesses.

@@ -65,12 +65,10 @@ proptest! {
         target in addr_strategy(),
     ) {
         let mut llc = SlicedCache::with_policy_and_seed(CacheGeometry::tiny(), mode, policy, 42);
-        let mut now = 0u64;
         for (a, k) in warmup {
-            llc.access(a, k, now);
-            now += 7;
+            llc.access(a, k);
         }
-        llc.access(target, AccessKind::CpuRead, now);
+        llc.access(target, AccessKind::CpuRead);
         prop_assert!(llc.contains(target));
     }
 
@@ -83,10 +81,8 @@ proptest! {
     ) {
         let mode = DdioMode::Enabled { io_way_limit: limit };
         let mut llc = SlicedCache::new(CacheGeometry::tiny(), mode);
-        let mut now = 0u64;
         for (a, k) in &ops {
-            llc.access(*a, *k, now);
-            now += 7;
+            llc.access(*a, *k);
             let ss = llc.locate(*a);
             prop_assert!(llc.domain_count(ss, Domain::Io) <= limit as usize);
         }
@@ -101,10 +97,8 @@ proptest! {
     ) {
         let cfg = AdaptiveConfig { period, ..AdaptiveConfig::paper_defaults() };
         let mut llc = SlicedCache::new(CacheGeometry::tiny(), DdioMode::Adaptive(cfg));
-        let mut now = 0u64;
         for (a, k) in ops {
-            llc.access(a, k, now);
-            now += 13;
+            llc.access(a, k);
         }
         prop_assert_eq!(llc.stats().io_evicted_cpu, 0);
     }
@@ -116,10 +110,8 @@ proptest! {
     ) {
         let cfg = AdaptiveConfig { period: 32, ..AdaptiveConfig::paper_defaults() };
         let mut llc = SlicedCache::new(CacheGeometry::tiny(), DdioMode::Adaptive(cfg));
-        let mut now = 0u64;
         for (a, k) in &ops {
-            llc.access(*a, *k, now);
-            now += 13;
+            llc.access(*a, *k);
             let ss = llc.locate(*a);
             let lim = llc.io_partition_limit(ss);
             prop_assert!(lim >= cfg.min_io_lines as usize && lim <= cfg.max_io_lines as usize);
@@ -134,10 +126,8 @@ proptest! {
         ops in proptest::collection::vec((addr_strategy(), kind_strategy()), 1..300),
     ) {
         let mut llc = SlicedCache::new(CacheGeometry::tiny(), mode);
-        let mut now = 0u64;
         for (a, k) in ops {
-            let out = llc.access(a, k, now);
-            now += 11;
+            let out = llc.access(a, k);
             if out.hit {
                 prop_assert_eq!(out.dram_reads, 0);
                 prop_assert_eq!(out.dram_writes, 0);
@@ -155,11 +145,9 @@ proptest! {
         ops in proptest::collection::vec((addr_strategy(), kind_strategy()), 1..300),
     ) {
         let mut llc = SlicedCache::new(CacheGeometry::tiny(), mode);
-        let mut now = 0u64;
         let (mut cpu, mut io) = (0u64, 0u64);
         for (a, k) in ops {
-            llc.access(a, k, now);
-            now += 11;
+            llc.access(a, k);
             if k.is_io() { io += 1 } else { cpu += 1 }
         }
         let s = llc.stats();

@@ -72,15 +72,13 @@ fn assert_equivalent(
     let geom = CacheGeometry::tiny();
     let mut soa = SlicedCache::with_policy_and_seed(geom, mode, policy, seed);
     let mut reference = ReferenceCache::with_policy_and_seed(geom, mode, policy, seed);
-    let mut now = 0u64;
     for (i, &(a, k)) in ops.iter().enumerate() {
-        let got = soa.access(a, k, now);
-        let want = reference.access(a, k, now);
+        let got = soa.access(a, k);
+        let want = reference.access(a, k);
         assert_eq!(
             got, want,
             "outcome diverged at op {i}: {a} {k:?} mode {mode:?}"
         );
-        now += 7;
         let ss = soa.locate(a);
         assert_eq!(
             soa.domain_count(ss, Domain::Io),
@@ -104,10 +102,12 @@ fn assert_equivalent(
 }
 
 /// Drives the sharded batch engine (at several worker counts) and the
-/// reference model through the same trace, chunked so the batch clock
-/// keeps advancing (each chunk shares one `now`, exactly the batch-API
-/// contract), and asserts identical end state everywhere it is
-/// observable.
+/// reference model through the same trace — chunked, because batch
+/// boundaries must not be observable (each slice's defense clock ticks
+/// per access, wherever the chunks fall) — and asserts identical end
+/// state everywhere it is observable. Adaptive modes adapt *inside*
+/// the batches here, so per-slice period reconstruction is compared
+/// against the reference on every run.
 fn assert_sharded_equivalent(
     mode: DdioMode,
     policy: ReplacementPolicy,
@@ -117,19 +117,15 @@ fn assert_sharded_equivalent(
     const CHUNK: usize = 96;
     let geom = CacheGeometry::tiny();
     let mut reference = ReferenceCache::with_policy_and_seed(geom, mode, policy, seed);
-    let mut now = 0u64;
     for chunk in ops.chunks(CHUNK) {
         for &(a, k) in chunk {
-            reference.access(a, k, now);
+            reference.access(a, k);
         }
-        now += 64;
     }
     for threads in [1usize, 2, 4] {
         let mut sharded = SlicedCache::with_policy_and_seed(geom, mode, policy, seed);
-        let mut now = 0u64;
         for chunk in ops.chunks(CHUNK) {
-            sharded.access_batch_threads(chunk, now, threads);
-            now += 64;
+            sharded.access_batch_threads(chunk, threads);
         }
         assert_eq!(
             sharded.stats(),
@@ -196,16 +192,13 @@ proptest! {
         let geom = CacheGeometry::tiny();
         let mut soa = SlicedCache::with_policy_and_seed(geom, mode, policy, 7);
         let mut reference = ReferenceCache::with_policy_and_seed(geom, mode, policy, 7);
-        let mut now = 0u64;
         for &(a, k) in &before {
-            assert_eq!(soa.access(a, k, now), reference.access(a, k, now));
-            now += 5;
+            assert_eq!(soa.access(a, k), reference.access(a, k));
         }
         assert_eq!(soa.flush_all(), reference.flush_all(), "flush writebacks diverged");
         assert_eq!(soa.stats(), reference.stats());
         for &(a, k) in &after {
-            assert_eq!(soa.access(a, k, now), reference.access(a, k, now));
-            now += 5;
+            assert_eq!(soa.access(a, k), reference.access(a, k));
         }
         assert_eq!(soa.stats(), reference.stats());
     }
@@ -227,7 +220,6 @@ fn xeon_geometry_long_trace_equivalent() {
         let mut soa = SlicedCache::new(geom, mode);
         let mut reference = ReferenceCache::new(geom, mode);
         let mut rng = SmallRng::seed_from_u64(0x5eed);
-        let mut now = 0u64;
         for i in 0..60_000u64 {
             let a = PhysAddr::new(rng.gen_range(0..500_000u64) * 64);
             let k = match i % 5 {
@@ -236,12 +228,7 @@ fn xeon_geometry_long_trace_equivalent() {
                 3 => AccessKind::IoWrite,
                 _ => AccessKind::IoRead,
             };
-            assert_eq!(
-                soa.access(a, k, now),
-                reference.access(a, k, now),
-                "op {i} {mode:?}"
-            );
-            now += 3;
+            assert_eq!(soa.access(a, k), reference.access(a, k), "op {i} {mode:?}");
         }
         assert_eq!(soa.stats(), reference.stats(), "{mode:?}");
     }

@@ -17,6 +17,21 @@
 //! * [`loadgen`] — a wrk2-style open-loop load generator with latency
 //!   percentiles (Figure 16).
 //! * [`eval`] — the experiment harnesses that produce each figure's rows.
+//!
+//! ## Example
+//!
+//! Drive the paper's machine with tiny-payload TCP traffic and read the
+//! memory-controller cost off the hierarchy:
+//!
+//! ```
+//! use pc_cache::DdioMode;
+//! use pc_defense::workloads::{tcp_recv, Workbench};
+//!
+//! let mut bench = Workbench::paper_machine(DdioMode::enabled(), 7);
+//! let m = tcp_recv(&mut bench, 50);
+//! assert_eq!(m.units, 50);
+//! assert!(m.elapsed_cycles > 0 && m.units_per_second() > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,6 +6,10 @@
 //!
 //! * [`parallel_map`] — ordered fan-out of independent work items; item
 //!   `i`'s result lands at index `i` regardless of which worker ran it.
+//! * [`parallel_zip_chunks_threads`] — the range-partitioned variant:
+//!   two equal-length mutable slices are cut into the *same* contiguous
+//!   chunks and each chunk pair runs on its own worker (the sharded LLC
+//!   dispatcher pairs shard groups with their op bins this way).
 //! * [`max_threads`] — the one place the `PC_BENCH_THREADS` environment
 //!   variable is read. `PC_BENCH_THREADS=1` forces every parallel path
 //!   in the workspace (experiment repetitions, the sharded LLC engine,
@@ -17,7 +21,10 @@
 //!   parallel schedules then draw identical streams by construction.
 //!
 //! This crate sits below `pc-cache` (which shards the LLC simulation by
-//! slice) and is re-exported as `pc_bench::par` for the harness.
+//! slice) and is re-exported as `pc_bench::par` for the harness. The
+//! README next to this crate maps each primitive to its users; the
+//! workspace-wide determinism contract is spelled out in the top-level
+//! `ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +63,12 @@ pub fn mix_seed(seed: u64, salt: u64) -> u64 {
 
 /// Maps `f` over `items` on up to [`max_threads`] worker threads,
 /// returning results in input order.
+///
+/// ```
+/// let items: Vec<i64> = (0..64).collect();
+/// let squares = pc_par::parallel_map(items, |x| x * x);
+/// assert_eq!(squares, (0..64).map(|x| x * x).collect::<Vec<i64>>());
+/// ```
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -114,6 +127,70 @@ where
         .collect()
 }
 
+/// Range-partitioned fan-out over two zipped mutable slices.
+///
+/// `a` and `b` (which must have equal length) are cut into the *same*
+/// contiguous chunks — at most `threads` of them — and
+/// `f(offset, a_chunk, b_chunk)` runs once per chunk pair, each on its
+/// own scoped worker thread; `offset` is the global index of the
+/// chunk's first element. Results return in range order.
+///
+/// This is the "partition by index range" counterpart to the
+/// round-robin [`parallel_map_threads`]: use it when workers need
+/// **mutable** access to their cut of shared state (the sharded LLC
+/// dispatcher pairs each worker's shard group with that group's op
+/// bins). Because the ranges are disjoint, the borrows are too — no
+/// locks, and determinism is inherited from `f` (each chunk pair sees
+/// exactly the state and inputs it would see sequentially).
+///
+/// With `threads <= 1` (or a single-element input) everything runs
+/// inline on the caller's thread, producing byte-identical results.
+/// Panics in `f` propagate to the caller.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` differ in length.
+pub fn parallel_zip_chunks_threads<A, B, R, F>(
+    a: &mut [A],
+    b: &mut [B],
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    A: Send,
+    B: Send,
+    R: Send,
+    F: Fn(usize, &mut [A], &mut [B]) -> R + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zipped slices must have equal length");
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(threads.clamp(1, n));
+    if threads <= 1 || n <= 1 {
+        return a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .enumerate()
+            .map(|(g, (ca, cb))| f(g * chunk, ca, cb))
+            .collect();
+    }
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .enumerate()
+            .map(|(g, (ca, cb))| scope.spawn(move || f_ref(g * chunk, ca, cb)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_zip_chunks worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +242,45 @@ mod tests {
         let sequential: Vec<u64> = seeds.iter().map(|&s| work(s)).collect();
         let parallel = parallel_map(seeds, work);
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn zip_chunks_mutations_are_thread_invariant() {
+        // The chunking (and so the per-chunk results) depends on the
+        // worker count; the *state mutations* must not.
+        let run = |threads: usize| {
+            let mut a: Vec<u64> = (0..23).collect();
+            let mut b: Vec<u64> = (100..123).collect();
+            let offsets: Vec<usize> =
+                parallel_zip_chunks_threads(&mut a, &mut b, threads, |offset, ca, cb| {
+                    for (i, (x, y)) in ca.iter_mut().zip(cb.iter()).enumerate() {
+                        *x += *y * (offset + i) as u64;
+                    }
+                    offset
+                });
+            (a, offsets)
+        };
+        let (sequential, _) = run(1);
+        for threads in [2usize, 3, 8, 64] {
+            let (a, offsets) = run(threads);
+            assert_eq!(a, sequential, "threads={threads}");
+            // Offsets really are the global range starts, in order.
+            assert_eq!(offsets[0], 0);
+            assert!(offsets.windows(2).all(|w| w[0] < w[1]), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zip_chunks_handles_empty_input() {
+        let out: Vec<()> =
+            parallel_zip_chunks_threads::<u8, u8, _, _>(&mut [], &mut [], 4, |_, _, _| ());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn zip_chunks_rejects_mismatched_lengths() {
+        parallel_zip_chunks_threads(&mut [1u8, 2], &mut [1u8], 2, |_, _, _| ());
     }
 
     #[test]

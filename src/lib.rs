@@ -12,8 +12,8 @@
 //! | [`core`] | the attack: footprint, sequencer, covert channel, fingerprinting |
 //! | [`defense`] | ring randomization + adaptive partitioning evaluation |
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for paper-vs-measured results. The `repro` binary
+//! See `README.md` for a tour and `ARCHITECTURE.md` for the workspace
+//! map, data flow and determinism contract. The `repro` binary
 //! (`cargo run --release -p pc-bench --bin repro -- all`) regenerates
 //! every table and figure.
 //!
