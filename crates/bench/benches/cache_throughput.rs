@@ -32,8 +32,8 @@ fn access_soa(c: &mut Criterion) {
             // construction.
             let mut llc = SlicedCache::new(CacheGeometry::xeon_e5_2660(), mode);
             b.iter(|| {
-                for &(a, k) in &ops {
-                    llc.access(a, k);
+                for &op in &ops {
+                    llc.access(op.addr, op.kind);
                 }
                 llc.stats()
             });
@@ -49,8 +49,8 @@ fn access_reference(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
             let mut llc = ReferenceCache::new(CacheGeometry::xeon_e5_2660(), mode);
             b.iter(|| {
-                for &(a, k) in &ops {
-                    llc.access(a, k);
+                for &op in &ops {
+                    llc.access(op.addr, op.kind);
                 }
                 llc.stats()
             });

@@ -1,12 +1,21 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, and run
+//! registered end-to-end scenarios.
 //!
 //! ```text
 //! repro [--full] [--smoke] [--seed N] <experiment|all|bench-cache>
+//! repro [--full] [--seed N] scenario <name>... | list
 //!
 //! experiments:
 //!   fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab fig12cd
 //!   fig13 fingerprint table2 fig14 fig15 fig16
 //! ```
+//!
+//! `scenario` runs named workloads from the registry in
+//! `pc_bench::scenario` (`repro scenario list` prints them): the
+//! paper's heavy end-to-end attacks (ring recovery, fingerprinting)
+//! plus mixed web-trace, line-rate-sweep and covert-bandwidth-sweep
+//! workloads, all riding the batched op-stream pipeline. Scenario
+//! stdout follows the same determinism contract as the figures.
 //!
 //! Output is plain text with CSV-style rows, matching the series the
 //! paper reports. `--full` uses paper-like parameters (minutes);
@@ -20,7 +29,9 @@
 //! `bench-cache` times the LLC hot path (scalar SoA loop, the
 //! slice-sharded batch engine, the sharded `run_trace` replay — now
 //! parallel in every DDIO mode, adaptive included — and the
-//! pre-refactor reference layout; 9 trace/mode cases) and writes
+//! pre-refactor reference layout; 9 trace/mode cases) plus the
+//! end-to-end `IgbDriver` receive path on its three op-stream engines
+//! (streaming / burst / per-access oracle, per DDIO mode) and writes
 //! `BENCH_cache.json` next to the working directory so the perf
 //! trajectory is tracked machine-readably from PR to PR (see
 //! `crates/bench/README.md` for the schema). `--smoke` shrinks it to a
@@ -52,10 +63,12 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!("usage: repro [--full] [--smoke] [--seed N] <experiment|all|bench-cache>");
+                println!("       repro [--full] [--seed N] scenario <name>... | list");
                 println!("experiments: fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab");
                 println!("             fig12cd fig13 fingerprint table2 fig14 fig15 fig16");
                 println!("bench-cache: LLC hot-path microbenchmark -> BENCH_cache.json");
                 println!("             (--smoke: short sanity-checked pass for CI)");
+                println!("scenario:    registered end-to-end workloads (`scenario list`)");
                 return;
             }
             other => cmds.push(other.to_owned()),
@@ -66,6 +79,10 @@ fn main() {
     }
     if smoke && cmds.iter().any(|c| c != "bench-cache") {
         die("--smoke only applies to bench-cache");
+    }
+    if cmds[0] == "scenario" {
+        run_scenarios(&cmds[1..], scale, seed);
+        return;
     }
 
     let all = [
@@ -122,6 +139,31 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
+}
+
+fn run_scenarios(names: &[String], scale: Scale, seed: u64) {
+    use pc_bench::scenario;
+    if names.is_empty() || names.iter().any(|n| n == "list") {
+        println!("registered scenarios:");
+        for s in scenario::registry() {
+            println!("  {:<16} {}", s.name(), s.summary());
+        }
+        return;
+    }
+    for name in names {
+        let s = scenario::find(name)
+            .unwrap_or_else(|| die(&format!("unknown scenario `{name}` (try `scenario list`)")));
+        let t = Instant::now();
+        println!("==================================================================");
+        println!("Scenario {} — {}", s.name(), s.summary());
+        print!("{}", s.run(scale, seed));
+        // Timing to stderr, like the figure experiments: stdout must be
+        // byte-stable (the CI determinism job diffs scenario runs too).
+        eprintln!(
+            "[scenario {name} done in {:.1}s]",
+            t.elapsed().as_secs_f64()
+        );
+    }
 }
 
 fn fig5(seed: u64) {
@@ -398,6 +440,11 @@ fn bench_cache(scale: Scale, smoke: bool) {
             Scale::Full => (15, pc_bench::cache_bench::TRACE_LEN),
         }
     };
+    let driver_packets = if smoke {
+        pc_bench::cache_bench::DRIVER_PACKETS / 4
+    } else {
+        pc_bench::cache_bench::DRIVER_PACKETS
+    };
     let results = pc_bench::cache_bench::measure_all(samples, trace_len);
     println!(
         "case,soa_ns_per_access,sharded_ns_per_access,parallel_speedup,\
@@ -423,7 +470,25 @@ fn bench_cache(scale: Scale, smoke: bool) {
             m.mode, m.parallel_speedup, m.trace_parallel_speedup
         );
     }
-    let json = pc_bench::cache_bench::to_json(&results, trace_len);
+    // The end-to-end driver engine: one frame at a time through the
+    // batched receive path vs the per-access oracle.
+    let drivers = pc_bench::cache_bench::measure_driver(samples, driver_packets);
+    println!(
+        "driver_mode,driver_ns_per_packet,driver_burst_ns_per_packet,\
+         driver_scalar_ns_per_packet,driver_speedup,driver_burst_speedup"
+    );
+    for d in &drivers {
+        println!(
+            "{},{:.1},{:.1},{:.1},{:.2}x,{:.2}x",
+            d.mode,
+            d.driver_ns_per_packet,
+            d.driver_burst_ns_per_packet,
+            d.driver_scalar_ns_per_packet,
+            d.driver_speedup(),
+            d.driver_burst_speedup()
+        );
+    }
+    let json = pc_bench::cache_bench::to_json(&results, &drivers, trace_len);
     // Smoke runs are quarter-length single-sample measurements: keep
     // them away from the tracked BENCH_cache.json so the PR-to-PR perf
     // trajectory only ever records full-protocol numbers.
@@ -448,6 +513,18 @@ fn bench_cache(scale: Scale, smoke: bool) {
                 ));
             }
         }
-        println!("# smoke: {} cases sane", results.len());
+        for d in &drivers {
+            if !d.is_sane() {
+                die(&format!(
+                    "bench-cache smoke: unusable driver timing for {}: {d:?}",
+                    d.mode
+                ));
+            }
+        }
+        println!(
+            "# smoke: {} cases + {} driver rows sane",
+            results.len(),
+            drivers.len()
+        );
     }
 }

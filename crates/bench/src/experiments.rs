@@ -41,7 +41,9 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn pick<T>(self, quick: T, full: T) -> T {
+    /// Picks the quick- or full-scale value (shared with the scenario
+    /// registry, which scales its workloads the same way).
+    pub fn pick<T>(self, quick: T, full: T) -> T {
         match self {
             Scale::Quick => quick,
             Scale::Full => full,

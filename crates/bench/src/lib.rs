@@ -11,6 +11,9 @@
 //! * [`par`] — facade over [`pc_par`], the workspace-wide deterministic
 //!   parallelism substrate (`PC_BENCH_THREADS` governs every parallel
 //!   path from one place).
+//! * [`scenario`] — the scenario registry: named end-to-end workloads
+//!   (`repro scenario <name>`) unifying the `pc-net` traffic generators
+//!   and `pc-defense` measurement workloads on the op-stream pipeline.
 //!
 //! The `repro` CLI (subcommands, flags, environment variables, output
 //! discipline) is documented in `crates/bench/README.md`; the
@@ -27,3 +30,4 @@
 pub mod cache_bench;
 pub mod experiments;
 pub mod par;
+pub mod scenario;

@@ -1,0 +1,470 @@
+//! The scenario registry: every workload class behind one CLI.
+//!
+//! A [`Scenario`] is a named, seeded, scale-aware end-to-end workload
+//! driven through the op-stream pipeline (batched driver receive,
+//! fused monitor primes, sharded trace replay). The registry unifies
+//! what used to be two separate worlds — the `pc-net` traffic
+//! generators (web traces, line-rate models, covert symbol streams)
+//! and the `pc-defense` measurement workloads (nginx, TCP receive,
+//! file copy) — behind `repro scenario <name>`.
+//!
+//! Scenario reports obey the same output discipline as the figure
+//! experiments: deterministic for a fixed `(scale, seed)` at any
+//! worker count (the CI determinism job byte-diffs a scenario smoke at
+//! 1 thread vs 4), plain CSV-style rows, commentary on `#` lines.
+
+use crate::experiments::Scale;
+use pc_cache::{DdioMode, SliceSet};
+use pc_core::covert::{lfsr_symbols, run_channel, ChannelConfig, Encoding};
+use pc_core::fingerprint::{evaluate_closed_world, CaptureConfig};
+use pc_core::sequencer::{ground_truth_sequence, recover_window, SequenceQuality, SequencerConfig};
+use pc_core::{TestBed, TestBedConfig};
+use pc_defense::workloads::{file_copy, nginx, tcp_recv, NginxConfig, Workbench, WorkloadMetrics};
+use pc_net::{ArrivalSchedule, ClosedWorld, ConstantSize, LineRate, TraceReplay};
+use pc_probe::AddressPool;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// One registered end-to-end workload.
+pub trait Scenario: Sync {
+    /// CLI name (`repro scenario <name>`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `repro scenario list`.
+    fn summary(&self) -> &'static str;
+
+    /// Runs the scenario and returns its report. Must be deterministic
+    /// for a fixed `(scale, seed)` at any thread count.
+    fn run(&self, scale: Scale, seed: u64) -> String;
+}
+
+/// Every registered scenario, in listing order.
+pub fn registry() -> &'static [&'static dyn Scenario] {
+    static CHASING: Chasing = Chasing;
+    static FINGERPRINT: Fingerprint = Fingerprint;
+    static WEB_MIX: WebMix = WebMix;
+    static LINE_RATE: LineRateSweep = LineRateSweep;
+    static COVERT: CovertSweep = CovertSweep;
+    static NGINX: Nginx = Nginx;
+    static TCP_RECV: TcpRecv = TcpRecv;
+    static FILE_COPY: FileCopy = FileCopy;
+    static REGISTRY: [&dyn Scenario; 8] = [
+        &CHASING,
+        &FINGERPRINT,
+        &WEB_MIX,
+        &LINE_RATE,
+        &COVERT,
+        &NGINX,
+        &TCP_RECV,
+        &FILE_COPY,
+    ];
+    &REGISTRY
+}
+
+/// Looks a scenario up by CLI name.
+pub fn find(name: &str) -> Option<&'static dyn Scenario> {
+    registry().iter().copied().find(|s| s.name() == name)
+}
+
+/// The three DDIO modes every workload scenario sweeps, with reporting
+/// names matching the figure experiments.
+fn ddio_modes() -> [(&'static str, DdioMode); 3] {
+    [
+        ("NoDDIO", DdioMode::Disabled),
+        ("DDIO", DdioMode::enabled()),
+        ("Adaptive", DdioMode::adaptive()),
+    ]
+}
+
+/// Packet Chasing's ring-order recovery (the paper's §IV attack) at
+/// scenario scale: one monitored window, quality vs ground truth.
+struct Chasing;
+
+impl Scenario for Chasing {
+    fn name(&self) -> &'static str {
+        "chasing"
+    }
+
+    fn summary(&self) -> &'static str {
+        "ring-buffer sequence recovery over the batched receive path"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let monitored = 16usize;
+        let samples = scale.pick(6_000, 60_000);
+        let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
+        let geom = tb.hierarchy().llc().geometry();
+        let targets: Vec<SliceSet> = pc_core::footprint::page_aligned_targets(&geom)
+            .into_iter()
+            .take(monitored)
+            .collect();
+        let pool = AddressPool::allocate(seed ^ 0x5ce, 12288);
+        let mut rng = SmallRng::seed_from_u64(seed + 17);
+        let frames = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(200_000)
+            .jitter(0.02)
+            .generate(
+                &mut ConstantSize::blocks(2),
+                tb.now() + 1,
+                samples * 4,
+                &mut rng,
+            );
+        tb.enqueue(frames);
+        let cfg = SequencerConfig {
+            samples,
+            interval: 33_000,
+            ..SequencerConfig::paper_defaults()
+        };
+        let t0 = tb.now();
+        let recovered = recover_window(&mut tb, &pool, &targets, &cfg);
+        let elapsed = tb.now() - t0;
+        let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
+        let q = SequenceQuality::evaluate(&recovered, &truth, elapsed);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sets,samples,levenshtein,error_rate_pct,recovered_len,truth_len"
+        );
+        let _ = writeln!(
+            out,
+            "{monitored},{samples},{},{:.1},{},{}",
+            q.levenshtein,
+            q.error_rate * 100.0,
+            q.recovered_len,
+            q.truth_len
+        );
+        let _ = writeln!(out, "# paper: 9.8% error over 32 sets at full scale");
+        out
+    }
+}
+
+/// §V closed-world fingerprinting at scenario scale (DDIO config only —
+/// the figure experiment covers the full comparison).
+struct Fingerprint;
+
+impl Scenario for Fingerprint {
+    fn name(&self) -> &'static str {
+        "fingerprint"
+    }
+
+    fn summary(&self) -> &'static str {
+        "closed-world website fingerprinting through the cache"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let training = scale.pick(3, 8);
+        let trials = scale.pick(4, 40);
+        let sites = ClosedWorld::paper_five_sites();
+        let acc = evaluate_closed_world(
+            TestBedConfig::paper_baseline(),
+            sites.sites(),
+            training,
+            trials,
+            0.25,
+            &CaptureConfig::paper_defaults(),
+            seed,
+        );
+        let mut out = String::new();
+        let _ = writeln!(out, "sites,training,trials,accuracy_pct");
+        let _ = writeln!(
+            out,
+            "{},{training},{},{:.1}",
+            sites.sites().len(),
+            acc.trials,
+            acc.accuracy * 100.0
+        );
+        let _ = writeln!(out, "# paper: 89.7% with DDIO at 1000 trials");
+        out
+    }
+}
+
+/// A mixed web-trace workload: page loads from all five closed-world
+/// sites interleaved into one arrival stream — the "many tenants, one
+/// NIC" shape none of the paper figures exercises on its own.
+struct WebMix;
+
+impl Scenario for WebMix {
+    fn name(&self) -> &'static str {
+        "web-mix"
+    }
+
+    fn summary(&self) -> &'static str {
+        "interleaved page loads from every site on one ring"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let rounds = scale.pick(8, 60);
+        let sites = ClosedWorld::paper_five_sites();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x3eb);
+        // Round-robin page loads over the sites, flattened to one size
+        // trace; noise keeps the loads realistically unequal.
+        let mut sizes = Vec::new();
+        for _round in 0..rounds {
+            for profile in sites.sites() {
+                for frame in profile.page_load(0.1, &mut rng) {
+                    sizes.push(frame.bytes());
+                }
+            }
+        }
+        let frames = sizes.len();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "config,frames,cycles_per_frame,llc_miss_rate,dram_lines"
+        );
+        for (name, mode) in ddio_modes() {
+            let mut tb = TestBed::new(TestBedConfig {
+                ddio: mode,
+                ..TestBedConfig::paper_baseline().with_seed(seed)
+            });
+            let mut replay = TraceReplay::new(sizes.clone());
+            let mut srng = SmallRng::seed_from_u64(seed + 5);
+            let schedule = ArrivalSchedule::new(LineRate::gigabit())
+                .frames_per_second(250_000)
+                .generate(&mut replay, tb.now() + 1, frames, &mut srng);
+            tb.enqueue(schedule);
+            let t0 = tb.now();
+            tb.drain();
+            let elapsed = tb.now() - t0;
+            let stats = tb.hierarchy().llc().stats();
+            let mem = tb.hierarchy().memory_stats();
+            let _ = writeln!(
+                out,
+                "{name},{frames},{},{:.3},{}",
+                elapsed / frames as u64,
+                stats.miss_rate(),
+                mem.total()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# {} sites x {rounds} rounds, bimodal page-load mix",
+            sites.sites().len()
+        );
+        out
+    }
+}
+
+/// Line-rate sweep: the NIC at the wire's maximum frame rate for each
+/// size × link speed, measuring what the receive path costs end to end.
+struct LineRateSweep;
+
+impl Scenario for LineRateSweep {
+    fn name(&self) -> &'static str {
+        "line-rate-sweep"
+    }
+
+    fn summary(&self) -> &'static str {
+        "driver receive cost at wire speed across frame sizes and links"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let count = scale.pick(20_000, 150_000);
+        let mut combos = Vec::new();
+        for (link_name, link) in [
+            ("1GbE", LineRate::gigabit()),
+            ("10GbE", LineRate::ten_gigabit()),
+        ] {
+            for bytes in [64u32, 256, 512, 1514] {
+                combos.push((link_name, link, bytes));
+            }
+        }
+        // Independent machines per combo: perfect ordered fan-out.
+        let rows = crate::par::parallel_map(combos, |(link_name, link, bytes)| {
+            let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
+            let fps = link.max_frames_per_second(bytes);
+            let mut rng = SmallRng::seed_from_u64(seed ^ u64::from(bytes));
+            let frames = ArrivalSchedule::new(link).frames_per_second(fps).generate(
+                &mut ConstantSize::new(pc_net::EthernetFrame::clamped(bytes)),
+                tb.now() + 1,
+                count,
+                &mut rng,
+            );
+            tb.enqueue(frames);
+            let t0 = tb.now();
+            tb.drain();
+            let elapsed = tb.now() - t0;
+            let stats = tb.hierarchy().llc().stats();
+            (
+                link_name,
+                bytes,
+                fps,
+                elapsed / count as u64,
+                stats.miss_rate(),
+            )
+        });
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "link,frame_bytes,wire_fps,cycles_per_frame,llc_miss_rate"
+        );
+        for (link, bytes, fps, cpf, miss) in rows {
+            let _ = writeln!(out, "{link},{bytes},{fps},{cpf},{miss:.3}");
+        }
+        let _ = writeln!(out, "# paper cites ~500k fps for ~192-byte frames on 1GbE");
+        out
+    }
+}
+
+/// Covert-channel bandwidth sweep: offered packet rate vs achieved
+/// bandwidth and error (the single-buffer channel of Figure 11, swept
+/// along the rate axis instead of the probe axis).
+struct CovertSweep;
+
+impl Scenario for CovertSweep {
+    fn name(&self) -> &'static str {
+        "covert-sweep"
+    }
+
+    fn summary(&self) -> &'static str {
+        "covert-channel bandwidth/error across offered packet rates"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let symbols_n = scale.pick(60, 600);
+        let rows = crate::par::parallel_map(vec![100_000u64, 200_000, 400_000, 500_000], |rate| {
+            let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
+            let pool = AddressPool::allocate(seed ^ 0xc0e7, 12288);
+            let symbols = lfsr_symbols(Encoding::Ternary, symbols_n, 0x2fd1);
+            let cfg = ChannelConfig {
+                encoding: Encoding::Ternary,
+                monitored_buffers: 1,
+                packet_rate_fps: rate,
+                probe_rate_hz: 28_000,
+                window: 3,
+                background_noise_aps: 100_000,
+            };
+            let report = run_channel(&mut tb, &pool, &symbols, &cfg);
+            (rate, report.bandwidth_bps, report.error_rate)
+        });
+        let mut out = String::new();
+        let _ = writeln!(out, "packet_rate_fps,bandwidth_bps,error_rate_pct");
+        for (rate, bw, err) in rows {
+            let _ = writeln!(out, "{rate},{bw:.0},{:.1}", err * 100.0);
+        }
+        let _ = writeln!(out, "# paper: ~3095 bps ternary at line rate, 28 kHz probe");
+        out
+    }
+}
+
+/// Formats one defense-workload row.
+fn workload_row(out: &mut String, name: &str, m: &WorkloadMetrics) {
+    let _ = writeln!(
+        out,
+        "{name},{},{:.1},{:.3},{}",
+        m.units,
+        m.units_per_second() / 1_000.0,
+        m.llc.miss_rate(),
+        m.mem.total()
+    );
+}
+
+/// The Figure 14 server workload as a standalone scenario.
+struct Nginx;
+
+impl Scenario for Nginx {
+    fn name(&self) -> &'static str {
+        "nginx"
+    }
+
+    fn summary(&self) -> &'static str {
+        "nginx-like request serving across DDIO modes"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let requests = scale.pick(400, 4_000);
+        let cfg = NginxConfig::paper_defaults();
+        let mut out = String::new();
+        let _ = writeln!(out, "config,units,kunits_per_sec,llc_miss_rate,dram_lines");
+        for (name, mode) in ddio_modes() {
+            let mut bench = Workbench::paper_machine(mode, seed);
+            nginx(&mut bench, &cfg, requests / 5); // warm-up
+            let m = nginx(&mut bench, &cfg, requests);
+            workload_row(&mut out, name, &m);
+        }
+        out
+    }
+}
+
+/// The §VII-a TCP receiver as a standalone scenario.
+struct TcpRecv;
+
+impl Scenario for TcpRecv {
+    fn name(&self) -> &'static str {
+        "tcp-recv"
+    }
+
+    fn summary(&self) -> &'static str {
+        "small-payload TCP receive across DDIO modes"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let packets = scale.pick(5_000, 50_000);
+        let mut out = String::new();
+        let _ = writeln!(out, "config,units,kunits_per_sec,llc_miss_rate,dram_lines");
+        for (name, mode) in ddio_modes() {
+            let mut bench = Workbench::paper_machine(mode, seed);
+            let m = tcp_recv(&mut bench, packets);
+            workload_row(&mut out, name, &m);
+        }
+        out
+    }
+}
+
+/// The §VII-a file copy as a standalone scenario (rides the sharded
+/// batch path end to end).
+struct FileCopy;
+
+impl Scenario for FileCopy {
+    fn name(&self) -> &'static str {
+        "file-copy"
+    }
+
+    fn summary(&self) -> &'static str {
+        "dd-style DMA file copy across DDIO modes"
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        let megabytes = scale.pick(2, 16);
+        let mut out = String::new();
+        let _ = writeln!(out, "config,units,kunits_per_sec,llc_miss_rate,dram_lines");
+        for (name, mode) in ddio_modes() {
+            let mut bench = Workbench::paper_machine(mode, seed);
+            let m = file_copy(&mut bench, megabytes);
+            workload_row(&mut out, name, &m);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate scenario name");
+        for name in names {
+            assert!(find(name).is_some());
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn workload_scenarios_are_deterministic() {
+        // Same (scale, seed) must render the same report; different
+        // seeds must not be trivially constant for the traffic-driven
+        // scenarios.
+        for name in ["tcp-recv", "file-copy"] {
+            let s = find(name).expect("registered");
+            let a = s.run(Scale::Quick, 11);
+            let b = s.run(Scale::Quick, 11);
+            assert_eq!(a, b, "{name} not deterministic");
+        }
+    }
+}

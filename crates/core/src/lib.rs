@@ -53,4 +53,4 @@ pub mod levenshtein;
 pub mod sequencer;
 mod testbed;
 
-pub use testbed::{RxRecord, TestBed, TestBedConfig};
+pub use testbed::{RxEngine, RxRecord, TestBed, TestBedConfig};

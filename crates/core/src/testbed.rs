@@ -8,6 +8,23 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 
+/// Which replay engine drives frame receives through the hierarchy.
+///
+/// Both paths are byte-identical (pinned by `pc-nic`'s equivalence
+/// suite and this module's own test); the choice is purely about
+/// performance and observability.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub enum RxEngine {
+    /// Per-frame op batches through [`pc_cache::Hierarchy::run_ops`] —
+    /// the fast path, and the default.
+    #[default]
+    Batched,
+    /// Access-by-access replay ([`IgbDriver::receive_scalar`]) — the
+    /// equivalence oracle; pick it when an experiment must observe
+    /// per-access latencies in the middle of a frame.
+    PerAccess,
+}
+
 /// Everything needed to stand up a [`TestBed`].
 #[derive(Copy, Clone, Debug)]
 pub struct TestBedConfig {
@@ -25,6 +42,8 @@ pub struct TestBedConfig {
     /// Record every received packet as ground truth (cheap; on by
     /// default).
     pub record_rx: bool,
+    /// How frame receives replay against the hierarchy.
+    pub rx_engine: RxEngine,
 }
 
 impl TestBedConfig {
@@ -37,6 +56,7 @@ impl TestBedConfig {
             latencies: LatencyModel::server_defaults(),
             seed: 0x9ac4e7,
             record_rx: true,
+            rx_engine: RxEngine::Batched,
         }
     }
 
@@ -59,6 +79,12 @@ impl TestBedConfig {
     /// Replaces the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the receive replay engine (builder style).
+    pub fn with_rx_engine(mut self, rx_engine: RxEngine) -> Self {
+        self.rx_engine = rx_engine;
         self
     }
 }
@@ -99,6 +125,7 @@ pub struct TestBed {
     rng: SmallRng,
     records: Vec<RxRecord>,
     record_rx: bool,
+    rx_engine: RxEngine,
 }
 
 impl TestBed {
@@ -117,6 +144,7 @@ impl TestBed {
             rng,
             records: Vec::new(),
             record_rx: cfg.record_rx,
+            rx_engine: cfg.rx_engine,
         }
     }
 
@@ -226,7 +254,15 @@ impl TestBed {
     }
 
     fn receive_now(&mut self, sf: ScheduledFrame) {
-        let ev = self.driver.receive(&mut self.h, sf.frame, &mut self.rng);
+        // The frame's memory traffic pipelines as one op batch on the
+        // default engine; the per-access oracle replays it one access at
+        // a time (identical results, pinned below and in pc-nic).
+        let ev = match self.rx_engine {
+            RxEngine::Batched => self.driver.receive(&mut self.h, sf.frame, &mut self.rng),
+            RxEngine::PerAccess => self
+                .driver
+                .receive_scalar(&mut self.h, sf.frame, &mut self.rng),
+        };
         self.deferred.extend(ev.deferred_reads.iter().copied());
         if self.record_rx {
             self.records.push(RxRecord {
@@ -315,6 +351,43 @@ mod tests {
         let mut frames = schedule(3, 0);
         frames.reverse();
         tb.enqueue(frames);
+    }
+
+    #[test]
+    fn batched_and_per_access_engines_are_byte_identical() {
+        // Same config, same seeds, both engines, through the full
+        // arrival pipeline (merging, gaps, deferred reads): records,
+        // clock, statistics and ring state must all agree.
+        for cfg in [
+            TestBedConfig::paper_baseline(),
+            TestBedConfig::no_ddio(),
+            TestBedConfig::adaptive_defense(),
+        ] {
+            let mut batched = TestBed::new(cfg);
+            let mut oracle = TestBed::new(cfg.with_rx_engine(RxEngine::PerAccess));
+            for tb in [&mut batched, &mut oracle] {
+                let mut rng = SmallRng::seed_from_u64(42);
+                let frames = ArrivalSchedule::new(LineRate::gigabit())
+                    .frames_per_second(150_000)
+                    .generate(&mut pc_net::UniformSizes::full_range(), 0, 400, &mut rng);
+                tb.enqueue(frames);
+                tb.drain();
+            }
+            assert_eq!(batched.records(), oracle.records());
+            assert_eq!(batched.now(), oracle.now());
+            assert_eq!(
+                batched.hierarchy().llc().stats(),
+                oracle.hierarchy().llc().stats()
+            );
+            assert_eq!(
+                batched.hierarchy().memory_stats(),
+                oracle.hierarchy().memory_stats()
+            );
+            assert_eq!(
+                batched.driver().ring().page_addresses(),
+                oracle.driver().ring().page_addresses()
+            );
+        }
     }
 
     #[test]

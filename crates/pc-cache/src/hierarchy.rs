@@ -11,6 +11,7 @@ use crate::addr::PhysAddr;
 use crate::geometry::CacheGeometry;
 use crate::llc::{AccessKind, DdioMode, SlicedCache};
 use crate::memory::MemoryStats;
+use crate::ops::{CacheOp, OpBuffer, OpSink};
 use crate::Cycles;
 
 /// Latency (in cycles) of the modelled components.
@@ -86,6 +87,10 @@ pub struct Hierarchy {
     mem: MemoryStats,
     lat: LatencyModel,
     clock: Cycles,
+    /// Reusable op scratch for [`Hierarchy::run_trace`]'s collect step,
+    /// carried across calls like the cache's `TraceBins` — content never
+    /// outlives one replay, so a clone starting empty is equivalent.
+    scratch: Vec<CacheOp>,
 }
 
 impl Hierarchy {
@@ -102,6 +107,7 @@ impl Hierarchy {
             mem: MemoryStats::new(),
             lat: LatencyModel::server_defaults(),
             clock: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -201,11 +207,11 @@ impl Hierarchy {
         latency >= self.lat.miss_threshold()
     }
 
-    /// Replays a trace of accesses back-to-back, advancing the clock per
-    /// access exactly as the scalar entry points do, and returns the
-    /// aggregate.
+    /// Replays a trace of [`CacheOp`]s back-to-back, advancing the clock
+    /// per access (plus any [`CacheOp::lead`]s) exactly as the scalar
+    /// entry points do, and returns the aggregate.
     ///
-    /// This is the batch entry point for drivers that don't need
+    /// This is the batch entry point for producers that don't need
     /// per-access latencies — `PrimeProbe::prime` (and through it every
     /// monitor priming pass in the attack) replays its eviction set here
     /// — saving a call and two stat read-modify-writes per line.
@@ -222,16 +228,16 @@ impl Hierarchy {
     /// worker count.
     ///
     /// ```
-    /// use pc_cache::{AccessKind, CacheGeometry, DdioMode, Hierarchy, PhysAddr};
+    /// use pc_cache::{CacheGeometry, CacheOp, DdioMode, Hierarchy, PhysAddr};
     /// let mut h = Hierarchy::new(CacheGeometry::tiny(), DdioMode::adaptive());
-    /// let ops = (0..100u64).map(|i| (PhysAddr::new(i * 0x1040), AccessKind::CpuRead));
+    /// let ops = (0..100u64).map(|i| CacheOp::read(PhysAddr::new(i * 0x1040)));
     /// let sum = h.run_trace(ops);
     /// assert_eq!(sum.accesses, 100);
     /// assert_eq!(sum.cycles, h.now(), "the clock advanced by the replay");
     /// ```
     pub fn run_trace<I>(&mut self, ops: I) -> TraceSummary
     where
-        I: IntoIterator<Item = (PhysAddr, AccessKind)>,
+        I: IntoIterator<Item = CacheOp>,
     {
         let ops = ops.into_iter();
         // The dominant caller is `PrimeProbe::prime` with a handful of
@@ -242,8 +248,18 @@ impl Hierarchy {
         if short || self.llc.geometry().slices() <= 1 {
             return self.run_trace_sequential(ops);
         }
-        let ops: Vec<(PhysAddr, AccessKind)> = ops.collect();
-        self.run_trace_threads(&ops, pc_par::max_threads())
+        // Collect into the reusable scratch (capacity carried across
+        // calls; taken out for the duration so the borrow of `self`
+        // stays free for the replay).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(ops);
+        let sum = self.run_trace_threads(&scratch, pc_par::max_threads());
+        // Restore the scratch emptied: capacity is what gets reused, and
+        // a clone of the hierarchy should not memcpy stale ops.
+        scratch.clear();
+        self.scratch = scratch;
+        sum
     }
 
     /// [`Hierarchy::run_trace`] with an explicit worker bound, for
@@ -251,13 +267,15 @@ impl Hierarchy {
     /// `PC_BENCH_THREADS` (thread-invariance tests, benches) or that
     /// replay a borrowed trace repeatedly. Results are byte-identical
     /// for every `threads` value; short traces still replay inline.
-    pub fn run_trace_threads(
-        &mut self,
-        ops: &[(PhysAddr, AccessKind)],
-        threads: usize,
-    ) -> TraceSummary {
+    pub fn run_trace_threads(&mut self, ops: &[CacheOp], threads: usize) -> TraceSummary {
         if self.llc.batch_worth_sharding(ops.len(), threads) {
-            let sum = self.llc.trace_batch_threads(ops, threads, self.lat);
+            // Leads are input data, independent of the replay outcome:
+            // total clock movement is sum(leads) + sum(latencies) in any
+            // order, so they are summed here once and the workers never
+            // see them.
+            let lead: Cycles = ops.iter().map(|op| op.lead).sum();
+            let mut sum = self.llc.trace_batch_threads(ops, threads, self.lat);
+            sum.cycles += lead;
             self.clock += sum.cycles;
             self.mem.reads += sum.dram_reads;
             self.mem.writes += sum.dram_writes;
@@ -266,25 +284,73 @@ impl Hierarchy {
         self.run_trace_sequential(ops.iter().copied())
     }
 
+    /// Replays a recorded op batch: the ops through the trace engine
+    /// (sharded where legal), then the buffer's trailing advance.
+    ///
+    /// This is the entry point behind every emit-then-replay producer
+    /// (the NIC driver's per-frame batches, the defense workloads'
+    /// chunked inner loops): emit into an [`OpBuffer`], call `run_ops`,
+    /// get byte-identical results to issuing the same ops one at a time
+    /// against the hierarchy — which is exactly what pointing the emit
+    /// code at the hierarchy itself (it implements [`OpSink`]) does.
+    pub fn run_ops(&mut self, buf: &OpBuffer) -> TraceSummary {
+        let mut sum = if buf.len() < crate::llc::PAR_BATCH_MIN {
+            self.run_trace_sequential(buf.ops().iter().copied())
+        } else {
+            self.run_trace_threads(buf.ops(), pc_par::max_threads())
+        };
+        self.clock += buf.trailing();
+        sum.cycles += buf.trailing();
+        sum
+    }
+
+    /// [`Hierarchy::run_ops`] for callers that discard the summary (the
+    /// NIC driver replays a handful of ops per frame at millions of
+    /// calls per experiment): identical replay, clock and statistics,
+    /// no per-op aggregate bookkeeping.
+    pub fn apply_ops(&mut self, buf: &OpBuffer) {
+        if buf.len() >= crate::llc::PAR_BATCH_MIN {
+            self.run_trace_threads(buf.ops(), pc_par::max_threads());
+        } else {
+            let allocates = self.llc.mode().allocates_in_llc();
+            let mut clock = self.clock;
+            let mut reads = 0u64;
+            let mut writes = 0u64;
+            for &op in buf.ops() {
+                let out = self.llc.access(op.addr, op.kind);
+                reads += u64::from(out.dram_reads);
+                writes += u64::from(out.dram_writes);
+                clock += op.lead + self.lat.access_latency(out.hit, op.kind, allocates);
+            }
+            self.clock = clock;
+            self.mem.reads += reads;
+            self.mem.writes += writes;
+        }
+        self.clock += buf.trailing();
+    }
+
     /// The clock-advancing sequential walk shared by every `run_trace`
     /// path that doesn't shard.
     fn run_trace_sequential<I>(&mut self, ops: I) -> TraceSummary
     where
-        I: Iterator<Item = (PhysAddr, AccessKind)>,
+        I: Iterator<Item = CacheOp>,
     {
         let mut sum = TraceSummary::default();
         let mut reads = 0u64;
         let mut writes = 0u64;
         let mut clock = self.clock;
-        for (addr, kind) in ops {
-            let out = self.llc.access(addr, kind);
+        // The latency rule's mode input is loop-invariant; hoist it so
+        // the per-op work is the access and a few adds.
+        let allocates = self.llc.mode().allocates_in_llc();
+        for op in ops {
+            let out = self.llc.access(op.addr, op.kind);
             reads += u64::from(out.dram_reads);
             writes += u64::from(out.dram_writes);
-            let latency = self.latency_of(out.hit, kind);
-            clock += latency;
+            let latency = self.lat.access_latency(out.hit, op.kind, allocates);
+            clock += op.lead + latency;
             sum.accesses += 1;
             sum.hits += u64::from(out.hit);
-            sum.cycles += latency;
+            sum.cycles += op.lead + latency;
         }
         self.clock = clock;
         self.mem.reads += reads;
@@ -292,6 +358,82 @@ impl Hierarchy {
         sum.dram_reads = reads;
         sum.dram_writes = writes;
         sum
+    }
+}
+
+/// A streaming replay sink: applies each emitted op immediately with
+/// the batch engine's lean loop body — the DDIO-mode input of the
+/// latency rule hoisted at construction, clock and memory traffic
+/// accumulated in locals and flushed into the hierarchy on drop.
+///
+/// This is the op-stream IR's third engine, for producers whose batch
+/// is too small to shard (the NIC driver replays ~6 ops per frame):
+/// same results as emitting into an [`OpBuffer`] and replaying it, and
+/// as issuing the accesses one at a time, with neither the buffer
+/// round-trip of the former nor the per-op statistics read-modify-write
+/// of the latter. Nothing mid-stream can observe the clock — callers
+/// that need that use the hierarchy itself as the sink.
+pub struct OpApplier<'a> {
+    h: &'a mut Hierarchy,
+    allocates: bool,
+    clock: Cycles,
+    reads: u64,
+    writes: u64,
+}
+
+impl Hierarchy {
+    /// A streaming [`OpSink`] over this hierarchy (see [`OpApplier`]).
+    /// Totals flush when the applier drops.
+    pub fn applier(&mut self) -> OpApplier<'_> {
+        let allocates = self.llc.mode().allocates_in_llc();
+        OpApplier {
+            allocates,
+            clock: 0,
+            reads: 0,
+            writes: 0,
+            h: self,
+        }
+    }
+}
+
+impl OpSink for OpApplier<'_> {
+    #[inline]
+    fn op(&mut self, op: CacheOp) {
+        let out = self.h.llc.access(op.addr, op.kind);
+        self.reads += u64::from(out.dram_reads);
+        self.writes += u64::from(out.dram_writes);
+        self.clock += op.lead + self.h.lat.access_latency(out.hit, op.kind, self.allocates);
+    }
+
+    #[inline]
+    fn advance(&mut self, cycles: Cycles) {
+        self.clock += cycles;
+    }
+}
+
+impl Drop for OpApplier<'_> {
+    fn drop(&mut self) {
+        self.h.clock += self.clock;
+        self.h.mem.reads += self.reads;
+        self.h.mem.writes += self.writes;
+    }
+}
+
+/// The per-access replay path of the op-stream IR: each emitted op is
+/// applied immediately (lead, then the access), each advance moves the
+/// clock. Producers written against [`OpSink`] can therefore target the
+/// hierarchy directly — the equivalence oracle for the batched paths,
+/// and the path to use when per-access latencies are needed mid-stream.
+impl OpSink for Hierarchy {
+    #[inline]
+    fn op(&mut self, op: CacheOp) {
+        self.clock += op.lead;
+        self.run(op.addr, op.kind);
+    }
+
+    #[inline]
+    fn advance(&mut self, cycles: Cycles) {
+        Hierarchy::advance(self, cycles);
     }
 }
 
@@ -368,7 +510,7 @@ mod tests {
 
     #[test]
     fn run_trace_matches_scalar_replay() {
-        let ops: Vec<(PhysAddr, AccessKind)> = (0..300u64)
+        let ops: Vec<CacheOp> = (0..300u64)
             .map(|i| {
                 let kind = match i % 5 {
                     0 => AccessKind::IoWrite,
@@ -376,7 +518,7 @@ mod tests {
                     2 => AccessKind::IoRead,
                     _ => AccessKind::CpuRead,
                 };
-                (PhysAddr::new((i % 41) * 0x2040), kind)
+                CacheOp::new(PhysAddr::new((i % 41) * 0x2040), kind)
             })
             .collect();
         // Every mode: the latency rule differs per mode (DDIO-allocating
@@ -388,13 +530,13 @@ mod tests {
         ] {
             let mut scalar = h(mode);
             let mut cycles = 0u64;
-            for &(a, k) in &ops {
+            for &op in &ops {
                 let t0 = scalar.now();
-                match k {
-                    AccessKind::CpuRead => scalar.cpu_read(a),
-                    AccessKind::CpuWrite => scalar.cpu_write(a),
-                    AccessKind::IoWrite => scalar.io_write(a),
-                    AccessKind::IoRead => scalar.io_read(a),
+                match op.kind {
+                    AccessKind::CpuRead => scalar.cpu_read(op.addr),
+                    AccessKind::CpuWrite => scalar.cpu_write(op.addr),
+                    AccessKind::IoWrite => scalar.io_write(op.addr),
+                    AccessKind::IoRead => scalar.io_read(op.addr),
                 };
                 cycles += scalar.now() - t0;
             }
@@ -417,7 +559,7 @@ mod tests {
         // traffic, LLC stats — per slice, so adaptation boundaries are
         // pinned too — and residency) for every worker count, in every
         // mode including `Adaptive`.
-        let ops: Vec<(PhysAddr, AccessKind)> = (0..6000u64)
+        let ops: Vec<CacheOp> = (0..6000u64)
             .map(|i| {
                 let kind = match i % 5 {
                     0 => AccessKind::IoWrite,
@@ -425,7 +567,10 @@ mod tests {
                     2 => AccessKind::IoRead,
                     _ => AccessKind::CpuRead,
                 };
-                (PhysAddr::new((i % 97) * 0x3040), kind)
+                // A small deterministic lead on every 7th op: the
+                // sharded replay must account leads identically to the
+                // sequential walk.
+                CacheOp::new(PhysAddr::new((i % 97) * 0x3040), kind).after((i % 7 == 0) as u64 * 11)
             })
             .collect();
         for mode in [
@@ -454,8 +599,8 @@ mod tests {
                         "{mode:?} threads={threads} slice={slice}"
                     );
                 }
-                for &(a, _) in &ops {
-                    assert_eq!(par.llc().contains(a), seq.llc().contains(a));
+                for &op in &ops {
+                    assert_eq!(par.llc().contains(op.addr), seq.llc().contains(op.addr));
                 }
             }
         }

@@ -23,6 +23,11 @@
 //! * [`Hierarchy`] — the facade every other crate uses: a cycle clock plus
 //!   `cpu_read` / `cpu_write` / `io_write` / `io_read` operations that
 //!   return latencies and maintain memory-traffic statistics.
+//! * [`CacheOp`] / [`OpSink`] / [`OpBuffer`] — the batched op-stream IR:
+//!   producers (the NIC driver, the spy's walks, workload loops) emit
+//!   op batches once and replay them through the slice-sharded engine
+//!   ([`Hierarchy::run_ops`]), or point the same emit code at the
+//!   [`Hierarchy`] itself for the per-access equivalence oracle.
 //!
 //! The simulator is deterministic: all randomized behaviour (the `Random`
 //! replacement policy) draws from an RNG seeded at construction.
@@ -47,6 +52,7 @@ mod geometry;
 mod hierarchy;
 mod llc;
 mod memory;
+mod ops;
 mod partition;
 pub mod reference;
 mod replacement;
@@ -58,9 +64,10 @@ mod store;
 
 pub use addr::{PhysAddr, LINE_SIZE, LINE_SIZE_LOG2, PAGE_SIZE, PAGE_SIZE_LOG2};
 pub use geometry::CacheGeometry;
-pub use hierarchy::{Hierarchy, LatencyModel, TraceSummary};
+pub use hierarchy::{Hierarchy, LatencyModel, OpApplier, TraceSummary};
 pub use llc::{AccessKind, AccessOutcome, BatchOutcome, DdioMode, SliceSet, SlicedCache};
 pub use memory::MemoryStats;
+pub use ops::{CacheOp, OpBuffer, OpSink};
 pub use partition::AdaptiveConfig;
 pub use replacement::ReplacementPolicy;
 pub use set::Domain;

@@ -14,6 +14,7 @@
 use crate::addr::PhysAddr;
 use crate::geometry::CacheGeometry;
 use crate::hierarchy::{LatencyModel, TraceSummary};
+use crate::ops::CacheOp;
 use crate::partition::AdaptiveConfig;
 use crate::replacement::ReplacementPolicy;
 use crate::set::Domain;
@@ -386,7 +387,7 @@ impl SlicedCache {
         self.shards[ss.slice].access(self.mode, ss.set, tag, kind)
     }
 
-    /// Runs a slice of accesses and returns the aggregate outcome.
+    /// Runs a batch of [`CacheOp`]s and returns the aggregate outcome.
     ///
     /// Semantically identical to calling [`SlicedCache::access`] once per
     /// element — and, because the shards share no state and every
@@ -394,28 +395,30 @@ impl SlicedCache {
     /// stream, identical for *any* worker-thread count, in every mode
     /// including `Adaptive` (this entry point fans large batches out
     /// over [`pc_par::max_threads`] workers; set `PC_BENCH_THREADS=1` to
-    /// force the sequential walk). Clock-advancing callers should use
-    /// [`crate::Hierarchy::run_trace`] (which `PrimeProbe::prime` goes
-    /// through); this cache-level variant serves clockless replay like
-    /// the `cache_throughput` bench.
+    /// force the sequential walk). This cache-level replay is
+    /// *clockless*: [`CacheOp::lead`]s are ignored (there is no clock to
+    /// advance — leads never affect cache behaviour). Clock-advancing
+    /// callers should use [`crate::Hierarchy::run_trace`] /
+    /// [`crate::Hierarchy::run_ops`]; this variant serves clockless
+    /// replay like the `cache_throughput` bench.
     ///
     /// ```
-    /// use pc_cache::{AccessKind, CacheGeometry, DdioMode, PhysAddr, SlicedCache};
+    /// use pc_cache::{CacheGeometry, CacheOp, DdioMode, PhysAddr, SlicedCache};
     /// let mut llc = SlicedCache::new(CacheGeometry::tiny(), DdioMode::adaptive());
     /// // Prime every set with CPU lines, then storm the same sets with
     /// // DMA fills at conflicting tags.
     /// let cpu: Vec<_> = (0..64u64)
-    ///     .map(|i| (PhysAddr::new(i * 0x1040), AccessKind::CpuRead))
+    ///     .map(|i| CacheOp::read(PhysAddr::new(i * 0x1040)))
     ///     .collect();
     /// let io: Vec<_> = (0..64u64)
-    ///     .map(|i| (PhysAddr::new(0x10_0000 + i * 0x1040), AccessKind::IoWrite))
+    ///     .map(|i| CacheOp::io_write(PhysAddr::new(0x10_0000 + i * 0x1040)))
     ///     .collect();
     /// llc.access_batch(&cpu);
     /// let out = llc.access_batch(&io);
     /// assert_eq!(out.hits + out.misses, 64);
     /// assert_eq!(out.evicted_cpu, 0, "the adaptive defense shields CPU lines");
     /// ```
-    pub fn access_batch(&mut self, ops: &[(PhysAddr, AccessKind)]) -> BatchOutcome {
+    pub fn access_batch(&mut self, ops: &[CacheOp]) -> BatchOutcome {
         let threads = pc_par::max_threads();
         if !self.batch_worth_sharding(ops.len(), threads) {
             // Short batch: binning + thread hand-off would cost more than
@@ -431,15 +434,11 @@ impl SlicedCache {
     /// determinism tests and benches exercise the dispatcher on traces
     /// of any size; results are byte-identical for every `threads`
     /// value.
-    pub fn access_batch_threads(
-        &mut self,
-        ops: &[(PhysAddr, AccessKind)],
-        threads: usize,
-    ) -> BatchOutcome {
+    pub fn access_batch_threads(&mut self, ops: &[CacheOp], threads: usize) -> BatchOutcome {
         if threads <= 1 || self.shards.len() <= 1 || ops.is_empty() {
             let mut agg = BatchOutcome::default();
-            for &(addr, kind) in ops {
-                agg.absorb(self.access(addr, kind));
+            for &op in ops {
+                agg.absorb(self.access(op.addr, op.kind));
             }
             return agg;
         }
@@ -461,7 +460,9 @@ impl SlicedCache {
     /// Sharded trace replay for [`crate::Hierarchy::run_trace`]: like
     /// [`SlicedCache::access_batch_threads`] but also prices every access
     /// with `lat`, so the caller can advance its clock by the summed
-    /// cycles.
+    /// cycles. [`CacheOp::lead`]s are *not* included here — they are
+    /// outcome-independent input data, so the caller sums them in one
+    /// pass and the workers never see them.
     ///
     /// Valid for **every** mode: an access outcome is a pure function of
     /// the owning shard's prior accesses (the adaptive period runs off
@@ -469,7 +470,7 @@ impl SlicedCache {
     /// replay equals the sequential clock-advancing walk byte for byte.
     pub(crate) fn trace_batch_threads(
         &mut self,
-        ops: &[(PhysAddr, AccessKind)],
+        ops: &[CacheOp],
         threads: usize,
         lat: LatencyModel,
     ) -> TraceSummary {
@@ -515,12 +516,7 @@ impl SlicedCache {
     /// preserved by construction (one scanner per slice), so the bins —
     /// and therefore the replay — are identical to a single sequential
     /// binning pass, with no serial phase left in front of the workers.
-    fn run_sharded<R, F>(
-        &mut self,
-        ops: &[(PhysAddr, AccessKind)],
-        threads: usize,
-        run: &F,
-    ) -> Vec<R>
+    fn run_sharded<R, F>(&mut self, ops: &[CacheOp], threads: usize, run: &F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut Shard, &[BinnedOp]) -> R + Sync,
@@ -533,8 +529,8 @@ impl SlicedCache {
         // bin scratch, nothing else of `self`.
         let shards = &mut self.shards;
         let bins = &mut self.bins.bins;
-        let bin_one = |bin: &mut Vec<BinnedOp>, addr: PhysAddr, kind: AccessKind| {
-            bin.push((geom.set_index(addr) as u32, geom.tag(addr), kind));
+        let bin_one = |bin: &mut Vec<BinnedOp>, op: CacheOp| {
+            bin.push((geom.set_index(op.addr) as u32, geom.tag(op.addr), op.kind));
         };
         if threads <= 1 || slices <= 1 {
             // One sequential binning pass, then the shards in order.
@@ -542,8 +538,8 @@ impl SlicedCache {
             for bin in bins.iter_mut() {
                 bin.reserve(per_slice_hint);
             }
-            for &(addr, kind) in ops {
-                bin_one(&mut bins[hash.slice_of(addr)], addr, kind);
+            for &op in ops {
+                bin_one(&mut bins[hash.slice_of(op.addr)], op);
             }
             return shards
                 .iter_mut()
@@ -557,10 +553,10 @@ impl SlicedCache {
             threads,
             |first_slice, shard_group, bin_group| {
                 let range = first_slice..first_slice + shard_group.len();
-                for &(addr, kind) in ops {
-                    let slice = hash.slice_of(addr);
+                for &op in ops {
+                    let slice = hash.slice_of(op.addr);
                     if range.contains(&slice) {
-                        bin_one(&mut bin_group[slice - first_slice], addr, kind);
+                        bin_one(&mut bin_group[slice - first_slice], op);
                     }
                 }
                 shard_group
@@ -907,7 +903,7 @@ mod tests {
         assert_eq!(llc.stats().writebacks, 1);
     }
 
-    fn mixed_ops(n: u64) -> Vec<(PhysAddr, AccessKind)> {
+    fn mixed_ops(n: u64) -> Vec<CacheOp> {
         (0..n)
             .map(|i| {
                 let kind = match i % 4 {
@@ -916,7 +912,7 @@ mod tests {
                     2 => AccessKind::IoRead,
                     _ => AccessKind::CpuRead,
                 };
-                (PhysAddr::new((i % 37) * 0x1040), kind)
+                CacheOp::new(PhysAddr::new((i % 37) * 0x1040), kind)
             })
             .collect()
     }
@@ -926,15 +922,15 @@ mod tests {
         let ops = mixed_ops(200);
         let mut scalar = tiny_llc(DdioMode::enabled());
         let mut agg = BatchOutcome::default();
-        for &(a, k) in &ops {
-            agg.absorb(scalar.access(a, k));
+        for &op in &ops {
+            agg.absorb(scalar.access(op.addr, op.kind));
         }
         let mut batched = tiny_llc(DdioMode::enabled());
         let got = batched.access_batch(&ops);
         assert_eq!(got, agg);
         assert_eq!(batched.stats(), scalar.stats());
-        for &(a, _) in &ops {
-            assert_eq!(batched.contains(a), scalar.contains(a));
+        for &op in &ops {
+            assert_eq!(batched.contains(op.addr), scalar.contains(op.addr));
         }
     }
 
@@ -951,8 +947,8 @@ mod tests {
         ] {
             let mut scalar = tiny_llc(mode);
             let mut want = BatchOutcome::default();
-            for &(a, k) in &ops {
-                want.absorb(scalar.access(a, k));
+            for &op in &ops {
+                want.absorb(scalar.access(op.addr, op.kind));
             }
             for threads in [1usize, 2, 3, 8] {
                 let mut sharded = tiny_llc(mode);
@@ -963,8 +959,8 @@ mod tests {
                     scalar.stats(),
                     "{mode:?} threads={threads}"
                 );
-                for &(a, _) in &ops {
-                    assert_eq!(sharded.contains(a), scalar.contains(a));
+                for &op in &ops {
+                    assert_eq!(sharded.contains(op.addr), scalar.contains(op.addr));
                 }
             }
         }

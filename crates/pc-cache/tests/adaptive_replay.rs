@@ -17,12 +17,13 @@
 
 use pc_cache::reference::ReferenceCache;
 use pc_cache::{
-    AccessKind, AdaptiveConfig, CacheGeometry, DdioMode, Domain, Hierarchy, PhysAddr, SlicedCache,
+    AccessKind, AdaptiveConfig, CacheGeometry, CacheOp, DdioMode, Domain, Hierarchy, PhysAddr,
+    SlicedCache,
 };
 
 /// A mixed trace long enough to clear the sharded-dispatch threshold,
 /// touching many sets of every slice with an I/O-heavy kind mix.
-fn long_mixed_trace(n: u64) -> Vec<(PhysAddr, AccessKind)> {
+fn long_mixed_trace(n: u64) -> Vec<CacheOp> {
     (0..n)
         .map(|i| {
             let kind = match i % 5 {
@@ -33,7 +34,7 @@ fn long_mixed_trace(n: u64) -> Vec<(PhysAddr, AccessKind)> {
             };
             // A multiplicative walk so addresses spread over sets and
             // slices without being uniform noise (sets re-conflict).
-            (
+            CacheOp::new(
                 PhysAddr::new((i.wrapping_mul(0x9e37) % 12_289) * 0x1040),
                 kind,
             )
@@ -104,8 +105,8 @@ fn sharded_adaptive_replay_matches_reference_model() {
     let geom = CacheGeometry::tiny();
     for mode in adaptive_modes() {
         let mut reference = ReferenceCache::new(geom, mode);
-        for &(a, k) in &ops {
-            reference.access(a, k);
+        for &op in &ops {
+            reference.access(op.addr, op.kind);
         }
         for threads in [1usize, 2, 4] {
             let mut h = Hierarchy::new(geom, mode);
@@ -115,9 +116,9 @@ fn sharded_adaptive_replay_matches_reference_model() {
                 reference.stats(),
                 "{mode:?} threads={threads}"
             );
-            for &(a, _) in &ops {
-                let ss = h.llc().locate(a);
-                assert_eq!(h.llc().contains(a), reference.contains(a));
+            for &op in &ops {
+                let ss = h.llc().locate(op.addr);
+                assert_eq!(h.llc().contains(op.addr), reference.contains(op.addr));
                 assert_eq!(
                     h.llc().io_partition_limit(ss),
                     reference.io_partition_limit(ss),
@@ -143,12 +144,12 @@ fn chunked_adaptive_replay_is_chunk_and_thread_invariant() {
     let mode = DdioMode::adaptive();
 
     let mut scalar = Hierarchy::new(geom, mode);
-    for &(a, k) in &ops {
-        match k {
-            AccessKind::CpuRead => scalar.cpu_read(a),
-            AccessKind::CpuWrite => scalar.cpu_write(a),
-            AccessKind::IoWrite => scalar.io_write(a),
-            AccessKind::IoRead => scalar.io_read(a),
+    for &op in &ops {
+        match op.kind {
+            AccessKind::CpuRead => scalar.cpu_read(op.addr),
+            AccessKind::CpuWrite => scalar.cpu_write(op.addr),
+            AccessKind::IoWrite => scalar.io_write(op.addr),
+            AccessKind::IoRead => scalar.io_read(op.addr),
         };
     }
 

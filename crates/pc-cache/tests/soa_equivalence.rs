@@ -16,8 +16,8 @@
 
 use pc_cache::reference::ReferenceCache;
 use pc_cache::{
-    AccessKind, AdaptiveConfig, CacheGeometry, DdioMode, Domain, PhysAddr, ReplacementPolicy,
-    SlicedCache,
+    AccessKind, AdaptiveConfig, CacheGeometry, CacheOp, DdioMode, Domain, PhysAddr,
+    ReplacementPolicy, SlicedCache,
 };
 use proptest::prelude::*;
 
@@ -125,7 +125,10 @@ fn assert_sharded_equivalent(
     for threads in [1usize, 2, 4] {
         let mut sharded = SlicedCache::with_policy_and_seed(geom, mode, policy, seed);
         for chunk in ops.chunks(CHUNK) {
-            sharded.access_batch_threads(chunk, threads);
+            // Tuples lift into the op-stream IR (leads zero): the
+            // batched engine consumes `CacheOp`s.
+            let chunk: Vec<CacheOp> = chunk.iter().map(|&t| t.into()).collect();
+            sharded.access_batch_threads(&chunk, threads);
         }
         assert_eq!(
             sharded.stats(),

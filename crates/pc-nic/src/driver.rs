@@ -1,8 +1,8 @@
-//! The IGB driver receive path, replayed access-by-access.
+//! The IGB driver receive path, replayed as per-frame op batches.
 
 use crate::alloc::PageAllocator;
 use crate::ring::{RxRing, HALF_PAGE_BYTES, RX_BUFFER_BLOCKS};
-use pc_cache::{Cycles, Hierarchy, PhysAddr};
+use pc_cache::{CacheOp, Cycles, Hierarchy, OpBuffer, OpSink, PhysAddr};
 use pc_net::EthernetFrame;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -61,6 +61,48 @@ impl DriverConfig {
         }
     }
 
+    /// Emits the memory traffic of one received frame into `sink` — the
+    /// producer half of the driver's op-stream pipeline:
+    ///
+    /// 1. the NIC's DMA write of each arriving cache block;
+    /// 2. the per-packet overhead, then the driver's header read and
+    ///    unconditional second-block prefetch;
+    /// 3. for frames at or below the copybreak (`small`), the memcpy's
+    ///    source reads.
+    ///
+    /// One emitter, three engines — the paths cannot diverge:
+    /// streamed through [`Hierarchy::applier`] this is
+    /// [`IgbDriver::receive`]; recorded into an [`OpBuffer`] it is the
+    /// shardable batch [`IgbDriver::receive_burst`] flushes; emitted
+    /// into a [`Hierarchy`] directly it *is* the per-access oracle
+    /// ([`IgbDriver::receive_scalar`]).
+    pub fn emit_frame_ops(
+        &self,
+        buffer_addr: PhysAddr,
+        blocks: u32,
+        small: bool,
+        sink: &mut impl OpSink,
+    ) {
+        // 1. NIC DMA: one write per cache block of the frame.
+        for b in 0..blocks {
+            sink.op(CacheOp::io_write(buffer_addr.add_blocks(u64::from(b))));
+        }
+        // 2. Driver picks the frame up: reads the header...
+        sink.advance(self.per_packet_overhead);
+        sink.op(CacheOp::read(buffer_addr));
+        // ...and always prefetches the second block ("most Ethernet
+        // packets have at least two blocks").
+        if self.prefetch_second_block {
+            sink.op(CacheOp::read(buffer_addr.add_blocks(1)));
+        }
+        // 3. Small frame: memcpy the payload out of the buffer now.
+        if small {
+            for b in 2..blocks {
+                sink.op(CacheOp::read(buffer_addr.add_blocks(u64::from(b))));
+            }
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -85,7 +127,7 @@ impl Default for DriverConfig {
 }
 
 /// What happened when one frame was received.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RxEvent {
     /// Ring descriptor index that was filled.
     pub buffer_index: usize,
@@ -115,6 +157,15 @@ pub struct RxEvent {
 /// 4. for large frames: the fragment attach, the `igb_can_reuse_rx_page`
 ///    reuse-or-reallocate decision, and the half-page flip;
 /// 5. the configured randomization defense, if any.
+///
+/// The memory traffic of steps 1–3 is *emitted* as a per-frame op
+/// stream (the op-stream IR; see [`pc_cache::CacheOp`]) and replayed by
+/// one of three byte-identical engines: [`IgbDriver::receive`] streams
+/// it through [`Hierarchy::applier`] (the default),
+/// [`IgbDriver::receive_burst`] fuses many frames into one shardable
+/// op batch, and [`IgbDriver::receive_scalar`] applies it one access
+/// at a time — the equivalence oracle the other two are pinned
+/// against.
 #[derive(Clone, Debug)]
 pub struct IgbDriver {
     cfg: DriverConfig,
@@ -123,6 +174,9 @@ pub struct IgbDriver {
     packets: u64,
     reallocations: u64,
     defense_overhead: Cycles,
+    /// Burst op batch, reused across `receive_burst` calls (capacity
+    /// carried; content never outlives one flush).
+    ops: OpBuffer,
 }
 
 impl IgbDriver {
@@ -143,6 +197,7 @@ impl IgbDriver {
             packets: 0,
             reallocations: 0,
             defense_overhead: 0,
+            ops: OpBuffer::new(),
         }
     }
 
@@ -171,7 +226,8 @@ impl IgbDriver {
         self.defense_overhead
     }
 
-    /// Receives one frame into the next ring buffer.
+    /// Receives one frame into the next ring buffer, replaying its
+    /// memory traffic as one op batch (the driver's fast path).
     ///
     /// Frames longer than a 2048-byte buffer are truncated to the buffer
     /// (jumbo handling is out of scope, as in the paper).
@@ -184,47 +240,117 @@ impl IgbDriver {
         let idx = self.ring.advance();
         let buffer_addr = self.ring.buffer(idx).dma_addr();
         let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
+        let small = frame.bytes() <= self.cfg.copybreak;
+
+        // Stream the frame's ops through the applier engine: one pass,
+        // totals flushed when the sink drops. (Per-frame batches are
+        // too small to shard; multi-frame batching is
+        // [`IgbDriver::receive_burst`].)
+        let mut sink = h.applier();
+        self.cfg
+            .emit_frame_ops(buffer_addr, blocks, small, &mut sink);
+        drop(sink);
+
+        self.finish_receive(h, rng, idx, buffer_addr, blocks, small)
+    }
+
+    /// [`IgbDriver::receive`] replayed access-by-access: the same emit
+    /// code pointed at the hierarchy (which applies each op as it is
+    /// emitted) instead of at the op batch.
+    ///
+    /// This is the **equivalence oracle** for the batched path — the two
+    /// are byte-identical in ring state, statistics, clock and RNG
+    /// stream (`tests/batch_equivalence.rs` pins it) — and the path for
+    /// experiments that need to observe per-access latencies in the
+    /// middle of a frame.
+    pub fn receive_scalar(
+        &mut self,
+        h: &mut Hierarchy,
+        frame: EthernetFrame,
+        rng: &mut SmallRng,
+    ) -> RxEvent {
+        let idx = self.ring.advance();
+        let buffer_addr = self.ring.buffer(idx).dma_addr();
+        let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
+        let small = frame.bytes() <= self.cfg.copybreak;
+        self.cfg.emit_frame_ops(buffer_addr, blocks, small, h);
+        self.finish_receive(h, rng, idx, buffer_addr, blocks, small)
+    }
+
+    /// The non-emitting tail of a receive: deferred payload reads, the
+    /// reuse/flip/reallocate decision and the randomization defense.
+    /// Runs after the frame's ops have replayed (whichever path replayed
+    /// them), so `h.now()` is the cycle the driver finished its reads.
+    fn finish_receive(
+        &mut self,
+        h: &mut Hierarchy,
+        rng: &mut SmallRng,
+        idx: usize,
+        buffer_addr: PhysAddr,
+        blocks: u32,
+        small: bool,
+    ) -> RxEvent {
         let ddio = h.llc().mode().allocates_in_llc();
-
-        // 1. NIC DMA: one write per cache block of the frame.
-        for b in 0..blocks {
-            h.io_write(buffer_addr.add_blocks(u64::from(b)));
+        let deferred_reads = if !small && !ddio {
+            self.deferred_payload_reads(h.now(), buffer_addr, blocks)
+        } else {
+            Vec::new()
+        };
+        let (reallocated, flipped, defense_cost) = self.frame_disposition(rng, idx, small);
+        if defense_cost > 0 {
+            h.advance(defense_cost);
         }
-
-        // 2. Driver picks the frame up: reads the header...
-        h.advance(self.cfg.per_packet_overhead);
-        h.cpu_read(buffer_addr);
-        // ...and always prefetches the second block ("most Ethernet
-        // packets have at least two blocks").
-        if self.cfg.prefetch_second_block {
-            h.cpu_read(buffer_addr.add_blocks(1));
+        RxEvent {
+            buffer_index: idx,
+            buffer_addr,
+            blocks,
+            reallocated,
+            flipped,
+            deferred_reads,
         }
+    }
 
-        let mut deferred_reads = Vec::new();
+    /// The deferred payload reads of one large frame when DDIO is off:
+    /// the networking stack touches blocks 2.. a header-to-payload
+    /// delay after `now` — the cycle the driver's header reads
+    /// finished. (With DDIO the blocks are already in the LLC, so those
+    /// reads are silent hits and nothing defers.) One definition shared
+    /// by the per-frame and burst paths, so the due-time model cannot
+    /// diverge between them.
+    fn deferred_payload_reads(
+        &self,
+        now: Cycles,
+        buffer_addr: PhysAddr,
+        blocks: u32,
+    ) -> Vec<(Cycles, PhysAddr)> {
+        let due = now + self.cfg.header_to_payload_delay;
+        (2..blocks)
+            .map(|b| (due, buffer_addr.add_blocks(u64::from(b))))
+            .collect()
+    }
+
+    /// The buffer-management tail shared by every receive path: the
+    /// reuse/flip/reallocate decision and the randomization defense.
+    /// Touches only driver state and the RNG — never the hierarchy —
+    /// so the burst path can run it between emits with the replay still
+    /// pending. Returns `(reallocated, flipped, defense_cost)`; the
+    /// caller advances the clock by the cost (directly, or as a lead on
+    /// the next op).
+    fn frame_disposition(
+        &mut self,
+        rng: &mut SmallRng,
+        idx: usize,
+        small: bool,
+    ) -> (bool, bool, Cycles) {
         let mut reallocated = false;
         let mut flipped = false;
-
-        if frame.bytes() <= self.cfg.copybreak {
-            // 3. Small frame: memcpy the payload out of the buffer now.
-            for b in 2..blocks {
-                h.cpu_read(buffer_addr.add_blocks(u64::from(b)));
-            }
+        if small {
             // "we can reuse buffer as-is, just make sure it is local"
             if self.ring.buffer(idx).page().remote {
                 self.reallocate(idx);
                 reallocated = true;
             }
         } else {
-            // 4. Large frame: page attached to the skb as a fragment; the
-            // stack touches the payload a bit later. With DDIO the blocks
-            // are already in the LLC, so those reads are silent hits; we
-            // only need to model them when DDIO is off.
-            if !ddio {
-                let due = h.now() + self.cfg.header_to_payload_delay;
-                for b in 2..blocks {
-                    deferred_reads.push((due, buffer_addr.add_blocks(u64::from(b))));
-                }
-            }
             // igb_can_reuse_rx_page: remote pages and pages still held by
             // the stack are not reused.
             let busy = rng.gen_bool(0.01); // page_count != 1: rare
@@ -236,34 +362,88 @@ impl IgbDriver {
                 flipped = true;
             }
         }
-
-        // 5. Randomization defenses.
+        let mut defense_cost = 0;
         match self.cfg.randomize {
             RandomizeMode::Off => {}
             RandomizeMode::EveryPacket => {
                 self.reallocate(idx);
                 self.defense_overhead += self.cfg.realloc_cost;
-                h.advance(self.cfg.realloc_cost);
+                defense_cost = self.cfg.realloc_cost;
                 reallocated = true;
             }
             RandomizeMode::EveryNPackets(n) => {
                 if (self.packets + 1).is_multiple_of(n) {
                     let cost = self.randomize_ring();
                     self.defense_overhead += cost;
-                    h.advance(cost);
+                    defense_cost = cost;
                 }
             }
         }
-
         self.packets += 1;
-        RxEvent {
-            buffer_index: idx,
-            buffer_addr,
-            blocks,
-            reallocated,
-            flipped,
-            deferred_reads,
+        (reallocated, flipped, defense_cost)
+    }
+
+    /// Receives a burst of back-to-back frames as **one pipelined op
+    /// stream**: every frame's ops are emitted into a single batch,
+    /// defense costs become leads between frames, and the hierarchy
+    /// replays the whole stream in as few flushes as the frames allow.
+    ///
+    /// A flush is forced only when a frame must observe the mid-stream
+    /// clock — a large frame without DDIO, whose deferred payload reads
+    /// are due relative to the cycle its header reads finished. With
+    /// DDIO (the paper's main configurations) nothing in the stream
+    /// reads the clock, so the whole burst replays in one batch —
+    /// sharded by slice when it crosses the dispatch threshold.
+    ///
+    /// Byte-identical to calling [`IgbDriver::receive`] once per frame
+    /// with no observation in between: same RxEvents (deferred due
+    /// times included), same final clock, statistics, ring state and
+    /// RNG stream (`tests/batch_equivalence.rs` pins it). Callers that
+    /// interleave probes or record per-frame timestamps must keep
+    /// feeding frames one at a time.
+    pub fn receive_burst(
+        &mut self,
+        h: &mut Hierarchy,
+        frames: &[EthernetFrame],
+        rng: &mut SmallRng,
+    ) -> Vec<RxEvent> {
+        let ddio = h.llc().mode().allocates_in_llc();
+        let mut events = Vec::with_capacity(frames.len());
+        let mut ops = std::mem::take(&mut self.ops);
+        ops.clear();
+        for &frame in frames {
+            let idx = self.ring.advance();
+            let buffer_addr = self.ring.buffer(idx).dma_addr();
+            let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
+            let small = frame.bytes() <= self.cfg.copybreak;
+            self.cfg
+                .emit_frame_ops(buffer_addr, blocks, small, &mut ops);
+            let deferred_reads = if !small && !ddio {
+                // This frame's due time needs the clock at exactly this
+                // point of the stream: flush the pipeline up to here.
+                h.apply_ops(&ops);
+                ops.clear();
+                self.deferred_payload_reads(h.now(), buffer_addr, blocks)
+            } else {
+                Vec::new()
+            };
+            let (reallocated, flipped, defense_cost) = self.frame_disposition(rng, idx, small);
+            if defense_cost > 0 {
+                ops.advance(defense_cost);
+            }
+            events.push(RxEvent {
+                buffer_index: idx,
+                buffer_addr,
+                blocks,
+                reallocated,
+                flipped,
+                deferred_reads,
+            });
         }
+        h.apply_ops(&ops);
+        ops.clear();
+        self.ops = ops;
+        events
     }
 
     /// Replaces the page behind descriptor `idx` with a fresh one.

@@ -9,7 +9,7 @@
 //! implements.
 
 use crate::pool::AddressPool;
-use pc_cache::{Cycles, Hierarchy, PhysAddr, SliceSet, SlicedCache};
+use pc_cache::{CacheOp, Cycles, Hierarchy, PhysAddr, SliceSet, SlicedCache};
 
 /// `ways` attacker addresses that all map to one (slice, set) pair —
 /// accessing all of them replaces the set's entire contents.
@@ -46,11 +46,12 @@ impl EvictionSet {
 }
 
 /// Does accessing `set` evict `victim`? The attacker's basic timing test.
+///
+/// Only the final victim read needs a latency; the candidate walk in
+/// between is a batch replay (byte-identical to per-address reads).
 fn evicts(h: &mut Hierarchy, victim: PhysAddr, set: &[PhysAddr], threshold: Cycles) -> bool {
     h.cpu_read(victim);
-    for &a in set {
-        h.cpu_read(a);
-    }
+    h.run_trace(set.iter().map(|&a| CacheOp::read(a)));
     h.cpu_read(victim) >= threshold
 }
 

@@ -1,7 +1,7 @@
 //! The PRIME+PROBE primitive over one eviction set.
 
 use crate::eviction::EvictionSet;
-use pc_cache::{Cycles, Hierarchy};
+use pc_cache::{CacheOp, Cycles, Hierarchy};
 
 /// Result of probing one eviction set.
 #[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
@@ -45,6 +45,21 @@ impl PrimeProbe {
         &self.set
     }
 
+    /// The priming walk as an op stream (forward order) — **the** walk
+    /// definition, shared by [`PrimeProbe::prime`], fused multi-target
+    /// primes (`Monitor::prime_all` concatenates every target's walk
+    /// into one batch) and the probe's reverse pass, so traversal order
+    /// lives in one place.
+    pub fn prime_ops(&self) -> impl Iterator<Item = CacheOp> + '_ {
+        self.set.addresses().iter().map(|&a| CacheOp::read(a))
+    }
+
+    /// The probing walk: the same lines in reverse (re-priming as it
+    /// goes — the classic zig-zag).
+    fn probe_ops(&self) -> impl Iterator<Item = CacheOp> + '_ {
+        self.set.addresses().iter().rev().map(|&a| CacheOp::read(a))
+    }
+
     /// Fills the target set with the spy's lines.
     ///
     /// Primes don't need per-access latencies, so the walk goes through
@@ -52,19 +67,30 @@ impl PrimeProbe {
     /// and clock behaviour to per-address `cpu_read`s, less call
     /// overhead.
     pub fn prime(&self, h: &mut Hierarchy) {
-        h.run_trace(
-            self.set
-                .addresses()
-                .iter()
-                .map(|&a| (a, pc_cache::AccessKind::CpuRead)),
-        );
+        h.run_trace(self.prime_ops());
     }
 
     /// Times a pass over the set (in reverse, re-priming as it goes).
+    ///
+    /// When the hierarchy's latency model separates hit from miss at
+    /// this instance's threshold (`llc_hit < threshold ≤ dram` — true
+    /// for every calibrated threshold), the pass is a batch replay:
+    /// the per-access classification is recovered exactly from the
+    /// aggregate (`misses = accesses − hits`), byte-identical to timing
+    /// each access. A threshold that splits the model ambiguously falls
+    /// back to the per-access oracle walk.
     pub fn probe(&self, h: &mut Hierarchy) -> ProbeResult {
+        let lat = h.latencies();
+        if lat.llc_hit < self.threshold && lat.dram >= self.threshold {
+            let sum = h.run_trace(self.probe_ops());
+            return ProbeResult {
+                misses: (sum.accesses - sum.hits) as u32,
+                total_latency: sum.cycles,
+            };
+        }
         let mut result = ProbeResult::default();
-        for &a in self.set.addresses().iter().rev() {
-            let lat = h.cpu_read(a);
+        for op in self.probe_ops() {
+            let lat = h.cpu_read(op.addr);
             result.total_latency += lat;
             if lat >= self.threshold {
                 result.misses += 1;
@@ -123,6 +149,32 @@ mod tests {
         h.io_write(elsewhere);
         let r = pp.probe(&mut h);
         assert!(!r.activity());
+    }
+
+    #[test]
+    fn batched_probe_matches_per_access_timing() {
+        // The batch replay recovers the per-access classification from
+        // the aggregate; a hand-timed reverse walk on a cloned machine
+        // must agree in misses, total latency and final clock.
+        let (mut h, pp, victim) = setup();
+        pp.prime(&mut h);
+        h.io_write(victim);
+        let mut oracle = h.clone();
+        let r = pp.probe(&mut h);
+        let mut misses = 0u32;
+        let mut total = 0;
+        for &a in pp.eviction_set().addresses().iter().rev() {
+            let lat = oracle.cpu_read(a);
+            total += lat;
+            if lat >= oracle.latencies().miss_threshold() {
+                misses += 1;
+            }
+        }
+        assert!(r.misses > 0, "the I/O write must be visible");
+        assert_eq!(r.misses, misses);
+        assert_eq!(r.total_latency, total);
+        assert_eq!(h.now(), oracle.now());
+        assert_eq!(h.llc().stats(), oracle.llc().stats());
     }
 
     #[test]
