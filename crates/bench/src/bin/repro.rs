@@ -2,8 +2,8 @@
 //! registered end-to-end scenarios.
 //!
 //! ```text
-//! repro [--full] [--smoke] [--seed N] <experiment|all|bench-cache>
-//! repro [--full] [--seed N] scenario <name>... | list
+//! repro [--full] [--smoke] [--seed N] [--rx-engine E] <experiment|all|bench-cache>
+//! repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list
 //!
 //! experiments:
 //!   fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab fig12cd
@@ -61,9 +61,28 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            // Engine selection for every TestBed the run constructs
+            // (scenarios and figure experiments alike): the CI
+            // determinism job byte-diffs whole runs across engines.
+            // Routed through the PC_RX_ENGINE environment variable so
+            // deeply nested TestBedConfig construction sites pick it up.
+            "--rx-engine" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--rx-engine needs batched|per-frame|per-access"));
+                // One name list: the same parser TestBed configs use.
+                if pc_core::RxEngine::parse(&v).is_none() {
+                    die(&format!("unknown rx engine `{v}`"));
+                }
+                std::env::set_var("PC_RX_ENGINE", v);
+            }
             "-h" | "--help" => {
-                println!("usage: repro [--full] [--smoke] [--seed N] <experiment|all|bench-cache>");
-                println!("       repro [--full] [--seed N] scenario <name>... | list");
+                println!("usage: repro [--full] [--smoke] [--seed N] [--rx-engine E] <experiment|all|bench-cache>");
+                println!(
+                    "       repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list"
+                );
+                println!("--rx-engine: TestBed receive engine (batched|per-frame|per-access;");
+                println!("             all byte-identical — the CI determinism job diffs them)");
                 println!("experiments: fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab");
                 println!("             fig12cd fig13 fingerprint table2 fig14 fig15 fig16");
                 println!("bench-cache: LLC hot-path microbenchmark -> BENCH_cache.json");
@@ -145,9 +164,7 @@ fn run_scenarios(names: &[String], scale: Scale, seed: u64) {
     use pc_bench::scenario;
     if names.is_empty() || names.iter().any(|n| n == "list") {
         println!("registered scenarios:");
-        for s in scenario::registry() {
-            println!("  {:<16} {}", s.name(), s.summary());
-        }
+        print!("{}", scenario::render_list());
         return;
     }
     for name in names {
@@ -445,6 +462,11 @@ fn bench_cache(scale: Scale, smoke: bool) {
     } else {
         pc_bench::cache_bench::DRIVER_PACKETS
     };
+    let testbed_frames = if smoke {
+        pc_bench::cache_bench::TESTBED_FRAMES / 4
+    } else {
+        pc_bench::cache_bench::TESTBED_FRAMES
+    };
     let results = pc_bench::cache_bench::measure_all(samples, trace_len);
     println!(
         "case,soa_ns_per_access,sharded_ns_per_access,parallel_speedup,\
@@ -488,7 +510,25 @@ fn bench_cache(scale: Scale, smoke: bool) {
             d.driver_burst_speedup()
         );
     }
-    let json = pc_bench::cache_bench::to_json(&results, &drivers, trace_len);
+    // The full arrival pipeline through the TestBed: windowed burst
+    // delivery vs per-frame vs the per-access oracle.
+    let testbeds = pc_bench::cache_bench::measure_testbed(samples, testbed_frames);
+    println!(
+        "testbed_mode,testbed_burst_ns_per_frame,testbed_frame_ns_per_frame,\
+         testbed_scalar_ns_per_frame,testbed_burst_speedup,testbed_scalar_speedup"
+    );
+    for t in &testbeds {
+        println!(
+            "{},{:.1},{:.1},{:.1},{:.2}x,{:.2}x",
+            t.mode,
+            t.testbed_burst_ns_per_frame,
+            t.testbed_frame_ns_per_frame,
+            t.testbed_scalar_ns_per_frame,
+            t.testbed_burst_speedup(),
+            t.testbed_scalar_speedup()
+        );
+    }
+    let json = pc_bench::cache_bench::to_json(&results, &drivers, &testbeds, trace_len);
     // Smoke runs are quarter-length single-sample measurements: keep
     // them away from the tracked BENCH_cache.json so the PR-to-PR perf
     // trajectory only ever records full-protocol numbers.
@@ -521,10 +561,19 @@ fn bench_cache(scale: Scale, smoke: bool) {
                 ));
             }
         }
+        for t in &testbeds {
+            if !t.is_sane() {
+                die(&format!(
+                    "bench-cache smoke: unusable testbed timing for {}: {t:?}",
+                    t.mode
+                ));
+            }
+        }
         println!(
-            "# smoke: {} cases + {} driver rows sane",
+            "# smoke: {} cases + {} driver rows + {} testbed rows sane",
             results.len(),
-            drivers.len()
+            drivers.len(),
+            testbeds.len()
         );
     }
 }

@@ -39,7 +39,11 @@ pub trait Scenario: Sync {
     fn run(&self, scale: Scale, seed: u64) -> String;
 }
 
-/// Every registered scenario, in listing order.
+/// Every registered scenario, **sorted by name**. The listing order is
+/// part of the output contract: `repro scenario list` (and anything
+/// that iterates the registry, like the golden-snapshot suite and the
+/// CI determinism byte-diff) must not depend on incidental insertion
+/// order, so the registry itself is kept sorted and a test pins it.
 pub fn registry() -> &'static [&'static dyn Scenario] {
     static CHASING: Chasing = Chasing;
     static FINGERPRINT: Fingerprint = Fingerprint;
@@ -51,13 +55,13 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
     static FILE_COPY: FileCopy = FileCopy;
     static REGISTRY: [&dyn Scenario; 8] = [
         &CHASING,
-        &FINGERPRINT,
-        &WEB_MIX,
-        &LINE_RATE,
         &COVERT,
+        &FILE_COPY,
+        &FINGERPRINT,
+        &LINE_RATE,
         &NGINX,
         &TCP_RECV,
-        &FILE_COPY,
+        &WEB_MIX,
     ];
     &REGISTRY
 }
@@ -65,6 +69,18 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
 /// Looks a scenario up by CLI name.
 pub fn find(name: &str) -> Option<&'static dyn Scenario> {
     registry().iter().copied().find(|s| s.name() == name)
+}
+
+/// Renders the body of `repro scenario list`: the name-sorted,
+/// two-column registry listing. One renderer shared by the CLI and the
+/// golden-snapshot test, so the output contract cannot drift between
+/// what CI byte-diffs and what the snapshot pins.
+pub fn render_list() -> String {
+    let mut out = String::new();
+    for s in registry() {
+        let _ = writeln!(out, "  {:<16} {}", s.name(), s.summary());
+    }
+    out
 }
 
 /// The three DDIO modes every workload scenario sweeps, with reporting
@@ -453,6 +469,31 @@ mod tests {
             assert!(find(name).is_some());
         }
         assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn registry_order_is_sorted_and_stable() {
+        // `repro scenario list` prints the registry in order; CI
+        // byte-diffs rely on that order being name-sorted, not
+        // insertion-accidental.
+        let names: Vec<&str> = registry().iter().map(|s| s.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "registry must stay sorted by name");
+        assert_eq!(
+            names,
+            [
+                "chasing",
+                "covert-sweep",
+                "file-copy",
+                "fingerprint",
+                "line-rate-sweep",
+                "nginx",
+                "tcp-recv",
+                "web-mix",
+            ],
+            "listing order is a documented output contract"
+        );
     }
 
     #[test]

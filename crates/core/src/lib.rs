@@ -53,4 +53,4 @@ pub mod levenshtein;
 pub mod sequencer;
 mod testbed;
 
-pub use testbed::{RxEngine, RxRecord, TestBed, TestBedConfig};
+pub use testbed::{rx_engine_from_env, RxEngine, RxRecord, TestBed, TestBedConfig};

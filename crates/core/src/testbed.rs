@@ -1,5 +1,36 @@
 //! The simulated machine the attack runs on: hierarchy + driver +
 //! scheduled arrivals, all sharing one clock.
+//!
+//! ## Burst delivery and clock windows
+//!
+//! Frame delivery is windowed on the default engine: every queued
+//! arrival that is provably in the past gets fused into **one**
+//! [`IgbDriver::receive_burst`] op batch (sharded by slice when it is
+//! big enough), and the window is cut only where something must observe
+//! the mid-stream clock:
+//!
+//! * **gap syncs** — an arrival ahead of the replay clock jumps the
+//!   clock to an absolute time, which a fixed [`pc_cache::CacheOp`]
+//!   lead cannot express mid-batch (the lead's value would depend on
+//!   the latencies still being replayed); the window flushes, the gap
+//!   is applied at the now-exact clock, and the next window opens;
+//! * **deferred no-DDIO reads** — a large frame without DDIO needs the
+//!   exact cycle its header reads finished (to schedule its payload
+//!   reads), and while any deferred read is pending every frame
+//!   boundary must run the due ones at the exact clock;
+//! * **probe epochs** — each [`TestBed::advance_to`] call returns with
+//!   all pending ops applied, so a monitor sampling between calls (the
+//!   `footprint::watch` loop) always observes a fully synchronized
+//!   machine. Windows never span an `advance_to` boundary.
+//!
+//! Whether a queued arrival is "provably in the past" is decided
+//! without observing the clock: the bed tracks a lower bound (window
+//! start plus each collected frame's [`DriverConfig::min_frame_cycles`])
+//! and cuts the window when the next arrival could outrun it. Within a
+//! window every inter-frame gap is therefore zero, and the remaining
+//! clock movement — driver overheads, defense costs — rides the op
+//! stream as [`pc_cache::CacheOp::lead`]s. All engines are
+//! byte-identical; see `RxEngine`.
 
 use pc_cache::{CacheGeometry, Cycles, DdioMode, Hierarchy, LatencyModel, PhysAddr};
 use pc_net::ScheduledFrame;
@@ -10,19 +41,68 @@ use std::collections::VecDeque;
 
 /// Which replay engine drives frame receives through the hierarchy.
 ///
-/// Both paths are byte-identical (pinned by `pc-nic`'s equivalence
-/// suite and this module's own test); the choice is purely about
+/// All paths are byte-identical (pinned by `pc-nic`'s equivalence
+/// suite and this module's own tests); the choice is purely about
 /// performance and observability.
 #[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
 pub enum RxEngine {
-    /// Per-frame op batches through [`pc_cache::Hierarchy::run_ops`] —
-    /// the fast path, and the default.
+    /// Windowed burst delivery — the fast path, and the default: every
+    /// pending arrival in a clock window replays as one fused
+    /// [`IgbDriver::receive_burst`] batch (sharded by slice when large
+    /// enough), flushing only where a frame must observe the
+    /// mid-stream clock (see the module docs).
     #[default]
     Batched,
+    /// One op batch per frame through [`IgbDriver::receive`] — the
+    /// pre-windowing default, kept as the burst engine's per-frame
+    /// reference.
+    PerFrame,
     /// Access-by-access replay ([`IgbDriver::receive_scalar`]) — the
     /// equivalence oracle; pick it when an experiment must observe
     /// per-access latencies in the middle of a frame.
     PerAccess,
+}
+
+impl RxEngine {
+    /// Parses a CLI/environment engine name (`batched`, `per-frame`,
+    /// `per-access`). The single name list — [`rx_engine_from_env`]
+    /// and `repro --rx-engine` both go through it, so the two cannot
+    /// drift.
+    pub fn parse(name: &str) -> Option<RxEngine> {
+        match name {
+            "batched" => Some(RxEngine::Batched),
+            "per-frame" => Some(RxEngine::PerFrame),
+            "per-access" => Some(RxEngine::PerAccess),
+            _ => None,
+        }
+    }
+}
+
+/// Upper bound on the op count of one delivery window (~64 Ki ops,
+/// well past the sharded-dispatch threshold). Cutting a window early
+/// is always legal — a flush is a correct place to observe the clock —
+/// so the cap is a pure scheduling choice and never changes results
+/// (the delivery property tests and the CI thread-count byte-diff hold
+/// for any cap); it bounds the op scratch when a drain faces a huge
+/// backlog.
+const MAX_WINDOW_OPS: u64 = 1 << 16;
+
+/// Reads the `PC_RX_ENGINE` environment variable (`batched`,
+/// `per-frame` or `per-access`) — the CI determinism job uses it to
+/// byte-diff whole scenario runs across engines without touching
+/// scenario code. Returns `None` when unset.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value: a CI matrix leg silently falling
+/// back to the default engine would pass vacuously.
+pub fn rx_engine_from_env() -> Option<RxEngine> {
+    let v = std::env::var("PC_RX_ENGINE").ok()?;
+    Some(
+        RxEngine::parse(&v).unwrap_or_else(|| {
+            panic!("PC_RX_ENGINE must be batched|per-frame|per-access, got `{v}`")
+        }),
+    )
 }
 
 /// Everything needed to stand up a [`TestBed`].
@@ -48,6 +128,10 @@ pub struct TestBedConfig {
 
 impl TestBedConfig {
     /// The paper's vulnerable baseline: DDIO on, stock IGB driver.
+    ///
+    /// The receive engine honours [`rx_engine_from_env`] so one binary
+    /// can run a whole scenario suite on each engine; an explicit
+    /// [`TestBedConfig::with_rx_engine`] still wins.
     pub fn paper_baseline() -> Self {
         TestBedConfig {
             geometry: CacheGeometry::xeon_e5_2660(),
@@ -56,7 +140,7 @@ impl TestBedConfig {
             latencies: LatencyModel::server_defaults(),
             seed: 0x9ac4e7,
             record_rx: true,
-            rx_engine: RxEngine::Batched,
+            rx_engine: rx_engine_from_env().unwrap_or_default(),
         }
     }
 
@@ -98,7 +182,10 @@ impl Default for TestBedConfig {
 /// Ground-truth record of one received frame.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct RxRecord {
-    /// Cycle the driver processed the frame.
+    /// Cycle the NIC received the frame (its scheduled arrival time —
+    /// pure input data, so the record is identical on every
+    /// [`RxEngine`]; a backlogged frame is *processed* later than
+    /// this).
     pub at: Cycles,
     /// Ring descriptor index it landed in.
     pub buffer_index: usize,
@@ -115,7 +202,8 @@ pub struct RxRecord {
 /// [`TestBed::advance_to`] and probe through
 /// [`TestBed::hierarchy_mut`]; frames scheduled with
 /// [`TestBed::enqueue`] are delivered whenever the clock passes their
-/// arrival time.
+/// arrival time — fused into burst windows on the default engine (see
+/// the module docs).
 #[derive(Clone, Debug)]
 pub struct TestBed {
     h: Hierarchy,
@@ -126,6 +214,10 @@ pub struct TestBed {
     records: Vec<RxRecord>,
     record_rx: bool,
     rx_engine: RxEngine,
+    /// Window scratch (frames + arrival times of the burst being
+    /// collected); content never outlives one flush, capacity carried.
+    burst_frames: Vec<pc_net::EthernetFrame>,
+    burst_ats: Vec<Cycles>,
 }
 
 impl TestBed {
@@ -145,6 +237,8 @@ impl TestBed {
             records: Vec::new(),
             record_rx: cfg.record_rx,
             rx_engine: cfg.rx_engine,
+            burst_frames: Vec::new(),
+            burst_ats: Vec::new(),
         }
     }
 
@@ -166,6 +260,11 @@ impl TestBed {
     /// The driver (ground-truth ring inspection).
     pub fn driver(&self) -> &IgbDriver {
         &self.driver
+    }
+
+    /// The active receive engine.
+    pub fn rx_engine(&self) -> RxEngine {
+        self.rx_engine
     }
 
     /// Ground-truth receive log (empty when `record_rx` is off).
@@ -204,16 +303,65 @@ impl TestBed {
 
     /// Delivers every frame whose arrival time has passed and runs due
     /// deferred reads. Returns the number of frames delivered.
+    ///
+    /// Frames already due are back-to-back by definition (nothing
+    /// between them observes the clock — this entry point runs deferred
+    /// reads once, at the end), so on the burst engine the backlog
+    /// fuses into [`IgbDriver::receive_burst`] batches, cut only by the
+    /// op scratch cap.
     pub fn deliver_due(&mut self) -> usize {
-        let mut delivered = 0;
-        while let Some(front) = self.pending.front() {
-            if front.at > self.h.now() {
-                break;
+        // Same scheduling rule as advance_to: windowing feeds the
+        // sharded batch engine, so a worker-less host delivers per
+        // frame (byte-identical either way).
+        let delivered = match self.rx_engine {
+            RxEngine::Batched if pc_par::max_threads() > 1 => {
+                let cfg = *self.driver.config();
+                let mut frames = std::mem::take(&mut self.burst_frames);
+                let mut ats = std::mem::take(&mut self.burst_ats);
+                let mut n = 0;
+                // Delivery advances the clock, which can make further
+                // frames due (the per-frame loop re-checks after every
+                // frame); burst the due prefix repeatedly until none is.
+                loop {
+                    let now = self.h.now();
+                    let mut ops_estimate = 0u64;
+                    frames.clear();
+                    ats.clear();
+                    while let Some(front) = self.pending.front() {
+                        if front.at > now || ops_estimate >= MAX_WINDOW_OPS {
+                            break;
+                        }
+                        let sf = self.pending.pop_front().expect("peeked");
+                        let (blocks, small) = cfg.frame_shape(sf.frame);
+                        ops_estimate += cfg.frame_op_count(blocks, small);
+                        frames.push(sf.frame);
+                        ats.push(sf.at);
+                    }
+                    if frames.is_empty() {
+                        break;
+                    }
+                    self.flush_burst(&frames, &ats);
+                    n += frames.len();
+                }
+                frames.clear();
+                ats.clear();
+                self.burst_frames = frames;
+                self.burst_ats = ats;
+                n
             }
-            let sf = self.pending.pop_front().expect("peeked");
-            self.receive_now(sf);
-            delivered += 1;
-        }
+            _ => {
+                let mut delivered = 0;
+                while let Some(front) = self.pending.front() {
+                    if front.at > self.h.now() {
+                        break;
+                    }
+                    let sf = self.pending.pop_front().expect("peeked");
+                    self.receive_now(sf);
+                    delivered += 1;
+                }
+                delivered
+            }
+        };
         self.deferred.run_due(&mut self.h);
         delivered
     }
@@ -221,7 +369,49 @@ impl TestBed {
     /// Advances the clock to `target`, delivering arrivals on the way.
     /// (If the clock is already past `target` this only delivers due
     /// work.)
+    ///
+    /// On the burst engine this is [`TestBed::run_window`] plus the
+    /// trailing advance; the per-frame engines deliver one frame at a
+    /// time. Both orders of operations are byte-identical.
     pub fn advance_to(&mut self, target: Cycles) {
+        // Windowing exists to feed the sharded batch engine; without
+        // worker threads the op-recording round-trip cannot pay for
+        // itself, so a sequential host delivers per frame — the paths
+        // are byte-identical (this module's tests pin it), the choice
+        // is pure scheduling.
+        if self.rx_engine == RxEngine::Batched && pc_par::max_threads() > 1 {
+            self.advance_to_windowed(target);
+        } else {
+            self.deliver_per_frame_to(target);
+            self.finish_advance(target);
+        }
+    }
+
+    /// The windowed arm of [`TestBed::advance_to`] — one definition,
+    /// shared with the property tests (which drive it directly so the
+    /// burst machinery is exercised even on hosts where the public
+    /// entry point legitimately picks per-frame delivery).
+    fn advance_to_windowed(&mut self, target: Cycles) {
+        self.run_window(target);
+        self.finish_advance(target);
+    }
+
+    /// The shared tail of every advance: trailing clock advance to
+    /// `target`, then due deferred reads.
+    fn finish_advance(&mut self, target: Cycles) {
+        if target > self.h.now() {
+            let gap = target - self.h.now();
+            self.h.advance(gap);
+        }
+        self.deferred.run_due(&mut self.h);
+    }
+
+    /// Per-frame delivery of every arrival up to `target` (gap advance,
+    /// one receive, due deferred reads — per frame), on whichever
+    /// receive path [`TestBed::receive_now`] selects for the engine.
+    /// Returns the number of frames delivered.
+    fn deliver_per_frame_to(&mut self, target: Cycles) -> usize {
+        let mut delivered = 0;
         loop {
             let next_arrival = self.pending.front().map(|f| f.at);
             match next_arrival {
@@ -233,45 +423,149 @@ impl TestBed {
                     let sf = self.pending.pop_front().expect("peeked");
                     self.receive_now(sf);
                     self.deferred.run_due(&mut self.h);
+                    delivered += 1;
                 }
                 _ => break,
             }
         }
-        if target > self.h.now() {
-            let gap = target - self.h.now();
-            self.h.advance(gap);
+        delivered
+    }
+
+    /// Runs one delivery window: every pending arrival up to `target`
+    /// is delivered as fused [`IgbDriver::receive_burst`] batches,
+    /// flushing only at the clock-observation points listed in the
+    /// module docs. Returns the number of frames delivered; the clock
+    /// ends wherever the last delivered work left it (callers wanting
+    /// the clock *at* `target` use [`TestBed::advance_to`]).
+    ///
+    /// Byte-identical to per-frame delivery of the same arrivals —
+    /// events, records, clock, statistics, ring state and RNG stream —
+    /// for any window shape, including zero inter-arrival gaps,
+    /// duplicate arrival times and a `target` landing exactly on an
+    /// arrival (this module's property tests pin those edges).
+    ///
+    /// On the `PerFrame` / `PerAccess` engines this honours the
+    /// configured receive path instead of windowing: an experiment
+    /// that picked the per-access oracle to observe mid-frame
+    /// latencies keeps that observability whichever delivery entry
+    /// point drives it.
+    pub fn run_window(&mut self, target: Cycles) -> usize {
+        if self.rx_engine != RxEngine::Batched {
+            return self.deliver_per_frame_to(target);
         }
-        self.deferred.run_due(&mut self.h);
+        let lat = self.h.latencies();
+        let min_lat = lat.llc_hit.min(lat.dram);
+        let ddio = self.h.llc().mode().allocates_in_llc();
+        let cfg = *self.driver.config();
+        let mut delivered = 0usize;
+        let mut frames = std::mem::take(&mut self.burst_frames);
+        let mut ats = std::mem::take(&mut self.burst_ats);
+        while let Some(front_at) = self.pending.front().map(|f| f.at) {
+            if front_at > target {
+                break;
+            }
+            // Gap sync: the window boundary is the one place the clock
+            // is exact, so an arrival still ahead of it jumps the clock
+            // here; inside the window gaps are zero by construction.
+            if front_at > self.h.now() {
+                let gap = front_at - self.h.now();
+                self.h.advance(gap);
+            }
+            // Collect the longest run of arrivals provably in the past:
+            // `lb` is a lower bound on the clock after replaying the
+            // frames collected so far.
+            let mut lb = self.h.now();
+            let mut ops_estimate = 0u64;
+            frames.clear();
+            ats.clear();
+            while let Some(front) = self.pending.front() {
+                if front.at > target || front.at > lb || ops_estimate >= MAX_WINDOW_OPS {
+                    break;
+                }
+                let sf = self.pending.pop_front().expect("peeked");
+                let (blocks, small) = cfg.frame_shape(sf.frame);
+                lb += cfg.min_shape_cycles(blocks, small, min_lat);
+                ops_estimate += cfg.frame_op_count(blocks, small);
+                frames.push(sf.frame);
+                ats.push(sf.at);
+                // Clock-observing boundaries close the window: a
+                // deferring frame (its payload-read due time), and —
+                // while deferred reads are pending — every frame (the
+                // due ones must run between frames, at the exact
+                // clock).
+                if (!small && !ddio) || !self.deferred.is_empty() {
+                    break;
+                }
+            }
+            debug_assert!(!frames.is_empty(), "the sync put the front in the past");
+            self.flush_burst(&frames, &ats);
+            self.deferred.run_due(&mut self.h);
+            delivered += frames.len();
+        }
+        frames.clear();
+        ats.clear();
+        self.burst_frames = frames;
+        self.burst_ats = ats;
+        delivered
+    }
+
+    /// Replays one collected window. The window *boundaries* encode the
+    /// clock-observation semantics; which engine replays the inside is
+    /// a pure scheduling choice between byte-identical paths (pc-nic's
+    /// equivalence suite pins them): a multi-frame window takes the
+    /// batch engine ([`IgbDriver::receive_burst`]), whose fused op
+    /// stream shards by slice; a degenerate one-frame window streams
+    /// through [`IgbDriver::receive`] rather than paying the batch
+    /// scratch round-trip for nothing.
+    fn flush_burst(&mut self, frames: &[pc_net::EthernetFrame], ats: &[Cycles]) {
+        if frames.len() > 1 {
+            let events = self
+                .driver
+                .receive_burst(&mut self.h, frames, &mut self.rng);
+            for (ev, &at) in events.iter().zip(ats) {
+                self.record_event(ev, at);
+            }
+        } else {
+            for (&frame, &at) in frames.iter().zip(ats) {
+                let ev = self.driver.receive(&mut self.h, frame, &mut self.rng);
+                self.record_event(&ev, at);
+            }
+        }
+    }
+
+    fn record_event(&mut self, ev: &pc_nic::RxEvent, at: Cycles) {
+        self.deferred.extend(ev.deferred_reads.iter().copied());
+        if self.record_rx {
+            self.records.push(RxRecord {
+                at,
+                buffer_index: ev.buffer_index,
+                buffer_addr: ev.buffer_addr,
+                blocks: ev.blocks,
+            });
+        }
     }
 
     /// Runs until every queued frame has been delivered.
     pub fn drain(&mut self) {
-        while let Some(front) = self.pending.front() {
-            let at = front.at;
-            self.advance_to(at);
+        while let Some(last_at) = self.pending.back().map(|f| f.at) {
+            self.advance_to(last_at);
         }
         self.deferred.drain_all(&mut self.h);
     }
 
     fn receive_now(&mut self, sf: ScheduledFrame) {
         // The frame's memory traffic pipelines as one op batch on the
-        // default engine; the per-access oracle replays it one access at
-        // a time (identical results, pinned below and in pc-nic).
+        // per-frame engine; the per-access oracle replays it one access
+        // at a time (identical results, pinned below and in pc-nic).
         let ev = match self.rx_engine {
-            RxEngine::Batched => self.driver.receive(&mut self.h, sf.frame, &mut self.rng),
+            RxEngine::Batched | RxEngine::PerFrame => {
+                self.driver.receive(&mut self.h, sf.frame, &mut self.rng)
+            }
             RxEngine::PerAccess => self
                 .driver
                 .receive_scalar(&mut self.h, sf.frame, &mut self.rng),
         };
-        self.deferred.extend(ev.deferred_reads.iter().copied());
-        if self.record_rx {
-            self.records.push(RxRecord {
-                at: self.h.now(),
-                buffer_index: ev.buffer_index,
-                buffer_addr: ev.buffer_addr,
-                blocks: ev.blocks,
-            });
-        }
+        self.record_event(&ev, sf.at);
     }
 }
 
@@ -335,6 +629,17 @@ mod tests {
     }
 
     #[test]
+    fn records_carry_arrival_times() {
+        let mut tb = bed();
+        let frames = schedule(8, 0);
+        let ats: Vec<Cycles> = frames.iter().map(|f| f.at).collect();
+        tb.enqueue(frames);
+        tb.drain();
+        let got: Vec<Cycles> = tb.records().iter().map(|r| r.at).collect();
+        assert_eq!(got, ats, "RxRecord.at is the scheduled arrival cycle");
+    }
+
+    #[test]
     fn enqueue_merges_sorted_streams() {
         let mut tb = bed();
         tb.enqueue(schedule(5, 0));
@@ -353,19 +658,42 @@ mod tests {
         tb.enqueue(frames);
     }
 
+    /// Compares two beds field by field after identical driving.
+    fn assert_beds_identical(a: &TestBed, b: &TestBed, what: &str) {
+        assert_eq!(a.records(), b.records(), "{what}: records");
+        assert_eq!(a.now(), b.now(), "{what}: clock");
+        assert_eq!(
+            a.hierarchy().llc().stats(),
+            b.hierarchy().llc().stats(),
+            "{what}: llc stats"
+        );
+        assert_eq!(
+            a.hierarchy().memory_stats(),
+            b.hierarchy().memory_stats(),
+            "{what}: memory stats"
+        );
+        assert_eq!(
+            a.driver().ring().page_addresses(),
+            b.driver().ring().page_addresses(),
+            "{what}: ring pages"
+        );
+        assert_eq!(a.rng, b.rng, "{what}: RNG stream");
+    }
+
     #[test]
-    fn batched_and_per_access_engines_are_byte_identical() {
-        // Same config, same seeds, both engines, through the full
+    fn all_engines_are_byte_identical() {
+        // Same config, same seeds, all three engines, through the full
         // arrival pipeline (merging, gaps, deferred reads): records,
-        // clock, statistics and ring state must all agree.
+        // clock, statistics, ring state and RNG must all agree.
         for cfg in [
             TestBedConfig::paper_baseline(),
             TestBedConfig::no_ddio(),
             TestBedConfig::adaptive_defense(),
         ] {
-            let mut batched = TestBed::new(cfg);
+            let mut batched = TestBed::new(cfg.with_rx_engine(RxEngine::Batched));
+            let mut per_frame = TestBed::new(cfg.with_rx_engine(RxEngine::PerFrame));
             let mut oracle = TestBed::new(cfg.with_rx_engine(RxEngine::PerAccess));
-            for tb in [&mut batched, &mut oracle] {
+            for tb in [&mut batched, &mut per_frame, &mut oracle] {
                 let mut rng = SmallRng::seed_from_u64(42);
                 let frames = ArrivalSchedule::new(LineRate::gigabit())
                     .frames_per_second(150_000)
@@ -373,21 +701,137 @@ mod tests {
                 tb.enqueue(frames);
                 tb.drain();
             }
-            assert_eq!(batched.records(), oracle.records());
-            assert_eq!(batched.now(), oracle.now());
-            assert_eq!(
-                batched.hierarchy().llc().stats(),
-                oracle.hierarchy().llc().stats()
-            );
-            assert_eq!(
-                batched.hierarchy().memory_stats(),
-                oracle.hierarchy().memory_stats()
-            );
-            assert_eq!(
-                batched.driver().ring().page_addresses(),
-                oracle.driver().ring().page_addresses()
-            );
+            assert_beds_identical(&batched, &per_frame, "batched vs per-frame");
+            assert_beds_identical(&batched, &oracle, "batched vs per-access");
         }
+    }
+
+    /// Drives a bed through `advance_to`'s windowed arm directly (the
+    /// production code, not a copy), unconditionally — so the burst
+    /// machinery is exercised deterministically even on a single-core
+    /// host, where the public entry point would (legitimately) pick
+    /// per-frame delivery.
+    fn advance_windowed(tb: &mut TestBed, target: Cycles) {
+        tb.advance_to_windowed(target);
+    }
+
+    fn drain_windowed(tb: &mut TestBed) {
+        while let Some(last_at) = tb.pending.back().map(|f| f.at) {
+            advance_windowed(tb, last_at);
+        }
+        tb.deferred.drain_all(&mut tb.h);
+    }
+
+    #[test]
+    fn windowed_delivery_matches_per_frame_on_edge_windows() {
+        // Unsorted-window edge cases: zero gaps, duplicate arrival
+        // times, and window boundaries landing exactly on an arrival.
+        for cfg in [
+            TestBedConfig::paper_baseline(),
+            TestBedConfig::no_ddio(),
+            TestBedConfig::adaptive_defense(),
+        ] {
+            let mut windowed = TestBed::new(cfg.with_rx_engine(RxEngine::Batched));
+            let mut per_frame = TestBed::new(cfg.with_rx_engine(RxEngine::PerFrame));
+            for (tb, win) in [(&mut windowed, true), (&mut per_frame, false)] {
+                let advance = |tb: &mut TestBed, target| {
+                    if win {
+                        advance_windowed(tb, target);
+                    } else {
+                        tb.advance_to(target);
+                    }
+                };
+                let mut rng = SmallRng::seed_from_u64(7);
+                // A dense backlog with duplicate times: every frame at
+                // one of 4 timestamps, all due at once.
+                let mut frames = ArrivalSchedule::new(LineRate::ten_gigabit())
+                    .frames_per_second(5_000_000)
+                    .generate(&mut pc_net::UniformSizes::full_range(), 10, 64, &mut rng);
+                for (i, f) in frames.iter_mut().enumerate() {
+                    f.at = 10 + (i as u64 / 16) * 5; // 4 duplicate groups, zero gaps
+                }
+                tb.enqueue(frames);
+                // Boundary exactly on an arrival: the group at t=15.
+                advance(tb, 15);
+                // Mid-stream probe epoch, then everything else.
+                advance(tb, 16);
+                if win {
+                    drain_windowed(tb);
+                } else {
+                    tb.drain();
+                }
+                // A paced tail: arrivals far apart (every gap is a sync).
+                let tail = ArrivalSchedule::new(LineRate::gigabit())
+                    .frames_per_second(1_000)
+                    .generate(&mut ConstantSize::blocks(2), tb.now() + 1, 8, &mut rng);
+                let last = tail.last().unwrap().at;
+                tb.enqueue(tail);
+                advance(tb, last); // boundary exactly on the last arrival
+                if win {
+                    drain_windowed(tb);
+                } else {
+                    tb.drain();
+                }
+            }
+            assert_beds_identical(&windowed, &per_frame, "edge windows");
+        }
+    }
+
+    #[test]
+    fn windowed_drain_matches_every_engine_on_mixed_traffic() {
+        // The explicit windowed driver against all three public
+        // engines, over a mixed paced/backlogged stream with deferred
+        // reads (no-DDIO sizes cross the copybreak both ways).
+        for cfg in [TestBedConfig::paper_baseline(), TestBedConfig::no_ddio()] {
+            let mut windowed = TestBed::new(cfg.with_rx_engine(RxEngine::Batched));
+            let mut oracle = TestBed::new(cfg.with_rx_engine(RxEngine::PerAccess));
+            for (tb, win) in [(&mut windowed, true), (&mut oracle, false)] {
+                let mut rng = SmallRng::seed_from_u64(21);
+                let frames = ArrivalSchedule::new(LineRate::gigabit())
+                    .frames_per_second(400_000)
+                    .generate(&mut pc_net::UniformSizes::full_range(), 5, 300, &mut rng);
+                tb.enqueue(frames);
+                if win {
+                    drain_windowed(tb);
+                } else {
+                    tb.drain();
+                }
+            }
+            assert_beds_identical(&windowed, &oracle, "windowed vs per-access");
+        }
+    }
+
+    #[test]
+    fn deliver_due_bursts_the_backlog() {
+        for cfg in [TestBedConfig::paper_baseline(), TestBedConfig::no_ddio()] {
+            let mut batched = TestBed::new(cfg.with_rx_engine(RxEngine::Batched));
+            let mut per_frame = TestBed::new(cfg.with_rx_engine(RxEngine::PerFrame));
+            for tb in [&mut batched, &mut per_frame] {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let frames = ArrivalSchedule::new(LineRate::gigabit())
+                    .frames_per_second(200_000)
+                    .generate(&mut pc_net::UniformSizes::full_range(), 0, 50, &mut rng);
+                let mid = frames[24].at;
+                tb.enqueue(frames);
+                tb.hierarchy_mut().advance(mid);
+                // Delivery keeps going while processing latency makes
+                // further frames due, exactly like the per-frame loop.
+                let n = tb.deliver_due();
+                assert!(n >= 25, "at least the due prefix delivers ({n})");
+            }
+            assert_beds_identical(&batched, &per_frame, "deliver_due");
+        }
+    }
+
+    #[test]
+    fn rx_engine_names_parse() {
+        // The parser directly — mutating the process environment would
+        // race other tests, and every branch is reachable this way.
+        assert_eq!(RxEngine::parse("batched"), Some(RxEngine::Batched));
+        assert_eq!(RxEngine::parse("per-frame"), Some(RxEngine::PerFrame));
+        assert_eq!(RxEngine::parse("per-access"), Some(RxEngine::PerAccess));
+        assert_eq!(RxEngine::parse("Batched"), None, "names are exact");
+        assert_eq!(RxEngine::parse(""), None);
     }
 
     #[test]

@@ -103,6 +103,51 @@ impl DriverConfig {
         }
     }
 
+    /// How a frame lands in a ring buffer under this configuration:
+    /// `(blocks, small)` — cache blocks occupied (truncated to the
+    /// buffer) and whether the frame is at or below the copybreak.
+    /// One definition shared by every receive path and by window
+    /// planners (the `TestBed`), so the classification cannot diverge
+    /// from what [`DriverConfig::emit_frame_ops`] replays.
+    pub fn frame_shape(&self, frame: EthernetFrame) -> (u32, bool) {
+        (
+            frame.cache_blocks().min(RX_BUFFER_BLOCKS),
+            frame.bytes() <= self.copybreak,
+        )
+    }
+
+    /// Number of ops [`DriverConfig::emit_frame_ops`] emits for a frame
+    /// of the given shape. Kept adjacent to the emitter so the count
+    /// cannot drift from the emission.
+    pub fn frame_op_count(&self, blocks: u32, small: bool) -> u64 {
+        let mut n = u64::from(blocks) + 1; // DMA writes + header read
+        if self.prefetch_second_block {
+            n += 1;
+        }
+        if small {
+            n += u64::from(blocks.saturating_sub(2)); // memcpy source reads
+        }
+        n
+    }
+
+    /// A lower bound on the cycles the clock moves over one frame's
+    /// receive: the per-packet overhead lead plus every emitted op at
+    /// `min_op_latency` (the cheapest latency the model can charge).
+    /// Burst window planners use this to prove a queued arrival is
+    /// already in the past without observing the mid-stream clock.
+    pub fn min_frame_cycles(&self, frame: EthernetFrame, min_op_latency: Cycles) -> Cycles {
+        let (blocks, small) = self.frame_shape(frame);
+        self.min_shape_cycles(blocks, small, min_op_latency)
+    }
+
+    /// [`DriverConfig::min_frame_cycles`] for an already-classified
+    /// frame shape — the form the `TestBed` window planner calls, since
+    /// it needs `(blocks, small)` anyway for its op-count estimate.
+    /// This is the single definition of the bound.
+    pub fn min_shape_cycles(&self, blocks: u32, small: bool, min_op_latency: Cycles) -> Cycles {
+        self.per_packet_overhead + self.frame_op_count(blocks, small) * min_op_latency
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -124,6 +169,26 @@ impl Default for DriverConfig {
     fn default() -> Self {
         DriverConfig::paper_defaults()
     }
+}
+
+/// What the driver knows about a frame mid-burst, handed to the
+/// frame-extension hook of [`IgbDriver::receive_burst_with`] right
+/// after the frame's own ops were emitted (or flushed, for a deferring
+/// frame): enough for a caller to fuse its per-frame follow-up traffic
+/// — an application's payload read, a consumer touch — into the same
+/// shardable batch instead of replaying it per access afterwards.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct FrameMeta {
+    /// Position of the frame within the burst (0-based).
+    pub index: usize,
+    /// Ring descriptor index the frame landed in.
+    pub buffer_index: usize,
+    /// DMA address of the buffer's first block.
+    pub buffer_addr: PhysAddr,
+    /// Cache blocks the frame occupied.
+    pub blocks: u32,
+    /// The frame was at or below the copybreak (memcpy'd and reused).
+    pub small: bool,
 }
 
 /// What happened when one frame was received.
@@ -239,8 +304,7 @@ impl IgbDriver {
     ) -> RxEvent {
         let idx = self.ring.advance();
         let buffer_addr = self.ring.buffer(idx).dma_addr();
-        let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
-        let small = frame.bytes() <= self.cfg.copybreak;
+        let (blocks, small) = self.cfg.frame_shape(frame);
 
         // Stream the frame's ops through the applier engine: one pass,
         // totals flushed when the sink drops. (Per-frame batches are
@@ -271,8 +335,7 @@ impl IgbDriver {
     ) -> RxEvent {
         let idx = self.ring.advance();
         let buffer_addr = self.ring.buffer(idx).dma_addr();
-        let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
-        let small = frame.bytes() <= self.cfg.copybreak;
+        let (blocks, small) = self.cfg.frame_shape(frame);
         self.cfg.emit_frame_ops(buffer_addr, blocks, small, h);
         self.finish_receive(h, rng, idx, buffer_addr, blocks, small)
     }
@@ -407,15 +470,39 @@ impl IgbDriver {
         frames: &[EthernetFrame],
         rng: &mut SmallRng,
     ) -> Vec<RxEvent> {
+        self.receive_burst_with(h, frames, rng, |_, _| {})
+    }
+
+    /// [`IgbDriver::receive_burst`] with a **frame-extension hook**: after
+    /// each frame's own ops are emitted (and, for a deferring frame,
+    /// flushed), `ext` is called with the frame's [`FrameMeta`] and the
+    /// burst's pending [`OpBuffer`], so per-frame follow-up traffic — an
+    /// application reading the payload out of the skb, a consumer
+    /// touching the delivered bytes — joins the same shardable batch.
+    ///
+    /// The hook's contract is the op-stream determinism contract: it may
+    /// emit ops and advances derived from the `FrameMeta` (and its own
+    /// state), but it must not observe the hierarchy — the pending
+    /// buffer has not replayed yet. Ops it emits land after the frame's
+    /// driver reads and before the next frame's DMA, exactly where a
+    /// per-frame caller would have issued them; defense costs still
+    /// become leads *after* the hook's ops, which only moves pure clock
+    /// advances past each other (order-independent by the contract).
+    pub fn receive_burst_with(
+        &mut self,
+        h: &mut Hierarchy,
+        frames: &[EthernetFrame],
+        rng: &mut SmallRng,
+        mut ext: impl FnMut(&FrameMeta, &mut OpBuffer),
+    ) -> Vec<RxEvent> {
         let ddio = h.llc().mode().allocates_in_llc();
         let mut events = Vec::with_capacity(frames.len());
         let mut ops = std::mem::take(&mut self.ops);
         ops.clear();
-        for &frame in frames {
+        for (index, &frame) in frames.iter().enumerate() {
             let idx = self.ring.advance();
             let buffer_addr = self.ring.buffer(idx).dma_addr();
-            let blocks = frame.cache_blocks().min(RX_BUFFER_BLOCKS);
-            let small = frame.bytes() <= self.cfg.copybreak;
+            let (blocks, small) = self.cfg.frame_shape(frame);
             self.cfg
                 .emit_frame_ops(buffer_addr, blocks, small, &mut ops);
             let deferred_reads = if !small && !ddio {
@@ -427,6 +514,16 @@ impl IgbDriver {
             } else {
                 Vec::new()
             };
+            ext(
+                &FrameMeta {
+                    index,
+                    buffer_index: idx,
+                    buffer_addr,
+                    blocks,
+                    small,
+                },
+                &mut ops,
+            );
             let (reallocated, flipped, defense_cost) = self.frame_disposition(rng, idx, small);
             if defense_cost > 0 {
                 ops.advance(defense_cost);

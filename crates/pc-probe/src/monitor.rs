@@ -179,6 +179,14 @@ impl SampleMatrix {
 /// Each `sample` call probes every target once (which re-primes them) —
 /// one row of the activity matrix. The caller interleaves packet
 /// deliveries between samples; see the test-bed in `pc-core`.
+///
+/// A probe epoch is a **flush point** for the test bed's windowed
+/// burst delivery: `TestBed::advance_to` returns with every pending
+/// frame op applied, so the probe always observes a fully synchronized
+/// machine — delivery windows never span the epoch boundary, whatever
+/// engine delivers the frames. The monitor itself needs no special
+/// handling; the contract is documented here because this is the
+/// clock-observing caller the window planner defers to.
 #[derive(Clone, Debug)]
 pub struct Monitor {
     targets: Vec<MonitorTarget>,

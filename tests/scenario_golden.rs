@@ -1,0 +1,83 @@
+//! Golden-output snapshots for `repro scenario <name>` — every registry
+//! entry, pinned byte for byte.
+//!
+//! Each scenario's report at the standard CI parameters
+//! (`Scale::Quick`, seed 2020) is compared against a checked-in
+//! snapshot under `tests/golden/`. Any change to a scenario's output —
+//! intended or not — shows up as a reviewable diff in the golden file
+//! rather than as a silent drift only the CI byte-diff job would catch
+//! (and that job only compares a run against *itself* on other thread
+//! counts, not against history).
+//!
+//! To refresh snapshots after an intentional output change:
+//!
+//! ```text
+//! PC_BLESS=1 cargo test --release --test scenario_golden
+//! ```
+//!
+//! (documented in `crates/bench/README.md`). The bless run rewrites the
+//! golden files; commit the diff with the change that caused it.
+
+use pc_bench::experiments::Scale;
+use pc_bench::scenario;
+use std::fs;
+use std::path::PathBuf;
+
+/// Seed the CI determinism job uses throughout.
+const SEED: u64 = 2020;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("PC_BLESS").is_some_and(|v| v == "1")
+}
+
+fn check(name: &str, actual: &str) -> Result<(), String> {
+    let path = golden_dir().join(format!("{name}.golden.txt"));
+    if blessing() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual).expect("write golden");
+        return Ok(());
+    }
+    let want = fs::read_to_string(&path).map_err(|e| {
+        format!("missing golden {path:?} ({e}); run PC_BLESS=1 cargo test --test scenario_golden")
+    })?;
+    if want == actual {
+        return Ok(());
+    }
+    Err(format!(
+        "scenario `{name}` diverged from its golden snapshot.\n\
+         If intentional, re-bless: PC_BLESS=1 cargo test --release --test scenario_golden\n\
+         --- golden ---\n{want}\n--- actual ---\n{actual}"
+    ))
+}
+
+/// One test over the whole registry (rather than a test per scenario)
+/// so a scenario added to the registry can never be forgotten here.
+#[test]
+fn every_scenario_matches_its_golden_snapshot() {
+    let mut failures = Vec::new();
+    for s in scenario::registry() {
+        let report = s.run(Scale::Quick, SEED);
+        assert!(
+            report.ends_with('\n') && !report.is_empty(),
+            "{}: reports are newline-terminated",
+            s.name()
+        );
+        if let Err(e) = check(s.name(), &report) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// The `repro scenario list` body is an output contract too (CI
+/// byte-diffs it): name-sorted, two-column, stable. The CLI and this
+/// test share one renderer (`scenario::render_list`), so the snapshot
+/// pins what `repro` actually prints.
+#[test]
+fn scenario_list_matches_its_golden_snapshot() {
+    check("scenario-list", &scenario::render_list()).unwrap();
+}
