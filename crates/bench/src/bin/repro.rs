@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--full] [--smoke] [--seed N] [--rx-engine E] <experiment|all|bench-cache>
 //! repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list
+//! repro [--seeds N] fault-matrix
 //!
 //! experiments:
 //!   fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab fig12cd
@@ -45,9 +46,14 @@ use pc_bench::experiments::{self as exp, Scale};
 use std::time::Instant;
 
 fn main() {
+    // Honor PC_FAULT for any subcommand (panics on an invalid spec):
+    // an armed run is an explicitly broken simulator, which is exactly
+    // what `fault-matrix` quantifies and what PC_BLESS refuses.
+    pc_cache::fault::arm_from_env();
     let mut scale = Scale::Quick;
     let mut smoke = false;
     let mut seed = 2020u64;
+    let mut fault_seeds = 3u64;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +61,13 @@ fn main() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
             "--smoke" => smoke = true,
+            "--seeds" => {
+                fault_seeds = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--seeds needs a positive number"));
+            }
             "--seed" => {
                 seed = args
                     .next()
@@ -81,6 +94,7 @@ fn main() {
                 println!(
                     "       repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list"
                 );
+                println!("       repro [--seeds N] fault-matrix");
                 println!("--rx-engine: TestBed receive engine (batched|per-frame|per-access;");
                 println!("             all byte-identical — the CI determinism job diffs them)");
                 println!("experiments: fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab");
@@ -88,6 +102,9 @@ fn main() {
                 println!("bench-cache: LLC hot-path microbenchmark -> BENCH_cache.json");
                 println!("             (--smoke: short sanity-checked pass for CI)");
                 println!("scenario:    registered end-to-end workloads (`scenario list`)");
+                println!("fault-matrix: arm every PC_FAULT catalog site x seed (0..N from");
+                println!("             --seeds, default 3) against the detector suites;");
+                println!("             prints the kill matrix, exits 2 on survivors");
                 return;
             }
             other => cmds.push(other.to_owned()),
@@ -101,6 +118,18 @@ fn main() {
     }
     if cmds[0] == "scenario" {
         run_scenarios(&cmds[1..], scale, seed);
+        return;
+    }
+    if cmds[0] == "fault-matrix" {
+        if cmds.len() > 1 {
+            die("fault-matrix takes no further arguments (use --seeds N)");
+        }
+        if pc_cache::fault::current().is_some() {
+            die("fault-matrix arms its own faults; unset PC_FAULT first");
+        }
+        if !pc_bench::faultmatrix::run(fault_seeds) {
+            std::process::exit(2);
+        }
         return;
     }
 

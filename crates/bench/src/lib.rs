@@ -8,6 +8,9 @@
 //! * [`cache_bench`] — the LLC hot-path microbenchmark behind
 //!   `repro bench-cache` (four engines × nine trace/mode cases →
 //!   `BENCH_cache.json`; schema documented in this crate's README).
+//! * [`faultmatrix`] — the fault-injection kill matrix behind
+//!   `repro fault-matrix`: every `pc_cache::fault` catalog site ×
+//!   seed armed against four detector suites, failing on survivors.
 //! * [`par`] — facade over [`pc_par`], the workspace-wide deterministic
 //!   parallelism substrate (`PC_BENCH_THREADS` governs every parallel
 //!   path from one place).
@@ -29,5 +32,6 @@
 
 pub mod cache_bench;
 pub mod experiments;
+pub mod faultmatrix;
 pub mod par;
 pub mod scenario;

@@ -78,14 +78,15 @@ impl RxEngine {
     }
 }
 
-/// Upper bound on the op count of one delivery window (~64 Ki ops,
-/// well past the sharded-dispatch threshold). Cutting a window early
-/// is always legal — a flush is a correct place to observe the clock —
+/// Upper bound on the op count of one delivery window (the workspace
+/// op-scratch cap, [`pc_cache::ops::OP_SCRATCH_CAP`] = 64 Ki ops, well
+/// past the sharded-dispatch threshold). Cutting a window early is
+/// always legal — a flush is a correct place to observe the clock —
 /// so the cap is a pure scheduling choice and never changes results
 /// (the delivery property tests and the CI thread-count byte-diff hold
 /// for any cap); it bounds the op scratch when a drain faces a huge
 /// backlog.
-const MAX_WINDOW_OPS: u64 = 1 << 16;
+const MAX_WINDOW_OPS: u64 = pc_cache::ops::OP_SCRATCH_CAP;
 
 /// Reads the `PC_RX_ENGINE` environment variable (`batched`,
 /// `per-frame` or `per-access`) — the CI determinism job uses it to
@@ -453,6 +454,7 @@ impl TestBed {
         if self.rx_engine != RxEngine::Batched {
             return self.deliver_per_frame_to(target);
         }
+        let _engine = pc_cache::fault::engine_scope(pc_cache::fault::Engine::WindowedRx);
         let lat = self.h.latencies();
         let min_lat = lat.llc_hit.min(lat.dram);
         let ddio = self.h.llc().mode().allocates_in_llc();
@@ -492,8 +494,14 @@ impl TestBed {
                 // deferring frame (its payload-read due time), and —
                 // while deferred reads are pending — every frame (the
                 // due ones must run between frames, at the exact
-                // clock).
-                if (!small && !ddio) || !self.deferred.is_empty() {
+                // clock). Fault site `burst-flush-elision` lets the
+                // windowed engine skip one deferred-pending cut, so
+                // pending payload reads replay after frames they
+                // should precede.
+                if (!small && !ddio)
+                    || (!self.deferred.is_empty()
+                        && !pc_cache::fault::fires(pc_cache::fault::FaultSite::BurstFlushElision))
+                {
                     break;
                 }
             }

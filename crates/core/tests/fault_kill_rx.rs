@@ -1,0 +1,194 @@
+//! Kill tests for the rx-engine fault sites: the windowed (burst)
+//! delivery engine is mutated and the windowed ↔ per-frame trajectory
+//! comparison must notice.
+//!
+//! The two catalog sites above the op-stream engines —
+//! `dropped-deferred-read` and `burst-flush-elision`
+//! (`pc_cache::fault`) — mutate windowed delivery only, so the
+//! detector drives the same arrival schedule through a `Batched` bed
+//! (via the public [`TestBed::run_window`], so windows form on any
+//! host core count) and a `PerFrame` bed, comparing the *trajectory* —
+//! clock, memory traffic, LLC statistics after every step — not just
+//! the end state: a dropped or reordered deferred read shows up
+//! mid-flight. The cache is deliberately minuscule (4 sets × 2 ways
+//! per slice) so reordering a single read across a frame replay is
+//! almost surely visible in LRU state.
+//!
+//! The no-fault run of the same detector is the negative control: the
+//! windowed and per-frame engines must stay byte-identical, pinning
+//! that the injection hooks perturb nothing — and doubling as an extra
+//! engine-equivalence regression over deferred-read-heavy traffic.
+
+use pc_cache::fault::{self, FaultSite, FaultSpec};
+use pc_cache::{CacheGeometry, DdioMode};
+use pc_core::{RxEngine, TestBed, TestBedConfig};
+use pc_net::{EthernetFrame, ScheduledFrame};
+use pc_nic::DriverConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn config(rx_engine: RxEngine) -> TestBedConfig {
+    TestBedConfig {
+        // Tiny and 2-way: maximal conflict pressure, so any reordering
+        // of the deferred payload reads perturbs LRU state.
+        geometry: CacheGeometry::new(2, 2, 2),
+        // Deferred reads only exist without DDIO.
+        ddio: DdioMode::Disabled,
+        driver: DriverConfig {
+            // Small ring: buffers recycle quickly, so deferred reads
+            // and later frames' DMA fight over the same lines.
+            ring_size: 8,
+            ..DriverConfig::paper_defaults()
+        },
+        ..TestBedConfig::no_ddio()
+    }
+    .with_seed(0x517e)
+    .with_rx_engine(rx_engine)
+}
+
+/// Bursts shaped to exercise both rx fault sites: one MTU frame defers
+/// its payload reads (due ≈ +18 k cycles, the driver default), then a
+/// zero-gap train of copybreak frames arrives just past that due time
+/// — so windows are collected *while* deferred reads are pending (the
+/// deferred-pending cut engages) and the due reads run between those
+/// windows (inside `run_window`, where the windowed-rx sites live).
+fn schedule() -> Vec<ScheduledFrame> {
+    let mtu = EthernetFrame::new(1514).expect("legal size");
+    let small = EthernetFrame::new(64).expect("legal size");
+    let mut frames = Vec::new();
+    let mut t = 1_000u64;
+    for _ in 0..40 {
+        frames.push(ScheduledFrame { at: t, frame: mtu });
+        // Past the MTU's payload due time (arrival + ~5 k replay +
+        // 18 k delay): the first small is collected with the dues
+        // pending (the cut engages) and the dues run right after it.
+        for _ in 0..6 {
+            frames.push(ScheduledFrame {
+                at: t + 24_000,
+                frame: small,
+            });
+        }
+        t += 40_000;
+    }
+    frames
+}
+
+/// Drives the windowed and per-frame beds through the schedule in
+/// lockstep and returns the first trajectory divergence, if any.
+fn detect() -> Option<String> {
+    let mut windowed = TestBed::new(config(RxEngine::Batched));
+    let mut perframe = TestBed::new(config(RxEngine::PerFrame));
+    let frames = schedule();
+    let end = frames.last().expect("nonempty").at + 40_000;
+    windowed.enqueue(frames.clone());
+    perframe.enqueue(frames);
+    // One step per burst, landing after the burst's smalls: the dues
+    // must still be pending when the small train is collected, so no
+    // step boundary may fall between the due time and the train.
+    let mut t = 0;
+    while t < end {
+        t += 40_000;
+        // The public windowed entry point (window collection plus the
+        // trailing advance) — explicit, so windows form even on hosts
+        // where `advance_to` legitimately picks per-frame delivery.
+        windowed.run_window(t);
+        windowed.advance_to(t);
+        perframe.advance_to(t);
+        if windowed.now() != perframe.now() {
+            return Some(format!(
+                "clock at step {t}: windowed {} != per-frame {}",
+                windowed.now(),
+                perframe.now()
+            ));
+        }
+        let (wh, ph) = (windowed.hierarchy(), perframe.hierarchy());
+        if wh.memory_stats() != ph.memory_stats() {
+            return Some(format!("memory traffic at step {t}"));
+        }
+        if wh.llc().stats() != ph.llc().stats() {
+            return Some(format!("LLC stats at step {t}"));
+        }
+        if windowed.records() != perframe.records() {
+            return Some(format!("receive records at step {t}"));
+        }
+        // Residency must be compared *mid-flight*: a reordered
+        // deferred read perturbs LRU state in sets where every later
+        // access is a forced miss (DMA invalidates first), so the
+        // divergence never reaches the statistics and the recycling
+        // ring eventually rewrites the evidence.
+        for rec in windowed.records() {
+            for b in 0..u64::from(rec.blocks) {
+                let addr = rec.buffer_addr.add_blocks(b);
+                if wh.llc().contains(addr) != ph.llc().contains(addr) {
+                    return Some(format!("residency of {addr} at step {t}"));
+                }
+            }
+        }
+    }
+    windowed.drain();
+    perframe.drain();
+    if windowed.records() != perframe.records() {
+        return Some("receive records after drain".into());
+    }
+    if windowed.driver().ring().page_addresses() != perframe.driver().ring().page_addresses() {
+        return Some("ring placement after drain".into());
+    }
+    for rec in windowed.records() {
+        for b in 0..u64::from(rec.blocks) {
+            let addr = rec.buffer_addr.add_blocks(b);
+            if windowed.hierarchy().llc().contains(addr)
+                != perframe.hierarchy().llc().contains(addr)
+            {
+                return Some(format!("residency of {addr} after drain"));
+            }
+        }
+    }
+    None
+}
+
+const RX_SITES: [FaultSite; 2] = [FaultSite::DroppedDeferredRead, FaultSite::BurstFlushElision];
+
+#[test]
+fn every_rx_fault_site_is_killed_for_every_seed() {
+    let _g = serialized();
+    let mut survivors = Vec::new();
+    for site in RX_SITES {
+        for seed in 0..3u64 {
+            fault::arm(FaultSpec {
+                site,
+                seed,
+                nth: None,
+            });
+            let outcome = catch_unwind(AssertUnwindSafe(detect));
+            let consultations = fault::consultations();
+            fault::disarm();
+            if matches!(outcome, Ok(None)) {
+                survivors.push(format!(
+                    "{}:{seed} survived ({consultations} consultations)",
+                    site.name()
+                ));
+            }
+        }
+    }
+    assert!(
+        survivors.is_empty(),
+        "surviving mutants:\n{}",
+        survivors.join("\n")
+    );
+}
+
+/// Negative control: no fault armed → the windowed and per-frame
+/// engines are byte-identical over the deferred-read-heavy schedule.
+#[test]
+fn windowed_and_per_frame_agree_with_no_fault_armed() {
+    let _g = serialized();
+    fault::disarm();
+    assert_eq!(detect(), None);
+}

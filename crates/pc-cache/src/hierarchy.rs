@@ -312,6 +312,7 @@ impl Hierarchy {
         if buf.len() >= crate::llc::PAR_BATCH_MIN {
             self.run_trace_threads(buf.ops(), pc_par::max_threads());
         } else {
+            let _engine = crate::fault::engine_scope(crate::fault::Engine::Batch);
             let allocates = self.llc.mode().allocates_in_llc();
             let mut clock = self.clock;
             let mut reads = 0u64;
@@ -335,6 +336,7 @@ impl Hierarchy {
     where
         I: Iterator<Item = CacheOp>,
     {
+        let _engine = crate::fault::engine_scope(crate::fault::Engine::Batch);
         let mut sum = TraceSummary::default();
         let mut reads = 0u64;
         let mut writes = 0u64;
@@ -379,6 +381,9 @@ pub struct OpApplier<'a> {
     clock: Cycles,
     reads: u64,
     writes: u64,
+    /// Tags the applier's thread as the streaming engine for the whole
+    /// applier lifetime (inert unless a fault is armed).
+    _engine: crate::fault::EngineScope,
 }
 
 impl Hierarchy {
@@ -391,6 +396,7 @@ impl Hierarchy {
             clock: 0,
             reads: 0,
             writes: 0,
+            _engine: crate::fault::engine_scope(crate::fault::Engine::Streaming),
             h: self,
         }
     }
@@ -413,6 +419,11 @@ impl OpSink for OpApplier<'_> {
 
 impl Drop for OpApplier<'_> {
     fn drop(&mut self) {
+        // Fault site `dropped-flush`: the streaming engine silently
+        // loses one applier's accumulated clock and memory deltas.
+        if crate::fault::fires(crate::fault::FaultSite::DroppedFlush) {
+            return;
+        }
         self.h.clock += self.clock;
         self.h.mem.reads += self.reads;
         self.h.mem.writes += self.writes;

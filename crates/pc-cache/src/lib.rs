@@ -48,11 +48,12 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod fault;
 mod geometry;
 mod hierarchy;
 mod llc;
 mod memory;
-mod ops;
+pub mod ops;
 mod partition;
 pub mod reference;
 mod replacement;

@@ -532,14 +532,30 @@ impl SlicedCache {
         let bin_one = |bin: &mut Vec<BinnedOp>, op: CacheOp| {
             bin.push((geom.set_index(op.addr) as u32, geom.tag(op.addr), op.kind));
         };
+        // Fault site `swapped-slice-bin`: the dispatcher routes keyed
+        // addresses to the neighbouring slice, disagreeing with the
+        // hash the sequential walk uses. Keyed (pure in the address),
+        // so every worker schedule misbins the same ops. Shared by
+        // both dispatch arms so thread count still can't matter.
+        let slice_of = |addr: crate::PhysAddr| {
+            let slice = hash.slice_of(addr);
+            if slices > 1
+                && crate::fault::fires_keyed(crate::fault::FaultSite::SwappedSliceBin, addr.raw())
+            {
+                slice ^ 1
+            } else {
+                slice
+            }
+        };
         if threads <= 1 || slices <= 1 {
             // One sequential binning pass, then the shards in order.
+            let _engine = crate::fault::engine_scope(crate::fault::Engine::Batch);
             let per_slice_hint = ops.len() / slices + ops.len() / 8 + 1;
             for bin in bins.iter_mut() {
                 bin.reserve(per_slice_hint);
             }
             for &op in ops {
-                bin_one(&mut bins[hash.slice_of(op.addr)], op);
+                bin_one(&mut bins[slice_of(op.addr)], op);
             }
             return shards
                 .iter_mut()
@@ -552,9 +568,10 @@ impl SlicedCache {
             bins,
             threads,
             |first_slice, shard_group, bin_group| {
+                let _engine = crate::fault::engine_scope(crate::fault::Engine::Batch);
                 let range = first_slice..first_slice + shard_group.len();
                 for &op in ops {
-                    let slice = hash.slice_of(op.addr);
+                    let slice = slice_of(op.addr);
                     if range.contains(&slice) {
                         bin_one(&mut bin_group[slice - first_slice], op);
                     }

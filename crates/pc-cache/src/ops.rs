@@ -28,8 +28,20 @@
 //! by slice and stay byte-identical to the sequential walk.
 
 use crate::addr::PhysAddr;
+use crate::fault;
 use crate::llc::AccessKind;
 use crate::Cycles;
+
+/// Workspace-wide cap on how many ops a replay scratch batch may hold
+/// before it must flush: 64 Ki ops.
+///
+/// Consumers that accumulate op batches of unbounded logical length —
+/// the test bed's burst windows, the defense workloads' replay chunks —
+/// size against this one constant so their scratch memory stays bounded
+/// (a few MiB) and their flush boundaries agree. Flush boundaries are
+/// *not* observable (the determinism contract makes a split batch
+/// byte-identical to an unsplit one); the cap only bounds memory.
+pub const OP_SCRATCH_CAP: u64 = 1 << 16;
 
 /// One cache operation in the op-stream IR: an address, an access kind,
 /// and the clock lead that separates it from the previous op.
@@ -179,6 +191,12 @@ impl OpBuffer {
 impl OpSink for OpBuffer {
     #[inline]
     fn op(&mut self, mut op: CacheOp) {
+        // Fault site `corrupted-lead`: buffered producers skew keyed
+        // ops' leads, violating the contract that a batch's clock
+        // motion equals the per-access walk's.
+        if fault::fires_keyed(fault::FaultSite::CorruptedLead, op.addr.raw()) {
+            op.lead += 13;
+        }
         // Most ops have no pending advance; keep the common path to a
         // predictable branch and a push.
         if self.pending != 0 {

@@ -147,7 +147,16 @@ impl Shard {
             self.note_io_activity(mode, set);
         }
         if let DdioMode::Adaptive(cfg) = mode {
-            if self.clock - self.adapt_last >= cfg.period {
+            if self.clock - self.adapt_last >= cfg.period
+                // Fault site `skipped-defense-eval`: the streaming
+                // engine lets keyed period boundaries pass without
+                // re-evaluating (keyed on the shard's defense clock,
+                // which is schedule-independent by construction).
+                && !crate::fault::fires_keyed(
+                    crate::fault::FaultSite::SkippedDefenseEval,
+                    self.clock,
+                )
+            {
                 self.adapt(cfg);
             }
         }
@@ -163,7 +172,12 @@ impl Shard {
     ) -> AccessOutcome {
         let write = kind == AccessKind::CpuWrite;
         if let Some(way) = self.store.lookup(set, tag) {
-            self.store.touch(set, way);
+            // Fault site `stale-lru`: batch replay leaves keyed lines'
+            // recency stamps stale on a hit, so eviction order drifts
+            // from the per-access oracle's.
+            if !crate::fault::fires_keyed(crate::fault::FaultSite::StaleLru, tag) {
+                self.store.touch(set, way);
+            }
             if write {
                 self.store.mark_dirty(set, way);
             }

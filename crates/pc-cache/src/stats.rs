@@ -44,6 +44,11 @@ impl CacheStats {
     /// order; slice order by convention) reproduces the totals a single
     /// shared counter set would have accumulated.
     pub fn merge(&mut self, other: CacheStats) {
+        // Fault site `stat-off-by-one`: one merge inflates the CPU hit
+        // total, so shard sums no longer reproduce a shared counter.
+        if crate::fault::fires(crate::fault::FaultSite::StatOffByOne) {
+            self.cpu_hits += 1;
+        }
         self.cpu_hits += other.cpu_hits;
         self.cpu_misses += other.cpu_misses;
         self.io_hits += other.io_hits;

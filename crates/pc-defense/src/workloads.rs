@@ -211,9 +211,10 @@ pub fn file_copy(bench: &mut Workbench, megabytes: u64) -> WorkloadMetrics {
     let lines = megabytes * (1 << 20) / 64;
     let src = (APP_FIRST_PAGE + (1 << 17)) * 4096;
     let dst = (APP_FIRST_PAGE + (1 << 18)) * 4096;
-    // 16 Ki lines → 64 Ki ops per replay: far above the shard threshold,
-    // small enough to keep the scratch cache-friendly.
-    const CHUNK_LINES: u64 = 16_384;
+    // 4 ops per copied line, so a chunk fills the workspace op-scratch
+    // cap exactly (64 Ki ops per replay): far above the shard
+    // threshold, small enough to keep the scratch cache-friendly.
+    const CHUNK_LINES: u64 = pc_cache::ops::OP_SCRATCH_CAP / 4;
     let mut ops = std::mem::take(&mut bench.ops);
     let mut first = 0;
     while first < lines {

@@ -71,6 +71,12 @@ impl DeferredReads {
                 break;
             }
             self.heap.pop();
+            // Fault site `dropped-deferred-read`: the windowed rx
+            // engine loses one due payload read (the engine-scope gate
+            // keeps the per-frame and per-access engines honest).
+            if pc_cache::fault::fires(pc_cache::fault::FaultSite::DroppedDeferredRead) {
+                continue;
+            }
             h.cpu_read(PhysAddr::new(raw));
             ran += 1;
         }

@@ -22,16 +22,36 @@ use pc_bench::experiments::Scale;
 use pc_bench::scenario;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Seed the CI determinism job uses throughout.
 const SEED: u64 = 2020;
+
+/// The fault state is process-global; every test here takes the lock
+/// so the guard test's brief arming can never leak into a scenario
+/// run happening on another test thread.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
 
 fn blessing() -> bool {
-    std::env::var_os("PC_BLESS").is_some_and(|v| v == "1")
+    let bless = std::env::var_os("PC_BLESS").is_some_and(|v| v == "1");
+    if bless {
+        // A snapshot taken with a fault armed would enshrine the
+        // mutation as truth; refuse (covers both a programmatic arming
+        // and a PC_FAULT variable in the blessing environment).
+        if let Err(e) = pc_cache::fault::bless_guard() {
+            panic!("refusing to bless goldens: {e}");
+        }
+    }
+    bless
 }
 
 fn check(name: &str, actual: &str) -> Result<(), String> {
@@ -58,6 +78,7 @@ fn check(name: &str, actual: &str) -> Result<(), String> {
 /// so a scenario added to the registry can never be forgotten here.
 #[test]
 fn every_scenario_matches_its_golden_snapshot() {
+    let _g = serialized();
     let mut failures = Vec::new();
     for s in scenario::registry() {
         let report = s.run(Scale::Quick, SEED);
@@ -79,5 +100,26 @@ fn every_scenario_matches_its_golden_snapshot() {
 /// pins what `repro` actually prints.
 #[test]
 fn scenario_list_matches_its_golden_snapshot() {
+    let _g = serialized();
     check("scenario-list", &scenario::render_list()).unwrap();
+}
+
+/// `PC_BLESS=1` must refuse to rewrite snapshots while a fault is
+/// armed: a golden blessed from a mutated simulator would silently
+/// become the reference every later run is compared against. (The env
+/// half of the guard — a set `PC_FAULT` variable — is unit-tested in
+/// `pc_cache::fault`; mutating the process environment here would race
+/// the other tests.)
+#[test]
+fn blessing_refuses_while_a_fault_is_armed() {
+    let _g = serialized();
+    pc_cache::fault::arm(pc_cache::fault::FaultSpec {
+        site: pc_cache::fault::FaultSite::StatOffByOne,
+        seed: 0,
+        nth: None,
+    });
+    let guard = pc_cache::fault::bless_guard();
+    pc_cache::fault::disarm();
+    let err = guard.expect_err("an armed fault must block blessing");
+    assert!(err.contains("stat-off-by-one"), "names the culprit: {err}");
 }
