@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--full] [--smoke] [--seed N] [--rx-engine E] <experiment|all|bench-cache>
 //! repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list
+//! repro [--full] [--seed N] [--tenants N] fleet
 //! repro [--seeds N] fault-matrix
 //!
 //! experiments:
@@ -17,6 +18,14 @@
 //! plus mixed web-trace, line-rate-sweep and covert-bandwidth-sweep
 //! workloads, all riding the batched op-stream pipeline. Scenario
 //! stdout follows the same determinism contract as the figures.
+//!
+//! `fleet` instantiates `--tenants N` (default 64) independent tenants
+//! from the standard weighted scenario templates, derives each
+//! tenant's seed from `--seed`, fans the runs out shared-nothing over
+//! worker threads, and prints the merged fleet statistics
+//! (per-template percentiles, per-DDIO-mode breakdown, aggregate line
+//! rate — see `pc_bench::fleet`). The merge order is tenant index, so
+//! stdout is byte-identical at any `PC_BENCH_THREADS`.
 //!
 //! Output is plain text with CSV-style rows, matching the series the
 //! paper reports. `--full` uses paper-like parameters (minutes);
@@ -54,6 +63,7 @@ fn main() {
     let mut smoke = false;
     let mut seed = 2020u64;
     let mut fault_seeds = 3u64;
+    let mut tenants = 64usize;
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -73,6 +83,13 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--tenants" => {
+                tenants = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--tenants needs a positive number"));
             }
             // Engine selection for every TestBed the run constructs
             // (scenarios and figure experiments alike): the CI
@@ -94,6 +111,7 @@ fn main() {
                 println!(
                     "       repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list"
                 );
+                println!("       repro [--full] [--seed N] [--tenants N] fleet");
                 println!("       repro [--seeds N] fault-matrix");
                 println!("--rx-engine: TestBed receive engine (batched|per-frame|per-access;");
                 println!("             all byte-identical — the CI determinism job diffs them)");
@@ -102,6 +120,8 @@ fn main() {
                 println!("bench-cache: LLC hot-path microbenchmark -> BENCH_cache.json");
                 println!("             (--smoke: short sanity-checked pass for CI)");
                 println!("scenario:    registered end-to-end workloads (`scenario list`)");
+                println!("fleet:       --tenants N independent tenants from the standard");
+                println!("             templates, merged fleet statistics (default 64)");
                 println!("fault-matrix: arm every PC_FAULT catalog site x seed (0..N from");
                 println!("             --seeds, default 3) against the detector suites;");
                 println!("             prints the kill matrix, exits 2 on survivors");
@@ -118,6 +138,13 @@ fn main() {
     }
     if cmds[0] == "scenario" {
         run_scenarios(&cmds[1..], scale, seed);
+        return;
+    }
+    if cmds[0] == "fleet" {
+        if cmds.len() > 1 {
+            die("fleet takes no further arguments (use --tenants N)");
+        }
+        run_fleet_cmd(tenants, scale, seed);
         return;
     }
     if cmds[0] == "fault-matrix" {
@@ -187,6 +214,18 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
+}
+
+fn run_fleet_cmd(tenants: usize, scale: Scale, seed: u64) {
+    use pc_bench::fleet;
+    let t = Instant::now();
+    println!("==================================================================");
+    println!("Fleet — {tenants} tenants from the standard templates");
+    let cfg = fleet::FleetConfig::standard(tenants, seed, scale);
+    print!("{}", fleet::run_fleet(&cfg).render());
+    // Timing to stderr: stdout must be byte-stable across thread
+    // counts (the CI determinism job diffs fleet runs at 1 vs 4).
+    eprintln!("[fleet done in {:.1}s]", t.elapsed().as_secs_f64());
 }
 
 fn run_scenarios(names: &[String], scale: Scale, seed: u64) {
@@ -557,7 +596,20 @@ fn bench_cache(scale: Scale, smoke: bool) {
             t.testbed_scalar_speedup()
         );
     }
-    let json = pc_bench::cache_bench::to_json(&results, &drivers, &testbeds, trace_len);
+    // Fleet orchestration: the standard tenant mix end to end, wall
+    // clock for the harness plus the (deterministic) simulated line rate.
+    let fleet_tenants = if smoke {
+        pc_bench::cache_bench::FLEET_TENANTS / 4
+    } else {
+        pc_bench::cache_bench::FLEET_TENANTS
+    };
+    let fleet = pc_bench::cache_bench::measure_fleet(samples, fleet_tenants);
+    println!("fleet_tenants,tenants_per_sec,packets_per_sec");
+    println!(
+        "{},{:.1},{:.0}",
+        fleet.tenants, fleet.tenants_per_sec, fleet.packets_per_sec
+    );
+    let json = pc_bench::cache_bench::to_json(&results, &drivers, &testbeds, &fleet, trace_len);
     // Smoke runs are quarter-length single-sample measurements: keep
     // them away from the tracked BENCH_cache.json so the PR-to-PR perf
     // trajectory only ever records full-protocol numbers.
@@ -598,8 +650,13 @@ fn bench_cache(scale: Scale, smoke: bool) {
                 ));
             }
         }
+        if !fleet.is_sane() {
+            die(&format!(
+                "bench-cache smoke: unusable fleet measurement: {fleet:?}"
+            ));
+        }
         println!(
-            "# smoke: {} cases + {} driver rows + {} testbed rows sane",
+            "# smoke: {} cases + {} driver rows + {} testbed rows + fleet sane",
             results.len(),
             drivers.len(),
             testbeds.len()

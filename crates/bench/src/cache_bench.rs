@@ -603,20 +603,87 @@ pub fn measure_testbed(samples: usize, frames: usize) -> Vec<TestBedResult> {
         .collect()
 }
 
+/// Tenants per fleet measurement pass (full runs; `--smoke` shortens
+/// it like it shortens the traces).
+pub const FLEET_TENANTS: usize = 64;
+
+/// One measured fleet-orchestration case: the standard template mix
+/// fanned out over [`pc_par::max_threads`] workers — the `repro fleet`
+/// hot path. `tenants_per_sec` is wall-clock orchestration throughput
+/// (how fast the harness instantiates, runs and collects tenants);
+/// `packets_per_sec` is the fleet's *simulated* aggregate line rate
+/// (deterministic — the same figure the fleet report's aggregate row
+/// prints), tracked so a regression that silently shrinks the simulated
+/// work would show up next to the timing it distorts.
+#[derive(Clone, Debug)]
+pub struct FleetResult {
+    /// Tenants per measurement pass.
+    pub tenants: usize,
+    /// Median wall-clock tenants/second over the sample passes.
+    pub tenants_per_sec: f64,
+    /// Simulated aggregate packets+frames/second across the fleet.
+    pub packets_per_sec: f64,
+}
+
+impl FleetResult {
+    /// `true` when the measurement is usable: finite positive wall-clock
+    /// throughput and a non-degenerate simulated line rate (the standard
+    /// mix always contains packet- and frame-unit tenants).
+    pub fn is_sane(&self) -> bool {
+        self.tenants > 0
+            && self.tenants_per_sec.is_finite()
+            && self.tenants_per_sec > 0.0
+            && self.packets_per_sec.is_finite()
+            && self.packets_per_sec > 0.0
+    }
+}
+
+/// Measures fleet orchestration: `samples` timed passes (after an
+/// untimed warm-up) of a `tenants`-tenant standard fleet at
+/// [`crate::experiments::Scale::Quick`], median wall clock reported.
+/// The simulated line rate comes from the outcomes themselves and is
+/// identical on every pass.
+pub fn measure_fleet(samples: usize, tenants: usize) -> FleetResult {
+    use crate::experiments::Scale;
+    use crate::fleet::{run_fleet_outcomes, FleetConfig};
+    let cfg = FleetConfig::standard(tenants, 2020, Scale::Quick);
+    let mut runs = Vec::with_capacity(samples);
+    let mut packets_per_sec = 0.0;
+    for i in 0..=samples {
+        let t = Instant::now();
+        let outcomes = run_fleet_outcomes(&cfg);
+        let sec = t.elapsed().as_secs_f64();
+        if i > 0 {
+            runs.push(tenants as f64 / sec); // first pass is warm-up
+        }
+        packets_per_sec = outcomes
+            .iter()
+            .filter(|o| matches!(o.metrics.unit, "packets" | "frames"))
+            .map(|o| o.metrics.units_per_second())
+            .sum();
+    }
+    FleetResult {
+        tenants,
+        tenants_per_sec: median(runs),
+        packets_per_sec,
+    }
+}
+
 /// Renders results as the `BENCH_cache.json` document (schema
-/// `pc-bench-cache-v4`; the `trace_*` fields, the per-mode `modes`
-/// summary and the end-to-end `driver` and `testbed` rows are
-/// documented in `crates/bench/README.md`).
+/// `pc-bench-cache-v5`; the `trace_*` fields, the per-mode `modes`
+/// summary, the end-to-end `driver` and `testbed` rows and the `fleet`
+/// entry are documented in `crates/bench/README.md`).
 pub fn to_json(
     results: &[CaseResult],
     drivers: &[DriverResult],
     testbeds: &[TestBedResult],
+    fleet: &FleetResult,
     trace_len: usize,
 ) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v4\",");
+    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v5\",");
     let _ = writeln!(s, "  \"trace_len\": {trace_len},");
     let _ = writeln!(s, "  \"threads\": {},", pc_par::max_threads());
     s.push_str("  \"modes\": [\n");
@@ -660,6 +727,11 @@ pub fn to_json(
         s.push_str(if i + 1 < testbeds.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"fleet\": {{\"tenants\": {}, \"tenants_per_sec\": {:.1}, \"packets_per_sec\": {:.0}}},",
+        fleet.tenants, fleet.tenants_per_sec, fleet.packets_per_sec
+    );
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
@@ -720,12 +792,20 @@ mod tests {
         }
     }
 
+    fn fleet_result() -> FleetResult {
+        FleetResult {
+            tenants: 64,
+            tenants_per_sec: 40.0,
+            packets_per_sec: 2_000_000.0,
+        }
+    }
+
     #[test]
     fn json_is_well_formed_enough() {
         let r = vec![result("stream/enabled")];
         let d = vec![driver_result("enabled")];
         let t = vec![testbed_result("enabled")];
-        let s = to_json(&r, &d, &t, TRACE_LEN);
+        let s = to_json(&r, &d, &t, &fleet_result(), TRACE_LEN);
         assert!(s.contains("\"speedup\": 3.00"));
         assert!(s.contains("\"parallel_speedup\": 2.00"));
         assert!(s.contains("\"trace_parallel_speedup\": 5.00"));
@@ -740,8 +820,27 @@ mod tests {
         assert!(s.contains("\"testbed_burst_ns_per_frame\": 500.0"));
         assert!(s.contains("\"testbed_burst_speedup\": 1.20"));
         assert!(s.contains("\"testbed_scalar_speedup\": 1.50"));
-        assert!(s.contains("pc-bench-cache-v4"));
+        assert!(s.contains("pc-bench-cache-v5"));
+        assert!(s.contains(
+            "\"fleet\": {\"tenants\": 64, \"tenants_per_sec\": 40.0, \"packets_per_sec\": 2000000}"
+        ));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn fleet_sanity_gate_rejects_bogus_measurements() {
+        let mut f = fleet_result();
+        assert!(f.is_sane());
+        f.tenants_per_sec = 0.0;
+        assert!(!f.is_sane());
+        f.tenants_per_sec = f64::INFINITY;
+        assert!(!f.is_sane());
+        f.tenants_per_sec = 40.0;
+        f.packets_per_sec = f64::NAN;
+        assert!(!f.is_sane());
+        f.packets_per_sec = 2_000_000.0;
+        f.tenants = 0;
+        assert!(!f.is_sane());
     }
 
     #[test]

@@ -188,15 +188,19 @@ pub fn table1(scale: Scale, seed: u64) -> Table1Result {
     let packet_rate = 200_000u64;
     let runs = scale.pick(2, 5);
     // Each run is an independent machine + seed: perfect thread fan-out.
+    // Per-run streams come from the workspace seed-splitting helper
+    // (Repetition domain) instead of ad-hoc `seed + run` arithmetic,
+    // which could collide with a neighboring experiment's offsets.
     let results = crate::par::parallel_map((0..runs).collect(), |run| {
-        let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed + run));
+        let run_seed = crate::par::stream_seed(seed, crate::par::SeedDomain::Repetition, run);
+        let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(run_seed));
         let geom = tb.hierarchy().llc().geometry();
         let targets: Vec<SliceSet> = page_aligned_targets(&geom)
             .into_iter()
             .take(monitored)
             .collect();
         let pool = AddressPool::allocate(seed ^ 0x7ab1e, 12288);
-        let mut rng = SmallRng::seed_from_u64(seed + 100 + run);
+        let mut rng = SmallRng::seed_from_u64(crate::par::mix_seed(run_seed, 1));
         let frames = ArrivalSchedule::new(LineRate::gigabit())
             .frames_per_second(packet_rate)
             .jitter(0.02)

@@ -11,6 +11,10 @@
 //! * [`faultmatrix`] — the fault-injection kill matrix behind
 //!   `repro fault-matrix`: every `pc_cache::fault` catalog site ×
 //!   seed armed against four detector suites, failing on survivors.
+//! * [`fleet`] — fleet orchestration behind `repro fleet`: N tenants
+//!   instantiated from weighted scenario templates, fanned out
+//!   shared-nothing over workers, merged in tenant-index order into
+//!   fleet-level statistics (byte-identical at any thread count).
 //! * [`par`] — facade over [`pc_par`], the workspace-wide deterministic
 //!   parallelism substrate (`PC_BENCH_THREADS` governs every parallel
 //!   path from one place).
@@ -33,5 +37,6 @@
 pub mod cache_bench;
 pub mod experiments;
 pub mod faultmatrix;
+pub mod fleet;
 pub mod par;
 pub mod scenario;

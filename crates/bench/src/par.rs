@@ -12,4 +12,7 @@
 //! experiment prints byte-identical output to the sequential version —
 //! determinism is per-run seeds plus ordered collection, not luck.
 
-pub use pc_par::{max_threads, mix_seed, parallel_map, parallel_map_threads};
+pub use pc_par::{
+    max_threads, mix_seed, parallel_map, parallel_map_scratch_threads, parallel_map_threads,
+    stream_seed, SeedDomain,
+};

@@ -1,12 +1,23 @@
-//! The scenario registry: every workload class behind one CLI.
+//! The scenario registry: every workload class behind one composable
+//! spec layer.
 //!
-//! A [`Scenario`] is a named, seeded, scale-aware end-to-end workload
-//! driven through the op-stream pipeline (batched driver receive,
-//! fused monitor primes, sharded trace replay). The registry unifies
-//! what used to be two separate worlds — the `pc-net` traffic
+//! A [`ScenarioSpec`] is a named, seeded, scale-aware end-to-end
+//! workload description — mix weights, arrival process, duration, DDIO
+//! mode sweep — driven through the op-stream pipeline (batched driver
+//! receive, fused monitor primes, sharded trace replay). The registry
+//! unifies what used to be two separate worlds — the `pc-net` traffic
 //! generators (web traces, line-rate models, covert symbol streams)
 //! and the `pc-defense` measurement workloads (nginx, TCP receive,
-//! file copy) — behind `repro scenario <name>`.
+//! file copy) — behind `repro scenario <name>`, and the same specs are
+//! what the fleet driver (`crate::fleet`) composes into tenant
+//! templates: re-seeded, re-scaled, pinned to one DDIO mode.
+//!
+//! Reports are data first: [`ScenarioSpec::report`] returns a
+//! [`ScenarioReport`] of typed metric rows plus `#` commentary, and
+//! [`ScenarioReport::render`] is the *single* place that turns it into
+//! text. `repro scenario <name>` prints the rendering; the fleet
+//! merges the data. The [`Scenario`] trait survives as a thin adapter
+//! over the spec so older call sites keep compiling.
 //!
 //! Scenario reports obey the same output discipline as the figure
 //! experiments: deterministic for a fixed `(scale, seed)` at any
@@ -14,7 +25,7 @@
 //! 1 thread vs 4), plain CSV-style rows, commentary on `#` lines.
 
 use crate::experiments::Scale;
-use pc_cache::{DdioMode, SliceSet};
+use pc_cache::{CacheStats, Cycles, DdioMode, SliceSet};
 use pc_core::covert::{lfsr_symbols, run_channel, ChannelConfig, Encoding};
 use pc_core::fingerprint::{evaluate_closed_world, CaptureConfig};
 use pc_core::sequencer::{ground_truth_sequence, recover_window, SequenceQuality, SequencerConfig};
@@ -24,9 +35,13 @@ use pc_net::{ArrivalSchedule, ClosedWorld, ConstantSize, LineRate, TraceReplay};
 use pc_probe::AddressPool;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::fmt;
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 
-/// One registered end-to-end workload.
+/// One registered end-to-end workload — kept as a thin adapter over
+/// [`ScenarioSpec`] (which implements it) so call sites written
+/// against the trait keep compiling.
 pub trait Scenario: Sync {
     /// CLI name (`repro scenario <name>`).
     fn name(&self) -> &'static str;
@@ -34,81 +49,265 @@ pub trait Scenario: Sync {
     /// One-line description for `repro scenario list`.
     fn summary(&self) -> &'static str;
 
-    /// Runs the scenario and returns its report. Must be deterministic
-    /// for a fixed `(scale, seed)` at any thread count.
+    /// Runs the scenario and returns its rendered report. Must be
+    /// deterministic for a fixed `(scale, seed)` at any thread count.
     fn run(&self, scale: Scale, seed: u64) -> String;
 }
 
-/// Every registered scenario, **sorted by name**. The listing order is
-/// part of the output contract: `repro scenario list` (and anything
-/// that iterates the registry, like the golden-snapshot suite and the
-/// CI determinism byte-diff) must not depend on incidental insertion
-/// order, so the registry itself is kept sorted and a test pins it.
-pub fn registry() -> &'static [&'static dyn Scenario] {
-    static CHASING: Chasing = Chasing;
-    static FINGERPRINT: Fingerprint = Fingerprint;
-    static WEB_MIX: WebMix = WebMix;
-    static LINE_RATE: LineRateSweep = LineRateSweep;
-    static COVERT: CovertSweep = CovertSweep;
-    static NGINX: Nginx = Nginx;
-    static TCP_RECV: TcpRecv = TcpRecv;
-    static FILE_COPY: FileCopy = FileCopy;
-    static REGISTRY: [&dyn Scenario; 8] = [
-        &CHASING,
-        &COVERT,
-        &FILE_COPY,
-        &FINGERPRINT,
-        &LINE_RATE,
-        &NGINX,
-        &TCP_RECV,
-        &WEB_MIX,
-    ];
-    &REGISTRY
+/// One typed cell of a scenario report row.
+///
+/// The variants mirror exactly the format specifiers the reports have
+/// always used, so rendering a typed row is byte-identical to the
+/// `writeln!` lines it replaced: [`Metric::Count`] is `{}` on an
+/// integer, [`Metric::Fixed`]`(v, p)` is `{v:.p$}`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Metric {
+    /// A label cell (config names, link names).
+    Text(String),
+    /// An integer cell.
+    Count(u64),
+    /// A float cell printed with a fixed number of decimals.
+    Fixed(f64, usize),
 }
 
-/// Looks a scenario up by CLI name.
-pub fn find(name: &str) -> Option<&'static dyn Scenario> {
-    registry().iter().copied().find(|s| s.name() == name)
-}
-
-/// Renders the body of `repro scenario list`: the name-sorted,
-/// two-column registry listing. One renderer shared by the CLI and the
-/// golden-snapshot test, so the output contract cannot drift between
-/// what CI byte-diffs and what the snapshot pins.
-pub fn render_list() -> String {
-    let mut out = String::new();
-    for s in registry() {
-        let _ = writeln!(out, "  {:<16} {}", s.name(), s.summary());
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Text(s) => f.write_str(s),
+            Metric::Count(n) => write!(f, "{n}"),
+            Metric::Fixed(v, prec) => write!(f, "{:.*}", prec, v),
+        }
     }
-    out
 }
 
-/// The three DDIO modes every workload scenario sweeps, with reporting
-/// names matching the figure experiments.
-fn ddio_modes() -> [(&'static str, DdioMode); 3] {
-    [
-        ("NoDDIO", DdioMode::Disabled),
-        ("DDIO", DdioMode::enabled()),
-        ("Adaptive", DdioMode::adaptive()),
-    ]
+/// A scenario's result as data: a CSV header, typed rows, and trailing
+/// `#` commentary. Fleet merging aggregates the rows; the CLI prints
+/// [`ScenarioReport::render`]. One rendering function for the whole
+/// workspace keeps the golden-snapshot contract in a single place.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ScenarioReport {
+    /// Column names, rendered as one comma-joined header line.
+    pub columns: Vec<&'static str>,
+    /// Data rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<Metric>>,
+    /// Commentary lines, rendered after the rows with a `# ` prefix
+    /// (without the prefix here).
+    pub comments: Vec<String>,
 }
 
-/// Packet Chasing's ring-order recovery (the paper's §IV attack) at
-/// scenario scale: one monitored window, quality vs ground truth.
-struct Chasing;
-
-impl Scenario for Chasing {
-    fn name(&self) -> &'static str {
-        "chasing"
+impl ScenarioReport {
+    /// A report with the given header and no rows yet.
+    pub fn new(columns: Vec<&'static str>) -> Self {
+        ScenarioReport {
+            columns,
+            rows: Vec::new(),
+            comments: Vec::new(),
+        }
     }
 
-    fn summary(&self) -> &'static str {
-        "ring-buffer sequence recovery over the batched receive path"
+    /// Appends one data row.
+    pub fn push_row(&mut self, row: Vec<Metric>) {
+        debug_assert_eq!(row.len(), self.columns.len(), "row width matches header");
+        self.rows.push(row);
     }
 
-    fn run(&self, scale: Scale, seed: u64) -> String {
+    /// Appends one commentary line (the `# ` prefix is added by
+    /// [`ScenarioReport::render`]).
+    pub fn comment(&mut self, line: impl Into<String>) {
+        self.comments.push(line.into());
+    }
+
+    /// The one renderer: header, rows, then `#` comments — newline
+    /// terminated, byte-compatible with the `tests/golden/` snapshots.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.columns.is_empty() {
+            let _ = writeln!(out, "{}", self.columns.join(","));
+        }
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Metric::to_string).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        for c in &self.comments {
+            let _ = writeln!(out, "# {c}");
+        }
+        out
+    }
+}
+
+/// Which workload family a spec drives (the part that is code, not
+/// parameters).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+enum SpecKind {
+    Chasing,
+    Fingerprint,
+    WebMix,
+    LineRateSweep,
+    CovertSweep,
+    Nginx,
+    TcpRecv,
+    FileCopy,
+}
+
+/// Work units per scale, in the scenario's own unit (samples, trials,
+/// rounds, frames, symbols, requests, packets, megabytes).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct Duration {
+    /// Units at [`Scale::Quick`] (CI smoke).
+    pub quick: u64,
+    /// Units at [`Scale::Full`] (paper scale).
+    pub full: u64,
+}
+
+impl Duration {
+    fn pick(self, scale: Scale) -> u64 {
+        scale.pick(self.quick, self.full)
+    }
+}
+
+/// The arrival process a spec offers the NIC, where the scenario
+/// admits one (chasing, web-mix). Scenarios that derive their rate
+/// from the wire (line-rate-sweep) or sweep it (covert-sweep) carry
+/// `fps: 0` meaning "scenario-defined".
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Arrival {
+    /// Offered frames per second (0 = scenario-defined).
+    pub fps: u64,
+    /// Inter-arrival jitter fraction in `[0, 1)`.
+    pub jitter: f64,
+}
+
+/// Which DDIO modes a spec's report sweeps.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum ModeSweep {
+    /// All three reporting modes, in the figure-experiment order
+    /// (NoDDIO, DDIO, Adaptive) — the registry default.
+    All,
+    /// One pinned mode — how fleet tenant templates fix a machine
+    /// configuration per tenant.
+    One(&'static str, DdioMode),
+}
+
+impl ModeSweep {
+    /// The `(reporting name, mode)` pairs this sweep covers, in
+    /// deterministic order.
+    pub fn entries(&self) -> Vec<(&'static str, DdioMode)> {
+        match *self {
+            ModeSweep::All => ddio_modes().to_vec(),
+            ModeSweep::One(name, mode) => vec![(name, mode)],
+        }
+    }
+
+    /// The single mode a tenant runs under: the pinned pair, or the
+    /// paper's DDIO baseline when the sweep was never narrowed.
+    fn tenant_mode(&self) -> (&'static str, DdioMode) {
+        match *self {
+            ModeSweep::All => ("DDIO", DdioMode::enabled()),
+            ModeSweep::One(name, mode) => (name, mode),
+        }
+    }
+}
+
+/// A composable scenario description: everything `repro scenario
+/// <name>` and the fleet driver need to run one workload — by value,
+/// re-seedable, re-scalable.
+///
+/// Registry specs carry the historical parameters exactly, so their
+/// rendered reports are byte-identical to the pre-spec scenario
+/// structs (the golden snapshots pin this). The builder methods
+/// ([`ScenarioSpec::with_units`], [`ScenarioSpec::with_mode`],
+/// [`ScenarioSpec::with_mix`]) derive variants for fleet tenant
+/// templates without touching the registry's copies.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioSpec {
+    name: &'static str,
+    summary: &'static str,
+    kind: SpecKind,
+    duration: Duration,
+    arrival: Arrival,
+    /// Per-site weights for the web-mix trace (empty = every site
+    /// weight 1, the historical behaviour).
+    mix: Vec<u32>,
+    modes: ModeSweep,
+}
+
+impl ScenarioSpec {
+    /// CLI name (`repro scenario <name>`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description for `repro scenario list`.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// Work units per scale.
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// The offered arrival process (where the scenario admits one).
+    pub fn arrival(&self) -> Arrival {
+        self.arrival
+    }
+
+    /// The DDIO modes the report sweeps.
+    pub fn modes(&self) -> &ModeSweep {
+        &self.modes
+    }
+
+    /// Replaces the per-scale work units (builder style).
+    pub fn with_units(mut self, quick: u64, full: u64) -> Self {
+        self.duration = Duration { quick, full };
+        self
+    }
+
+    /// Pins the spec to a single DDIO mode under the given reporting
+    /// name (builder style) — report rows and tenant runs then cover
+    /// only that mode.
+    pub fn with_mode(mut self, name: &'static str, mode: DdioMode) -> Self {
+        self.modes = ModeSweep::One(name, mode);
+        self
+    }
+
+    /// Replaces the web-mix per-site weights (builder style). Sites
+    /// beyond the slice keep weight 1; ignored by other scenarios.
+    pub fn with_mix(mut self, weights: &[u32]) -> Self {
+        self.mix = weights.to_vec();
+        self
+    }
+
+    /// Weight of site `i` in the web-mix trace.
+    fn site_weight(&self, i: usize) -> u32 {
+        self.mix.get(i).copied().unwrap_or(1)
+    }
+
+    /// Runs the scenario and renders its report — the CLI entry point.
+    /// Deterministic for a fixed `(scale, seed)` at any thread count.
+    pub fn run(&self, scale: Scale, seed: u64) -> String {
+        self.report(scale, seed).render()
+    }
+
+    /// Runs the scenario and returns its report as data.
+    pub fn report(&self, scale: Scale, seed: u64) -> ScenarioReport {
+        match self.kind {
+            SpecKind::Chasing => self.report_chasing(scale, seed),
+            SpecKind::Fingerprint => self.report_fingerprint(scale, seed),
+            SpecKind::WebMix => self.report_web_mix(scale, seed),
+            SpecKind::LineRateSweep => self.report_line_rate(scale, seed),
+            SpecKind::CovertSweep => self.report_covert(scale, seed),
+            SpecKind::Nginx | SpecKind::TcpRecv | SpecKind::FileCopy => {
+                self.report_workload(scale, seed)
+            }
+        }
+    }
+
+    /// Packet Chasing's ring-order recovery (the paper's §IV attack)
+    /// at scenario scale: one monitored window, quality vs truth.
+    fn report_chasing(&self, scale: Scale, seed: u64) -> ScenarioReport {
         let monitored = 16usize;
-        let samples = scale.pick(6_000, 60_000);
+        let samples = self.duration.pick(scale) as usize;
         let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
         let geom = tb.hierarchy().llc().geometry();
         let targets: Vec<SliceSet> = pc_core::footprint::page_aligned_targets(&geom)
@@ -118,8 +317,8 @@ impl Scenario for Chasing {
         let pool = AddressPool::allocate(seed ^ 0x5ce, 12288);
         let mut rng = SmallRng::seed_from_u64(seed + 17);
         let frames = ArrivalSchedule::new(LineRate::gigabit())
-            .frames_per_second(200_000)
-            .jitter(0.02)
+            .frames_per_second(self.arrival.fps)
+            .jitter(self.arrival.jitter)
             .generate(
                 &mut ConstantSize::blocks(2),
                 tb.now() + 1,
@@ -137,40 +336,31 @@ impl Scenario for Chasing {
         let elapsed = tb.now() - t0;
         let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
         let q = SequenceQuality::evaluate(&recovered, &truth, elapsed);
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "sets,samples,levenshtein,error_rate_pct,recovered_len,truth_len"
-        );
-        let _ = writeln!(
-            out,
-            "{monitored},{samples},{},{:.1},{},{}",
-            q.levenshtein,
-            q.error_rate * 100.0,
-            q.recovered_len,
-            q.truth_len
-        );
-        let _ = writeln!(out, "# paper: 9.8% error over 32 sets at full scale");
-        out
-    }
-}
-
-/// §V closed-world fingerprinting at scenario scale (DDIO config only —
-/// the figure experiment covers the full comparison).
-struct Fingerprint;
-
-impl Scenario for Fingerprint {
-    fn name(&self) -> &'static str {
-        "fingerprint"
+        let mut report = ScenarioReport::new(vec![
+            "sets",
+            "samples",
+            "levenshtein",
+            "error_rate_pct",
+            "recovered_len",
+            "truth_len",
+        ]);
+        report.push_row(vec![
+            Metric::Count(monitored as u64),
+            Metric::Count(samples as u64),
+            Metric::Count(q.levenshtein as u64),
+            Metric::Fixed(q.error_rate * 100.0, 1),
+            Metric::Count(q.recovered_len as u64),
+            Metric::Count(q.truth_len as u64),
+        ]);
+        report.comment("paper: 9.8% error over 32 sets at full scale");
+        report
     }
 
-    fn summary(&self) -> &'static str {
-        "closed-world website fingerprinting through the cache"
-    }
-
-    fn run(&self, scale: Scale, seed: u64) -> String {
+    /// §V closed-world fingerprinting at scenario scale (DDIO config
+    /// only — the figure experiment covers the full comparison).
+    fn report_fingerprint(&self, scale: Scale, seed: u64) -> ScenarioReport {
         let training = scale.pick(3, 8);
-        let trials = scale.pick(4, 40);
+        let trials = self.duration.pick(scale) as usize;
         let sites = ClosedWorld::paper_five_sites();
         let acc = evaluate_closed_world(
             TestBedConfig::paper_baseline(),
@@ -181,102 +371,105 @@ impl Scenario for Fingerprint {
             &CaptureConfig::paper_defaults(),
             seed,
         );
-        let mut out = String::new();
-        let _ = writeln!(out, "sites,training,trials,accuracy_pct");
-        let _ = writeln!(
-            out,
-            "{},{training},{},{:.1}",
-            sites.sites().len(),
-            acc.trials,
-            acc.accuracy * 100.0
-        );
-        let _ = writeln!(out, "# paper: 89.7% with DDIO at 1000 trials");
-        out
-    }
-}
-
-/// A mixed web-trace workload: page loads from all five closed-world
-/// sites interleaved into one arrival stream — the "many tenants, one
-/// NIC" shape none of the paper figures exercises on its own.
-struct WebMix;
-
-impl Scenario for WebMix {
-    fn name(&self) -> &'static str {
-        "web-mix"
+        let mut report = ScenarioReport::new(vec!["sites", "training", "trials", "accuracy_pct"]);
+        report.push_row(vec![
+            Metric::Count(sites.sites().len() as u64),
+            Metric::Count(training as u64),
+            Metric::Count(acc.trials as u64),
+            Metric::Fixed(acc.accuracy * 100.0, 1),
+        ]);
+        report.comment("paper: 89.7% with DDIO at 1000 trials");
+        report
     }
 
-    fn summary(&self) -> &'static str {
-        "interleaved page loads from every site on one ring"
-    }
-
-    fn run(&self, scale: Scale, seed: u64) -> String {
-        let rounds = scale.pick(8, 60);
+    /// The flattened web-mix size trace for `rounds` rounds over the
+    /// closed-world sites at this spec's mix weights. One definition
+    /// shared by the report sweep and the tenant run.
+    fn web_mix_sizes(&self, rounds: u64, seed: u64) -> Vec<u32> {
         let sites = ClosedWorld::paper_five_sites();
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x3eb);
         // Round-robin page loads over the sites, flattened to one size
         // trace; noise keeps the loads realistically unequal.
         let mut sizes = Vec::new();
         for _round in 0..rounds {
-            for profile in sites.sites() {
-                for frame in profile.page_load(0.1, &mut rng) {
-                    sizes.push(frame.bytes());
+            for (i, profile) in sites.sites().iter().enumerate() {
+                for _ in 0..self.site_weight(i) {
+                    for frame in profile.page_load(0.1, &mut rng) {
+                        sizes.push(frame.bytes());
+                    }
                 }
             }
         }
+        sizes
+    }
+
+    /// Replays the web-mix trace on one machine and snapshots it.
+    fn web_mix_drive(
+        &self,
+        tb: &mut TestBed,
+        sizes: Vec<u32>,
+        seed: u64,
+    ) -> (u64, Cycles, CacheStats, u64) {
         let frames = sizes.len();
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "config,frames,cycles_per_frame,llc_miss_rate,dram_lines"
-        );
-        for (name, mode) in ddio_modes() {
-            let mut tb = TestBed::new(TestBedConfig {
+        let mut replay = TraceReplay::new(sizes);
+        let mut srng = SmallRng::seed_from_u64(seed + 5);
+        let schedule = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(self.arrival.fps)
+            .jitter(self.arrival.jitter)
+            .generate(&mut replay, tb.now() + 1, frames, &mut srng);
+        tb.enqueue(schedule);
+        let t0 = tb.now();
+        tb.drain();
+        let elapsed = tb.now() - t0;
+        let stats = tb.hierarchy().llc().stats();
+        let mem = tb.hierarchy().memory_stats();
+        (frames as u64, elapsed, stats, mem.total())
+    }
+
+    /// A mixed web-trace workload: page loads from all five
+    /// closed-world sites interleaved into one arrival stream — the
+    /// "many tenants, one NIC" shape none of the paper figures
+    /// exercises on its own.
+    fn report_web_mix(&self, scale: Scale, seed: u64) -> ScenarioReport {
+        let rounds = self.duration.pick(scale);
+        let sites = ClosedWorld::paper_five_sites();
+        let sizes = self.web_mix_sizes(rounds, seed);
+        let mut report = ScenarioReport::new(vec![
+            "config",
+            "frames",
+            "cycles_per_frame",
+            "llc_miss_rate",
+            "dram_lines",
+        ]);
+        // One bed reused across the mode sweep — TestBed::reset pins
+        // reuse to be byte-identical to a fresh build, and the golden
+        // snapshot pins this loop.
+        let mut scratch = TenantScratch::new();
+        for (name, mode) in self.modes.entries() {
+            let tb = scratch.bed(TestBedConfig {
                 ddio: mode,
                 ..TestBedConfig::paper_baseline().with_seed(seed)
             });
-            let mut replay = TraceReplay::new(sizes.clone());
-            let mut srng = SmallRng::seed_from_u64(seed + 5);
-            let schedule = ArrivalSchedule::new(LineRate::gigabit())
-                .frames_per_second(250_000)
-                .generate(&mut replay, tb.now() + 1, frames, &mut srng);
-            tb.enqueue(schedule);
-            let t0 = tb.now();
-            tb.drain();
-            let elapsed = tb.now() - t0;
-            let stats = tb.hierarchy().llc().stats();
-            let mem = tb.hierarchy().memory_stats();
-            let _ = writeln!(
-                out,
-                "{name},{frames},{},{:.3},{}",
-                elapsed / frames as u64,
-                stats.miss_rate(),
-                mem.total()
-            );
+            let (frames, elapsed, stats, dram_lines) = self.web_mix_drive(tb, sizes.clone(), seed);
+            report.push_row(vec![
+                Metric::Text(name.to_string()),
+                Metric::Count(frames),
+                Metric::Count(elapsed / frames),
+                Metric::Fixed(stats.miss_rate(), 3),
+                Metric::Count(dram_lines),
+            ]);
         }
-        let _ = writeln!(
-            out,
-            "# {} sites x {rounds} rounds, bimodal page-load mix",
+        report.comment(format!(
+            "{} sites x {rounds} rounds, bimodal page-load mix",
             sites.sites().len()
-        );
-        out
-    }
-}
-
-/// Line-rate sweep: the NIC at the wire's maximum frame rate for each
-/// size × link speed, measuring what the receive path costs end to end.
-struct LineRateSweep;
-
-impl Scenario for LineRateSweep {
-    fn name(&self) -> &'static str {
-        "line-rate-sweep"
+        ));
+        report
     }
 
-    fn summary(&self) -> &'static str {
-        "driver receive cost at wire speed across frame sizes and links"
-    }
-
-    fn run(&self, scale: Scale, seed: u64) -> String {
-        let count = scale.pick(20_000, 150_000);
+    /// Line-rate sweep: the NIC at the wire's maximum frame rate for
+    /// each size × link speed, measuring the receive path end to end.
+    fn report_line_rate(&self, scale: Scale, seed: u64) -> ScenarioReport {
+        let count = self.duration.pick(scale) as usize;
         let mut combos = Vec::new();
         for (link_name, link) in [
             ("1GbE", LineRate::gigabit()),
@@ -310,35 +503,31 @@ impl Scenario for LineRateSweep {
                 stats.miss_rate(),
             )
         });
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "link,frame_bytes,wire_fps,cycles_per_frame,llc_miss_rate"
-        );
+        let mut report = ScenarioReport::new(vec![
+            "link",
+            "frame_bytes",
+            "wire_fps",
+            "cycles_per_frame",
+            "llc_miss_rate",
+        ]);
         for (link, bytes, fps, cpf, miss) in rows {
-            let _ = writeln!(out, "{link},{bytes},{fps},{cpf},{miss:.3}");
+            report.push_row(vec![
+                Metric::Text(link.to_string()),
+                Metric::Count(u64::from(bytes)),
+                Metric::Count(fps),
+                Metric::Count(cpf),
+                Metric::Fixed(miss, 3),
+            ]);
         }
-        let _ = writeln!(out, "# paper cites ~500k fps for ~192-byte frames on 1GbE");
-        out
-    }
-}
-
-/// Covert-channel bandwidth sweep: offered packet rate vs achieved
-/// bandwidth and error (the single-buffer channel of Figure 11, swept
-/// along the rate axis instead of the probe axis).
-struct CovertSweep;
-
-impl Scenario for CovertSweep {
-    fn name(&self) -> &'static str {
-        "covert-sweep"
+        report.comment("paper cites ~500k fps for ~192-byte frames on 1GbE");
+        report
     }
 
-    fn summary(&self) -> &'static str {
-        "covert-channel bandwidth/error across offered packet rates"
-    }
-
-    fn run(&self, scale: Scale, seed: u64) -> String {
-        let symbols_n = scale.pick(60, 600);
+    /// Covert-channel bandwidth sweep: offered packet rate vs achieved
+    /// bandwidth and error (the single-buffer channel of Figure 11,
+    /// swept along the rate axis instead of the probe axis).
+    fn report_covert(&self, scale: Scale, seed: u64) -> ScenarioReport {
+        let symbols_n = self.duration.pick(scale) as usize;
         let rows = crate::par::parallel_map(vec![100_000u64, 200_000, 400_000, 500_000], |rate| {
             let mut tb = TestBed::new(TestBedConfig::paper_baseline().with_seed(seed));
             let pool = AddressPool::allocate(seed ^ 0xc0e7, 12288);
@@ -354,104 +543,354 @@ impl Scenario for CovertSweep {
             let report = run_channel(&mut tb, &pool, &symbols, &cfg);
             (rate, report.bandwidth_bps, report.error_rate)
         });
-        let mut out = String::new();
-        let _ = writeln!(out, "packet_rate_fps,bandwidth_bps,error_rate_pct");
+        let mut report =
+            ScenarioReport::new(vec!["packet_rate_fps", "bandwidth_bps", "error_rate_pct"]);
         for (rate, bw, err) in rows {
-            let _ = writeln!(out, "{rate},{bw:.0},{:.1}", err * 100.0);
+            report.push_row(vec![
+                Metric::Count(rate),
+                Metric::Fixed(bw, 0),
+                Metric::Fixed(err * 100.0, 1),
+            ]);
         }
-        let _ = writeln!(out, "# paper: ~3095 bps ternary at line rate, 28 kHz probe");
-        out
+        report.comment("paper: ~3095 bps ternary at line rate, 28 kHz probe");
+        report
     }
+
+    /// The §VII-a defense workloads (nginx, tcp-recv, file-copy): one
+    /// row per swept DDIO mode, on one reused Workbench.
+    fn report_workload(&self, scale: Scale, seed: u64) -> ScenarioReport {
+        let units = self.duration.pick(scale);
+        let mut report = ScenarioReport::new(vec![
+            "config",
+            "units",
+            "kunits_per_sec",
+            "llc_miss_rate",
+            "dram_lines",
+        ]);
+        let mut scratch = TenantScratch::new();
+        for (name, mode) in self.modes.entries() {
+            let bench = scratch.bench(mode, seed);
+            let m = self.drive_workload(bench, units);
+            report.push_row(workload_row(name, &m));
+        }
+        report
+    }
+
+    /// Runs this spec's defense workload on a prepared bench.
+    fn drive_workload(&self, bench: &mut Workbench, units: u64) -> WorkloadMetrics {
+        match self.kind {
+            SpecKind::Nginx => {
+                let cfg = NginxConfig::paper_defaults();
+                nginx(bench, &cfg, units / 5); // warm-up
+                nginx(bench, &cfg, units)
+            }
+            SpecKind::TcpRecv => tcp_recv(bench, units),
+            SpecKind::FileCopy => file_copy(bench, units),
+            _ => unreachable!("not a defense workload"),
+        }
+    }
+
+    /// Runs this spec as one fleet tenant: a single machine in the
+    /// spec's tenant mode, returning typed metrics for the merge.
+    ///
+    /// `Some` for the workload-shaped scenarios (nginx, tcp-recv,
+    /// file-copy, web-mix); `None` for the attack-evaluation scenarios
+    /// (chasing, fingerprint, line-rate-sweep, covert-sweep), whose
+    /// reports are quality measurements rather than tenant throughput.
+    pub fn run_tenant(
+        &self,
+        scale: Scale,
+        seed: u64,
+        scratch: &mut TenantScratch,
+    ) -> Option<TenantMetrics> {
+        let (mode_name, mode) = self.modes.tenant_mode();
+        let units = self.duration.pick(scale);
+        match self.kind {
+            SpecKind::Nginx | SpecKind::TcpRecv | SpecKind::FileCopy => {
+                let unit = match self.kind {
+                    SpecKind::Nginx => "requests",
+                    SpecKind::TcpRecv => "packets",
+                    _ => "lines",
+                };
+                let bench = scratch.bench(mode, seed);
+                let m = self.drive_workload(bench, units);
+                Some(TenantMetrics {
+                    mode: mode_name,
+                    unit,
+                    units: m.units,
+                    elapsed_cycles: m.elapsed_cycles,
+                    llc: m.llc,
+                    dram_lines: m.mem.total(),
+                })
+            }
+            SpecKind::WebMix => {
+                let sizes = self.web_mix_sizes(units, seed);
+                let tb = scratch.bed(TestBedConfig {
+                    ddio: mode,
+                    ..TestBedConfig::paper_baseline().with_seed(seed)
+                });
+                let (frames, elapsed, llc, dram_lines) = self.web_mix_drive(tb, sizes, seed);
+                Some(TenantMetrics {
+                    mode: mode_name,
+                    unit: "frames",
+                    units: frames,
+                    elapsed_cycles: elapsed,
+                    llc,
+                    dram_lines,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Scenario for ScenarioSpec {
+    fn name(&self) -> &'static str {
+        ScenarioSpec::name(self)
+    }
+
+    fn summary(&self) -> &'static str {
+        ScenarioSpec::summary(self)
+    }
+
+    fn run(&self, scale: Scale, seed: u64) -> String {
+        ScenarioSpec::run(self, scale, seed)
+    }
+}
+
+/// What one fleet tenant measured: the typed equivalent of one
+/// workload report row, plus the unit label the merge groups by.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TenantMetrics {
+    /// Reporting name of the DDIO mode the tenant ran under.
+    pub mode: &'static str,
+    /// Unit label (`requests`, `packets`, `lines`, `frames`).
+    pub unit: &'static str,
+    /// Work units completed.
+    pub units: u64,
+    /// Simulated cycles the run took.
+    pub elapsed_cycles: Cycles,
+    /// LLC statistics over the run.
+    pub llc: CacheStats,
+    /// Memory-controller lines moved (reads + writes).
+    pub dram_lines: u64,
+}
+
+impl TenantMetrics {
+    /// Work units per second of simulated time.
+    pub fn units_per_second(&self) -> f64 {
+        self.units as f64 / (self.elapsed_cycles as f64 / pc_net::CPU_FREQ_HZ as f64)
+    }
+
+    /// Simulated cycles per work unit.
+    pub fn cycles_per_unit(&self) -> u64 {
+        self.elapsed_cycles / self.units.max(1)
+    }
+}
+
+/// Per-worker machine cache for tenant runs: one TestBed and one
+/// Workbench, reset (not rebuilt) between tenants so thousands of
+/// tenant runs pay clears instead of allocations. An allocation cache,
+/// not state — `TestBed::reset` / `Workbench::reset_paper_machine`
+/// pin a reused machine byte-identical to a fresh one.
+#[derive(Default)]
+pub struct TenantScratch {
+    bed: Option<TestBed>,
+    bench: Option<Workbench>,
+}
+
+impl TenantScratch {
+    /// An empty scratch (machines built lazily on first use).
+    pub fn new() -> Self {
+        TenantScratch::default()
+    }
+
+    /// The scratch TestBed, reset for `cfg`.
+    fn bed(&mut self, cfg: TestBedConfig) -> &mut TestBed {
+        match &mut self.bed {
+            Some(bed) => {
+                bed.reset(cfg);
+                self.bed.as_mut().expect("just matched")
+            }
+            None => self.bed.insert(TestBed::new(cfg)),
+        }
+    }
+
+    /// The scratch Workbench, reset to the paper machine in `mode`.
+    fn bench(&mut self, mode: DdioMode, seed: u64) -> &mut Workbench {
+        match &mut self.bench {
+            Some(bench) => {
+                bench.reset_paper_machine(mode, seed);
+                self.bench.as_mut().expect("just matched")
+            }
+            None => self.bench.insert(Workbench::paper_machine(mode, seed)),
+        }
+    }
+}
+
+/// Every registered scenario spec, **sorted by name**. The listing
+/// order is part of the output contract: `repro scenario list` (and
+/// anything that iterates the registry, like the golden-snapshot suite
+/// and the CI determinism byte-diff) must not depend on incidental
+/// insertion order, so the registry itself is kept sorted and a test
+/// pins it.
+pub fn registry() -> &'static [ScenarioSpec] {
+    static REGISTRY: OnceLock<Vec<ScenarioSpec>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        vec![
+            ScenarioSpec {
+                name: "chasing",
+                summary: "ring-buffer sequence recovery over the batched receive path",
+                kind: SpecKind::Chasing,
+                duration: Duration {
+                    quick: 6_000,
+                    full: 60_000,
+                },
+                arrival: Arrival {
+                    fps: 200_000,
+                    jitter: 0.02,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+            ScenarioSpec {
+                name: "covert-sweep",
+                summary: "covert-channel bandwidth/error across offered packet rates",
+                kind: SpecKind::CovertSweep,
+                duration: Duration {
+                    quick: 60,
+                    full: 600,
+                },
+                arrival: Arrival {
+                    fps: 0,
+                    jitter: 0.0,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+            ScenarioSpec {
+                name: "file-copy",
+                summary: "dd-style DMA file copy across DDIO modes",
+                kind: SpecKind::FileCopy,
+                duration: Duration { quick: 2, full: 16 },
+                arrival: Arrival {
+                    fps: 0,
+                    jitter: 0.0,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+            ScenarioSpec {
+                name: "fingerprint",
+                summary: "closed-world website fingerprinting through the cache",
+                kind: SpecKind::Fingerprint,
+                duration: Duration { quick: 4, full: 40 },
+                arrival: Arrival {
+                    fps: 0,
+                    jitter: 0.0,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+            ScenarioSpec {
+                name: "line-rate-sweep",
+                summary: "driver receive cost at wire speed across frame sizes and links",
+                kind: SpecKind::LineRateSweep,
+                duration: Duration {
+                    quick: 20_000,
+                    full: 150_000,
+                },
+                arrival: Arrival {
+                    fps: 0,
+                    jitter: 0.0,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+            ScenarioSpec {
+                name: "nginx",
+                summary: "nginx-like request serving across DDIO modes",
+                kind: SpecKind::Nginx,
+                duration: Duration {
+                    quick: 400,
+                    full: 4_000,
+                },
+                arrival: Arrival {
+                    fps: 0,
+                    jitter: 0.0,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+            ScenarioSpec {
+                name: "tcp-recv",
+                summary: "small-payload TCP receive across DDIO modes",
+                kind: SpecKind::TcpRecv,
+                duration: Duration {
+                    quick: 5_000,
+                    full: 50_000,
+                },
+                arrival: Arrival {
+                    fps: 0,
+                    jitter: 0.0,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+            ScenarioSpec {
+                name: "web-mix",
+                summary: "interleaved page loads from every site on one ring",
+                kind: SpecKind::WebMix,
+                duration: Duration { quick: 8, full: 60 },
+                // 0.05 is ArrivalSchedule's default jitter — the
+                // historical web-mix never overrode it.
+                arrival: Arrival {
+                    fps: 250_000,
+                    jitter: 0.05,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+            },
+        ]
+    })
+}
+
+/// Looks a scenario spec up by CLI name.
+pub fn find(name: &str) -> Option<&'static ScenarioSpec> {
+    registry().iter().find(|s| s.name() == name)
+}
+
+/// Renders the body of `repro scenario list`: the name-sorted,
+/// two-column registry listing. One renderer shared by the CLI and the
+/// golden-snapshot test, so the output contract cannot drift between
+/// what CI byte-diffs and what the snapshot pins.
+pub fn render_list() -> String {
+    let mut out = String::new();
+    for s in registry() {
+        let _ = writeln!(out, "  {:<16} {}", s.name(), s.summary());
+    }
+    out
+}
+
+/// The three DDIO modes every workload scenario sweeps, with reporting
+/// names matching the figure experiments.
+fn ddio_modes() -> [(&'static str, DdioMode); 3] {
+    [
+        ("NoDDIO", DdioMode::Disabled),
+        ("DDIO", DdioMode::enabled()),
+        ("Adaptive", DdioMode::adaptive()),
+    ]
 }
 
 /// Formats one defense-workload row.
-fn workload_row(out: &mut String, name: &str, m: &WorkloadMetrics) {
-    let _ = writeln!(
-        out,
-        "{name},{},{:.1},{:.3},{}",
-        m.units,
-        m.units_per_second() / 1_000.0,
-        m.llc.miss_rate(),
-        m.mem.total()
-    );
-}
-
-/// The Figure 14 server workload as a standalone scenario.
-struct Nginx;
-
-impl Scenario for Nginx {
-    fn name(&self) -> &'static str {
-        "nginx"
-    }
-
-    fn summary(&self) -> &'static str {
-        "nginx-like request serving across DDIO modes"
-    }
-
-    fn run(&self, scale: Scale, seed: u64) -> String {
-        let requests = scale.pick(400, 4_000);
-        let cfg = NginxConfig::paper_defaults();
-        let mut out = String::new();
-        let _ = writeln!(out, "config,units,kunits_per_sec,llc_miss_rate,dram_lines");
-        for (name, mode) in ddio_modes() {
-            let mut bench = Workbench::paper_machine(mode, seed);
-            nginx(&mut bench, &cfg, requests / 5); // warm-up
-            let m = nginx(&mut bench, &cfg, requests);
-            workload_row(&mut out, name, &m);
-        }
-        out
-    }
-}
-
-/// The §VII-a TCP receiver as a standalone scenario.
-struct TcpRecv;
-
-impl Scenario for TcpRecv {
-    fn name(&self) -> &'static str {
-        "tcp-recv"
-    }
-
-    fn summary(&self) -> &'static str {
-        "small-payload TCP receive across DDIO modes"
-    }
-
-    fn run(&self, scale: Scale, seed: u64) -> String {
-        let packets = scale.pick(5_000, 50_000);
-        let mut out = String::new();
-        let _ = writeln!(out, "config,units,kunits_per_sec,llc_miss_rate,dram_lines");
-        for (name, mode) in ddio_modes() {
-            let mut bench = Workbench::paper_machine(mode, seed);
-            let m = tcp_recv(&mut bench, packets);
-            workload_row(&mut out, name, &m);
-        }
-        out
-    }
-}
-
-/// The §VII-a file copy as a standalone scenario (rides the sharded
-/// batch path end to end).
-struct FileCopy;
-
-impl Scenario for FileCopy {
-    fn name(&self) -> &'static str {
-        "file-copy"
-    }
-
-    fn summary(&self) -> &'static str {
-        "dd-style DMA file copy across DDIO modes"
-    }
-
-    fn run(&self, scale: Scale, seed: u64) -> String {
-        let megabytes = scale.pick(2, 16);
-        let mut out = String::new();
-        let _ = writeln!(out, "config,units,kunits_per_sec,llc_miss_rate,dram_lines");
-        for (name, mode) in ddio_modes() {
-            let mut bench = Workbench::paper_machine(mode, seed);
-            let m = file_copy(&mut bench, megabytes);
-            workload_row(&mut out, name, &m);
-        }
-        out
-    }
+fn workload_row(name: &str, m: &WorkloadMetrics) -> Vec<Metric> {
+    vec![
+        Metric::Text(name.to_string()),
+        Metric::Count(m.units),
+        Metric::Fixed(m.units_per_second() / 1_000.0, 1),
+        Metric::Fixed(m.llc.miss_rate(), 3),
+        Metric::Count(m.mem.total()),
+    ]
 }
 
 #[cfg(test)]
@@ -506,6 +945,81 @@ mod tests {
             let a = s.run(Scale::Quick, 11);
             let b = s.run(Scale::Quick, 11);
             assert_eq!(a, b, "{name} not deterministic");
+        }
+    }
+
+    #[test]
+    fn metric_rendering_matches_the_inline_format_specifiers() {
+        // The whole byte-compatibility argument for typed reports rests
+        // on Display matching the `writeln!` specifiers the reports
+        // used before: `{}` for counts, `{:.p}` for fixed floats.
+        assert_eq!(Metric::Count(123_456).to_string(), format!("{}", 123_456));
+        assert_eq!(
+            Metric::Fixed(0.123_456, 3).to_string(),
+            format!("{:.3}", 0.123_456)
+        );
+        assert_eq!(Metric::Fixed(97.35, 1).to_string(), format!("{:.1}", 97.35));
+        assert_eq!(
+            Metric::Fixed(3095.4, 0).to_string(),
+            format!("{:.0}", 3095.4)
+        );
+        assert_eq!(Metric::Text("NoDDIO".into()).to_string(), "NoDDIO");
+    }
+
+    #[test]
+    fn report_renders_header_rows_then_comments() {
+        let mut r = ScenarioReport::new(vec!["a", "b"]);
+        r.push_row(vec![Metric::Count(1), Metric::Fixed(0.5, 1)]);
+        r.push_row(vec![Metric::Text("x".into()), Metric::Count(2)]);
+        r.comment("trailing note");
+        assert_eq!(r.render(), "a,b\n1,0.5\nx,2\n# trailing note\n");
+    }
+
+    #[test]
+    fn mode_override_narrows_the_sweep_to_one_row() {
+        let spec = find("tcp-recv")
+            .expect("registered")
+            .clone()
+            .with_units(300, 300)
+            .with_mode("Adaptive", DdioMode::adaptive());
+        let report = spec.report(Scale::Quick, 7);
+        assert_eq!(report.rows.len(), 1, "one pinned mode, one row");
+        assert_eq!(report.rows[0][0], Metric::Text("Adaptive".to_string()));
+    }
+
+    #[test]
+    fn tenant_runs_are_deterministic_and_scratch_invariant() {
+        // A tenant on a dirty scratch (just ran a different template)
+        // must produce the same metrics as one on a fresh scratch.
+        let tcp = find("tcp-recv")
+            .expect("registered")
+            .clone()
+            .with_units(400, 400);
+        let copy = find("file-copy")
+            .expect("registered")
+            .clone()
+            .with_units(1, 1);
+        let mut dirty = TenantScratch::new();
+        copy.run_tenant(Scale::Quick, 3, &mut dirty)
+            .expect("workload tenant");
+        let a = tcp.run_tenant(Scale::Quick, 9, &mut dirty).expect("tenant");
+        let mut fresh = TenantScratch::new();
+        let b = tcp.run_tenant(Scale::Quick, 9, &mut fresh).expect("tenant");
+        assert_eq!(a, b, "scratch reuse must not leak state");
+        assert_eq!(a.unit, "packets");
+        assert_eq!(a.units, 400);
+        assert!(a.units_per_second() > 0.0);
+    }
+
+    #[test]
+    fn attack_scenarios_are_not_tenants() {
+        let mut scratch = TenantScratch::new();
+        for name in ["chasing", "fingerprint", "line-rate-sweep", "covert-sweep"] {
+            let s = find(name).expect("registered");
+            assert!(
+                s.run_tenant(Scale::Quick, 1, &mut scratch).is_none(),
+                "{name} is a quality evaluation, not a tenant workload"
+            );
         }
     }
 }

@@ -1,0 +1,78 @@
+//! Fleet determinism property suite: the merged fleet report is a pure
+//! function of `(seed, tenants, templates)` — worker count must never
+//! leak into a single byte of output.
+//!
+//! The CI determinism job byte-diffs `repro fleet` between
+//! `PC_BENCH_THREADS=1` and `4` in separate processes; this suite pins
+//! the same property in-process across the full
+//! `{1,2,4} threads × {16,64,256} tenants` grid, where a scheduling or
+//! collection-order bug would show up as a failed string comparison
+//! with a readable diff instead of a bare `cmp` exit code.
+
+use pc_bench::experiments::Scale;
+use pc_bench::fleet::{run_fleet_outcomes, FleetConfig};
+
+/// Seed the CI determinism job uses throughout.
+const SEED: u64 = 2020;
+
+/// The standard mixed template set with shrunk per-tenant work units so
+/// the 9-point grid stays fast in debug builds. Shrinking units changes
+/// the numbers, not the property: every template, mode, and merge path
+/// is still exercised.
+fn grid_cfg(tenants: usize, threads: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::standard(tenants, SEED, Scale::Quick);
+    cfg.threads = threads;
+    for t in &mut cfg.templates {
+        t.spec = t.spec.clone().with_units(24, 24);
+    }
+    cfg
+}
+
+#[test]
+fn merged_report_is_byte_identical_across_thread_counts() {
+    for tenants in [16usize, 64, 256] {
+        let baseline = pc_bench::fleet::merge(
+            &grid_cfg(tenants, 1),
+            &run_fleet_outcomes(&grid_cfg(tenants, 1)),
+        )
+        .render();
+
+        // Non-triviality: the baseline must be a real three-section
+        // report over the mixed templates, not an accidentally empty
+        // string two runs would trivially agree on.
+        assert!(baseline.contains("# == per-template percentiles =="));
+        assert!(baseline.contains("# == per-mode breakdown =="));
+        assert!(baseline.contains("# == aggregate =="));
+        assert!(
+            baseline.contains("tcp-recv/DDIO"),
+            "mixed templates present"
+        );
+        assert!(baseline.contains("nginx/DDIO"));
+        assert!(
+            baseline.contains(&format!("\n{tenants},")),
+            "aggregate row counts every tenant"
+        );
+
+        for threads in [2usize, 4] {
+            let report = pc_bench::fleet::merge(
+                &grid_cfg(tenants, threads),
+                &run_fleet_outcomes(&grid_cfg(tenants, threads)),
+            )
+            .render();
+            assert_eq!(
+                report, baseline,
+                "{tenants} tenants: {threads} workers diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn outcomes_not_just_render_are_thread_invariant() {
+    // Stronger than string equality on the report: the raw per-tenant
+    // metrics (pre-merge, pre-rounding) must match, so a divergence
+    // hiding below display precision still fails.
+    let sequential = run_fleet_outcomes(&grid_cfg(64, 1));
+    let threaded = run_fleet_outcomes(&grid_cfg(64, 4));
+    assert_eq!(sequential, threaded);
+}

@@ -267,7 +267,8 @@ pub struct FingerprintAccuracy {
 ///
 /// Every capture (site × training run, then site × trial) is an
 /// independent page load on a fresh test bed with its own RNG stream
-/// derived via [`pc_par::mix_seed`] from `(seed, salt)`, so the whole
+/// derived via [`pc_par::stream_seed`] (the `Capture` domain) from
+/// `(seed, salt)`, so the whole
 /// site×trial grid fans out over worker threads with ordered collection
 /// — the same per-repetition-seed contract the `pc-bench` experiments
 /// use. `PC_BENCH_THREADS=1` forces sequential capture; results are
@@ -288,7 +289,8 @@ pub fn evaluate_closed_world(
         // differs per session; the spy re-syncs each time. The page-load
         // noise stream is a pure function of (seed, salt), never of the
         // schedule that ran this capture.
-        let mut rng = SmallRng::seed_from_u64(pc_par::mix_seed(seed, salt));
+        let mut rng =
+            SmallRng::seed_from_u64(pc_par::stream_seed(seed, pc_par::SeedDomain::Capture, salt));
         let mut tb = TestBed::new(bed_config.with_seed(seed ^ salt));
         let mut spy = ChasingSpy::for_ring(tb.hierarchy().llc(), &pool, tb.driver());
         let frames = sites[site].page_load(noise, &mut rng);

@@ -22,7 +22,8 @@
 //! `src/partition.rs`) are mirrored here, because the reference defines
 //! intended semantics, not historical accidents. Likewise the sharded
 //! engine's per-slice contract — one RNG stream per slice (seeded with
-//! [`pc_par::mix_seed`]) and per-slice adaptation timing/worklists — is
+//! [`pc_par::stream_seed`] in the `Slice` domain) and per-slice
+//! adaptation timing/worklists — is
 //! part of the intended semantics and is mirrored here, so the
 //! equivalence tests hold the parallel engine to this model for every
 //! policy, `Random` (RNG-consuming) included. Do not use this type
@@ -332,7 +333,11 @@ impl ReferenceCache {
             .collect();
         let ctl = (0..geom.slices())
             .map(|slice| SliceCtl {
-                rng: SmallRng::seed_from_u64(pc_par::mix_seed(seed, slice as u64)),
+                rng: SmallRng::seed_from_u64(pc_par::stream_seed(
+                    seed,
+                    pc_par::SeedDomain::Slice,
+                    slice as u64,
+                )),
                 clock: 0,
                 adapt_last: 0,
                 touched: Vec::new(),

@@ -12,8 +12,9 @@
 //! The determinism contract, concretely:
 //!
 //! * **RNG.** Each shard draws from its own `SmallRng` seeded with
-//!   [`pc_par::mix_seed`]`(cache_seed, slice)`. A slice's stream depends
-//!   only on the accesses *that slice* receives, never on the schedule.
+//!   [`pc_par::stream_seed`]`(cache_seed, SeedDomain::Slice, slice)`. A
+//!   slice's stream depends only on the accesses *that slice* receives,
+//!   never on the schedule.
 //! * **Replacement clock.** The LRU stamp clock is per-shard. Only the
 //!   relative stamp order within one set matters for victim selection,
 //!   and all touches of a set happen in its shard, so per-shard clocks
@@ -76,7 +77,11 @@ impl Shard {
     ) -> Self {
         Shard {
             store: LineStore::new(sets, ways, policy, io_limit),
-            rng: SmallRng::seed_from_u64(pc_par::mix_seed(seed, slice as u64)),
+            rng: SmallRng::seed_from_u64(pc_par::stream_seed(
+                seed,
+                pc_par::SeedDomain::Slice,
+                slice as u64,
+            )),
             stats: CacheStats::new(),
             clock: 0,
             adapt_last: 0,

@@ -54,6 +54,22 @@ pub struct Workbench {
 }
 
 impl Workbench {
+    /// The seeded machine parts — one definition shared by
+    /// [`Workbench::new`] and [`Workbench::reset`] so a reused bench
+    /// can never drift from a freshly built one.
+    fn build(
+        geometry: CacheGeometry,
+        mode: DdioMode,
+        driver_cfg: DriverConfig,
+        seed: u64,
+    ) -> (Hierarchy, IgbDriver, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let llc = SlicedCache::new(geometry, mode);
+        let h = Hierarchy::with_llc(llc);
+        let driver = IgbDriver::new(driver_cfg, PageAllocator::new(seed ^ 0xd15c), &mut rng);
+        (h, driver, rng)
+    }
+
     /// Builds a bench with the given LLC geometry and DDIO mode.
     pub fn new(
         geometry: CacheGeometry,
@@ -61,10 +77,7 @@ impl Workbench {
         driver_cfg: DriverConfig,
         seed: u64,
     ) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let llc = SlicedCache::new(geometry, mode);
-        let h = Hierarchy::with_llc(llc);
-        let driver = IgbDriver::new(driver_cfg, PageAllocator::new(seed ^ 0xd15c), &mut rng);
+        let (h, driver, rng) = Workbench::build(geometry, mode, driver_cfg, seed);
         Workbench {
             h,
             driver,
@@ -82,6 +95,36 @@ impl Workbench {
             DriverConfig::paper_defaults(),
             seed,
         )
+    }
+
+    /// Rebuilds this bench in place, behaviourally identical to
+    /// `*self = Workbench::new(…)` but keeping the op-batch capacity.
+    /// Fleet tenants reuse one bench per worker thread; resetting
+    /// instead of rebuilding keeps per-tenant setup at clears rather
+    /// than allocations.
+    pub fn reset(
+        &mut self,
+        geometry: CacheGeometry,
+        mode: DdioMode,
+        driver_cfg: DriverConfig,
+        seed: u64,
+    ) {
+        let (h, driver, rng) = Workbench::build(geometry, mode, driver_cfg, seed);
+        self.h = h;
+        self.driver = driver;
+        self.rng = rng;
+        self.tx_cursor = 0;
+        // `ops` is cleared at every use site; only capacity survives.
+    }
+
+    /// [`Workbench::reset`] to the paper's baseline machine.
+    pub fn reset_paper_machine(&mut self, mode: DdioMode, seed: u64) {
+        self.reset(
+            CacheGeometry::xeon_e5_2660(),
+            mode,
+            DriverConfig::paper_defaults(),
+            seed,
+        );
     }
 
     /// The underlying hierarchy.
@@ -400,6 +443,34 @@ mod tests {
         let m_plain = tcp_recv(&mut plain, 2_000);
         let m_rand = tcp_recv(&mut randomized, 2_000);
         assert!(m_rand.elapsed_cycles > m_plain.elapsed_cycles);
+    }
+
+    #[test]
+    fn reset_bench_matches_a_fresh_one() {
+        // A bench dirtied by one workload then reset must measure
+        // exactly like a freshly built bench — the contract TenantScratch
+        // reuse in the fleet driver rests on.
+        let mut reused = bench(DdioMode::enabled());
+        nginx(&mut reused, &NginxConfig::paper_defaults(), 50);
+        for (mode, seed) in [
+            (DdioMode::Disabled, 3u64),
+            (DdioMode::adaptive(), 19),
+            (DdioMode::enabled(), 77),
+        ] {
+            reused.reset_paper_machine(mode, seed);
+            let mut fresh = Workbench::paper_machine(mode, seed);
+            let m_reused = tcp_recv(&mut reused, 1_500);
+            let m_fresh = tcp_recv(&mut fresh, 1_500);
+            assert_eq!(m_reused.elapsed_cycles, m_fresh.elapsed_cycles, "{mode:?}");
+            assert_eq!(m_reused.llc, m_fresh.llc, "{mode:?}");
+            assert_eq!(m_reused.mem, m_fresh.mem, "{mode:?}");
+            assert_eq!(reused.h.now(), fresh.h.now(), "{mode:?}");
+            assert_eq!(
+                reused.driver.ring().page_addresses(),
+                fresh.driver.ring().page_addresses(),
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   its own `SmallRng` seeded with `mix_seed(base, salt)` where `salt`
 //!   identifies the item (slice number, trial index, …). Sequential and
 //!   parallel schedules then draw identical streams by construction.
+//! * [`stream_seed`] — the *one* per-item seed-derivation helper: every
+//!   fan-out in the workspace names its family with a [`SeedDomain`]
+//!   and derives item seeds as `stream_seed(base, domain, index)`
+//!   instead of hand-rolling its own salting scheme around `mix_seed`.
+//! * [`parallel_map_scratch_threads`] — the scratch-carrying fan-out:
+//!   each worker builds one scratch value (a reusable `TestBed`, an op
+//!   buffer…) and threads it through every item it runs, so a fleet of
+//!   thousands of small work items doesn't pay a fresh allocation
+//!   curve per item.
 //!
 //! This crate sits below `pc-cache` (which shards the LLC simulation by
 //! slice) and is re-exported as `pc_bench::par` for the harness. The
@@ -59,6 +68,62 @@ pub fn mix_seed(seed: u64, salt: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// A named fan-out family for [`stream_seed`].
+///
+/// Two different fan-outs running from the same base seed must never
+/// reuse each other's RNG streams just because they happen to use the
+/// same item indices; the domain is what separates them. The `Slice`
+/// and `Capture` domains predate this enum and keep their original
+/// derivation — plain `mix_seed(base, index)` — because golden outputs
+/// across the workspace pin the streams they produce; domains added
+/// since (`Tenant`, `Repetition`) fold a domain tag into the base
+/// first, so their streams cannot collide with each other or with the
+/// legacy domains even at equal indices.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum SeedDomain {
+    /// Per-slice shard RNGs of the sharded LLC (`pc-cache`'s
+    /// `SlicedCache` and its reference model). Legacy derivation.
+    Slice,
+    /// Per-capture page-load streams of the fingerprint grid
+    /// (`pc-core`'s site × trial fan-out). Legacy derivation.
+    Capture,
+    /// Per-tenant seeds of the fleet driver (`pc-bench`'s
+    /// `repro fleet`): one stream per tenant index.
+    Tenant,
+    /// Independent repetitions of one experiment (the `table1`-style
+    /// "same setup, `runs` times" fan-outs).
+    Repetition,
+}
+
+impl SeedDomain {
+    /// Domain tag folded into the base seed, or `None` for the legacy
+    /// domains whose streams are pinned to plain `mix_seed`.
+    fn tag(self) -> Option<u64> {
+        match self {
+            SeedDomain::Slice | SeedDomain::Capture => None,
+            SeedDomain::Tenant => Some(0xF1EE_7000),
+            SeedDomain::Repetition => Some(0x2E9E_A700),
+        }
+    }
+}
+
+/// Derives the RNG seed for item `index` of a fan-out in `domain` —
+/// the one documented per-item seed-derivation helper. Call sites that
+/// need several sub-streams per item derive the item seed here once
+/// and split it locally with [`mix_seed`].
+///
+/// Like [`mix_seed`] this is a pure function of its inputs: an item's
+/// stream depends only on `(base, domain, index)`, never on the
+/// schedule that ran it, so sequential and parallel executions draw
+/// identical streams by construction. A unit test pins that distinct
+/// tenants never collide for base seeds `0..1024`.
+pub fn stream_seed(base: u64, domain: SeedDomain, index: u64) -> u64 {
+    match domain.tag() {
+        None => mix_seed(base, index),
+        Some(tag) => mix_seed(mix_seed(base, tag), index),
+    }
 }
 
 /// Maps `f` over `items` on up to [`max_threads`] worker threads,
@@ -118,6 +183,73 @@ where
             .collect();
         for h in handles {
             for (i, r) in h.join().expect("parallel_map worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// [`parallel_map_threads`] with per-worker scratch: each worker calls
+/// `init()` once and threads the resulting value through every item it
+/// runs (`f(&mut scratch, item)`); results return in input order.
+///
+/// The scratch is an **allocation cache, not state**: `f` must return
+/// the same value for an item whatever scratch history preceded it
+/// (reset whatever you reuse), because which items share a scratch
+/// depends on the round-robin bucketing and so on `threads`. The fleet
+/// driver is the motivating caller — one reusable `TestBed` per worker
+/// across thousands of small tenants — and its byte-identical-across-
+/// thread-counts golden pins the contract end to end.
+///
+/// With `threads <= 1` (or a single item) everything runs inline on
+/// one scratch. Panics in `f` propagate to the caller.
+pub fn parallel_map_scratch_threads<T, R, S, I, F>(
+    items: Vec<T>,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        let mut scratch = init();
+        return items
+            .into_iter()
+            .map(|item| f(&mut scratch, item))
+            .collect();
+    }
+    let n = items.len();
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let f_ref = &f;
+    let init_ref = &init;
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    let mut scratch = init_ref();
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f_ref(&mut scratch, item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("parallel_map_scratch worker panicked") {
                 out[i] = Some(r);
             }
         }
@@ -291,5 +423,99 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, mix_seed(2020, 0), "pure function of (seed, salt)");
+    }
+
+    #[test]
+    fn legacy_domains_preserve_their_pinned_streams() {
+        // Slice and Capture predate SeedDomain; golden outputs across
+        // the workspace pin their streams to plain mix_seed. Changing
+        // this mapping silently reseeds every shard RNG.
+        for base in [0u64, 1, 2020, u64::MAX] {
+            for index in [0u64, 1, 7, 1 << 40] {
+                assert_eq!(
+                    stream_seed(base, SeedDomain::Slice, index),
+                    mix_seed(base, index)
+                );
+                assert_eq!(
+                    stream_seed(base, SeedDomain::Capture, index),
+                    mix_seed(base, index)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_seeds_never_collide_for_small_bases() {
+        // The fleet derives per-tenant seeds from small consecutive
+        // base seeds (CLI `--seed`); distinct (base, tenant) pairs must
+        // give distinct seeds across the whole 0..1024 × 0..1024 grid.
+        let mut seen = std::collections::HashSet::with_capacity(1024 * 1024);
+        for base in 0..1024u64 {
+            for tenant in 0..1024u64 {
+                assert!(
+                    seen.insert(stream_seed(base, SeedDomain::Tenant, tenant)),
+                    "collision at base={base} tenant={tenant}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domains_separate_equal_indices() {
+        // Two fan-outs at the same (base, index) must not share a
+        // stream just because their indices coincide.
+        let base = 2020;
+        let slice = stream_seed(base, SeedDomain::Slice, 3);
+        let tenant = stream_seed(base, SeedDomain::Tenant, 3);
+        let rep = stream_seed(base, SeedDomain::Repetition, 3);
+        assert_ne!(slice, tenant);
+        assert_ne!(slice, rep);
+        assert_ne!(tenant, rep);
+    }
+
+    #[test]
+    fn scratch_map_matches_sequential_for_any_thread_count() {
+        // The scratch is an allocation cache: as long as `f` resets it,
+        // results must be identical for every worker count.
+        let work = |scratch: &mut Vec<u64>, seed: u64| {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            scratch.clear(); // reset: contract of the scratch map
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                scratch.push(rng.gen_range(0..1_000u64));
+            }
+            scratch.iter().sum::<u64>()
+        };
+        let items: Vec<u64> = (0..37).collect();
+        let sequential: Vec<u64> = items.iter().map(|&s| work(&mut Vec::new(), s)).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map_scratch_threads(items.clone(), threads, Vec::new, work),
+                sequential,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_map_builds_one_scratch_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map_scratch_threads(
+            items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |_, x| x,
+        );
+        assert_eq!(out.len(), 40);
+        assert!(
+            inits.load(Ordering::Relaxed) <= 4,
+            "scratch must be reused across a worker's items, not rebuilt per item"
+        );
     }
 }

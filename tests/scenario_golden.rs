@@ -104,6 +104,20 @@ fn scenario_list_matches_its_golden_snapshot() {
     check("scenario-list", &scenario::render_list()).unwrap();
 }
 
+/// A seeded 64-tenant fleet run is an output contract like any single
+/// scenario: the merged report (per-template percentiles, per-mode
+/// breakdown, aggregate) is pinned byte for byte. Workers are pinned to
+/// 1 here only to keep the snapshot independent of the test
+/// environment's `PC_BENCH_THREADS`; the fleet determinism suite and
+/// the CI byte-diff leg prove any worker count produces these bytes.
+#[test]
+fn fleet_64_matches_its_golden_snapshot() {
+    let _g = serialized();
+    let mut cfg = pc_bench::fleet::FleetConfig::standard(64, SEED, Scale::Quick);
+    cfg.threads = 1;
+    check("fleet-64", &pc_bench::fleet::run_fleet(&cfg).render()).unwrap();
+}
+
 /// `PC_BLESS=1` must refuse to rewrite snapshots while a fault is
 /// armed: a golden blessed from a mutated simulator would silently
 /// become the reference every later run is compared against. (The env
