@@ -366,6 +366,12 @@ pub struct DriverResult {
     pub driver_burst_ns_per_packet: f64,
     /// Median ns/packet for the per-access oracle path.
     pub driver_scalar_ns_per_packet: f64,
+    /// Worker threads on the measuring host ([`pc_par::max_threads`]).
+    /// Burst speedups < 1.0 are expected at `host_threads == 1` (the
+    /// sharded dispatch has nothing to fan out to and the batch pays
+    /// the op-scratch round-trip), so readers — and the `--smoke`
+    /// gate — must only treat them as regressions when this is > 1.
+    pub host_threads: usize,
 }
 
 impl DriverResult {
@@ -482,6 +488,7 @@ pub fn measure_driver(samples: usize, packets: usize) -> Vec<DriverResult> {
             driver_ns_per_packet: time_driver(mode, samples, packets, DriverEngine::Streaming),
             driver_burst_ns_per_packet: time_driver(mode, samples, packets, DriverEngine::Burst),
             driver_scalar_ns_per_packet: time_driver(mode, samples, packets, DriverEngine::Scalar),
+            host_threads: pc_par::max_threads(),
         })
         .collect()
 }
@@ -507,6 +514,10 @@ pub struct TestBedResult {
     pub testbed_frame_ns_per_frame: f64,
     /// Median ns/frame for the per-access oracle.
     pub testbed_scalar_ns_per_frame: f64,
+    /// Worker threads on the measuring host ([`pc_par::max_threads`]);
+    /// see [`DriverResult::host_threads`] for how to read burst
+    /// speedups when this is 1.
+    pub host_threads: usize,
 }
 
 impl TestBedResult {
@@ -587,6 +598,7 @@ fn time_testbed_mode(mode: DdioMode, samples: usize, frames: usize) -> TestBedRe
         testbed_burst_ns_per_frame: medians.next().expect("batched row"),
         testbed_frame_ns_per_frame: medians.next().expect("per-frame row"),
         testbed_scalar_ns_per_frame: medians.next().expect("per-access row"),
+        host_threads: pc_par::max_threads(),
     }
 }
 
@@ -669,10 +681,27 @@ pub fn measure_fleet(samples: usize, tenants: usize) -> FleetResult {
     }
 }
 
+/// The adaptive-mode tax: adaptive ns/packet ÷ enabled ns/packet on the
+/// streaming driver path. This is the number the incremental partition
+/// re-evaluation is sized by (target ≤ 4× since PR 8; it was ~15×
+/// under the full-scan evaluator). `None` unless both modes were
+/// measured.
+pub fn adaptive_driver_tax(drivers: &[DriverResult]) -> Option<f64> {
+    let ns = |m: &str| {
+        drivers
+            .iter()
+            .find(|d| d.mode == m)
+            .map(|d| d.driver_ns_per_packet)
+    };
+    Some(ns("adaptive")? / ns("enabled")?)
+}
+
 /// Renders results as the `BENCH_cache.json` document (schema
-/// `pc-bench-cache-v5`; the `trace_*` fields, the per-mode `modes`
-/// summary, the end-to-end `driver` and `testbed` rows and the `fleet`
-/// entry are documented in `crates/bench/README.md`).
+/// `pc-bench-cache-v6`; the `trace_*` fields, the per-mode `modes`
+/// summary, the end-to-end `driver` and `testbed` rows — each
+/// annotated with the measuring host's `host_threads` — the `fleet`
+/// entry and the `adaptive_driver_tax` ratio are documented in
+/// `crates/bench/README.md`).
 pub fn to_json(
     results: &[CaseResult],
     drivers: &[DriverResult],
@@ -683,7 +712,7 @@ pub fn to_json(
     use std::fmt::Write as _;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v5\",");
+    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v6\",");
     let _ = writeln!(s, "  \"trace_len\": {trace_len},");
     let _ = writeln!(s, "  \"threads\": {},", pc_par::max_threads());
     s.push_str("  \"modes\": [\n");
@@ -701,13 +730,14 @@ pub fn to_json(
     for (i, d) in drivers.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"mode\": \"{}\", \"driver_ns_per_packet\": {:.1}, \"driver_burst_ns_per_packet\": {:.1}, \"driver_scalar_ns_per_packet\": {:.1}, \"driver_speedup\": {:.2}, \"driver_burst_speedup\": {:.2}}}",
+            "    {{\"mode\": \"{}\", \"driver_ns_per_packet\": {:.1}, \"driver_burst_ns_per_packet\": {:.1}, \"driver_scalar_ns_per_packet\": {:.1}, \"driver_speedup\": {:.2}, \"driver_burst_speedup\": {:.2}, \"host_threads\": {}}}",
             d.mode,
             d.driver_ns_per_packet,
             d.driver_burst_ns_per_packet,
             d.driver_scalar_ns_per_packet,
             d.driver_speedup(),
-            d.driver_burst_speedup()
+            d.driver_burst_speedup(),
+            d.host_threads
         );
         s.push_str(if i + 1 < drivers.len() { ",\n" } else { "\n" });
     }
@@ -716,13 +746,14 @@ pub fn to_json(
     for (i, t) in testbeds.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"mode\": \"{}\", \"testbed_burst_ns_per_frame\": {:.1}, \"testbed_frame_ns_per_frame\": {:.1}, \"testbed_scalar_ns_per_frame\": {:.1}, \"testbed_burst_speedup\": {:.2}, \"testbed_scalar_speedup\": {:.2}}}",
+            "    {{\"mode\": \"{}\", \"testbed_burst_ns_per_frame\": {:.1}, \"testbed_frame_ns_per_frame\": {:.1}, \"testbed_scalar_ns_per_frame\": {:.1}, \"testbed_burst_speedup\": {:.2}, \"testbed_scalar_speedup\": {:.2}, \"host_threads\": {}}}",
             t.mode,
             t.testbed_burst_ns_per_frame,
             t.testbed_frame_ns_per_frame,
             t.testbed_scalar_ns_per_frame,
             t.testbed_burst_speedup(),
-            t.testbed_scalar_speedup()
+            t.testbed_scalar_speedup(),
+            t.host_threads
         );
         s.push_str(if i + 1 < testbeds.len() { ",\n" } else { "\n" });
     }
@@ -732,6 +763,9 @@ pub fn to_json(
         "  \"fleet\": {{\"tenants\": {}, \"tenants_per_sec\": {:.1}, \"packets_per_sec\": {:.0}}},",
         fleet.tenants, fleet.tenants_per_sec, fleet.packets_per_sec
     );
+    if let Some(tax) = adaptive_driver_tax(drivers) {
+        let _ = writeln!(s, "  \"adaptive_driver_tax\": {tax:.2},");
+    }
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
@@ -780,6 +814,7 @@ mod tests {
             driver_ns_per_packet: 200.0,
             driver_burst_ns_per_packet: 120.0,
             driver_scalar_ns_per_packet: 240.0,
+            host_threads: 4,
         }
     }
 
@@ -789,6 +824,7 @@ mod tests {
             testbed_burst_ns_per_frame: 500.0,
             testbed_frame_ns_per_frame: 600.0,
             testbed_scalar_ns_per_frame: 750.0,
+            host_threads: 4,
         }
     }
 
@@ -817,14 +853,37 @@ mod tests {
         assert!(s.contains("\"driver_ns_per_packet\": 200.0"));
         assert!(s.contains("\"driver_speedup\": 1.20"));
         assert!(s.contains("\"driver_burst_speedup\": 2.00"));
+        assert!(s.contains("\"host_threads\": 4"));
         assert!(s.contains("\"testbed_burst_ns_per_frame\": 500.0"));
         assert!(s.contains("\"testbed_burst_speedup\": 1.20"));
         assert!(s.contains("\"testbed_scalar_speedup\": 1.50"));
-        assert!(s.contains("pc-bench-cache-v5"));
+        assert!(s.contains("pc-bench-cache-v6"));
         assert!(s.contains(
             "\"fleet\": {\"tenants\": 64, \"tenants_per_sec\": 40.0, \"packets_per_sec\": 2000000}"
         ));
+        assert!(
+            !s.contains("adaptive_driver_tax"),
+            "tax must be omitted when either mode is unmeasured, not invented"
+        );
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn adaptive_tax_is_published_when_both_modes_exist() {
+        let mut adaptive = driver_result("adaptive");
+        adaptive.driver_ns_per_packet = 500.0;
+        let drivers = vec![driver_result("enabled"), adaptive];
+        assert!((adaptive_driver_tax(&drivers).unwrap() - 2.5).abs() < 1e-9);
+        let s = to_json(
+            &[result("stream/enabled")],
+            &drivers,
+            &[testbed_result("enabled")],
+            &fleet_result(),
+            TRACE_LEN,
+        );
+        assert!(s.contains("\"adaptive_driver_tax\": 2.50"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(adaptive_driver_tax(&[driver_result("enabled")]).is_none());
     }
 
     #[test]

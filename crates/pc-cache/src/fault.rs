@@ -116,11 +116,30 @@ pub enum FaultSite {
     /// traffic they should precede. Counter-fired, windowed engine
     /// only.
     BurstFlushElision,
+    /// The adaptive defense's incremental bookkeeping stamps a keyed
+    /// set's dirty epoch without pushing it onto the dirty worklist —
+    /// the set silently skips its period evaluation while later writes
+    /// think it is queued. Keyed on the slice-local set index; requires
+    /// the [`Engine::Batch`] context tag (the hook sits in the shared
+    /// shard substrate).
+    StaleDirtySet,
+    /// A shard's period evaluation skips the epoch bump that retires
+    /// last period's dirty stamps — sets touched last period falsely
+    /// appear already-queued, so their next I/O write never re-enters
+    /// them into the worklist. Keyed on the shard's defense clock;
+    /// requires the [`Engine::Streaming`] context tag.
+    SkippedEpochBump,
+    /// The packed 8-byte `CacheOp` decode truncates a keyed escaped
+    /// lead to the largest inline value — the buffered batch's clock
+    /// falls short of the per-access oracle's. Keyed on the packed op
+    /// word; lexically buffered-decode-only (streaming and oracle
+    /// engines never decode).
+    TruncatedLead,
 }
 
 impl FaultSite {
     /// Every catalog entry, in matrix order.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::StatOffByOne,
         FaultSite::DroppedFlush,
         FaultSite::StaleLru,
@@ -129,6 +148,9 @@ impl FaultSite {
         FaultSite::DroppedDeferredRead,
         FaultSite::SkippedDefenseEval,
         FaultSite::BurstFlushElision,
+        FaultSite::StaleDirtySet,
+        FaultSite::SkippedEpochBump,
+        FaultSite::TruncatedLead,
     ];
 
     /// The site's kebab-case name (the `PC_FAULT` spelling).
@@ -142,6 +164,9 @@ impl FaultSite {
             FaultSite::DroppedDeferredRead => "dropped-deferred-read",
             FaultSite::SkippedDefenseEval => "skipped-defense-eval",
             FaultSite::BurstFlushElision => "burst-flush-elision",
+            FaultSite::StaleDirtySet => "stale-dirty-set",
+            FaultSite::SkippedEpochBump => "skipped-epoch-bump",
+            FaultSite::TruncatedLead => "truncated-lead",
         }
     }
 
@@ -169,7 +194,10 @@ impl FaultSite {
             FaultSite::StaleLru
             | FaultSite::SwappedSliceBin
             | FaultSite::CorruptedLead
-            | FaultSite::SkippedDefenseEval => FiringKind::Keyed,
+            | FaultSite::SkippedDefenseEval
+            | FaultSite::StaleDirtySet
+            | FaultSite::SkippedEpochBump
+            | FaultSite::TruncatedLead => FiringKind::Keyed,
         }
     }
 
@@ -178,8 +206,8 @@ impl FaultSite {
     /// location is already unique to one engine.
     pub fn required_engine(self) -> Option<Engine> {
         match self {
-            FaultSite::StaleLru => Some(Engine::Batch),
-            FaultSite::SkippedDefenseEval => Some(Engine::Streaming),
+            FaultSite::StaleLru | FaultSite::StaleDirtySet => Some(Engine::Batch),
+            FaultSite::SkippedDefenseEval | FaultSite::SkippedEpochBump => Some(Engine::Streaming),
             FaultSite::DroppedDeferredRead => Some(Engine::WindowedRx),
             _ => None,
         }
@@ -197,6 +225,9 @@ impl FaultSite {
             FaultSite::DroppedDeferredRead => "windowed rx drops one due payload read",
             FaultSite::SkippedDefenseEval => "streaming shard skips a defense evaluation",
             FaultSite::BurstFlushElision => "window collector elides the deferred-pending cut",
+            FaultSite::StaleDirtySet => "batch shard stamps a set dirty without queueing it",
+            FaultSite::SkippedEpochBump => "streaming shard keeps last period's dirty stamps live",
+            FaultSite::TruncatedLead => "packed op decode truncates an escaped lead",
         }
     }
 

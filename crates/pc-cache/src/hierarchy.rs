@@ -295,9 +295,17 @@ impl Hierarchy {
     /// code at the hierarchy itself (it implements [`OpSink`]) does.
     pub fn run_ops(&mut self, buf: &OpBuffer) -> TraceSummary {
         let mut sum = if buf.len() < crate::llc::PAR_BATCH_MIN {
-            self.run_trace_sequential(buf.ops().iter().copied())
+            self.run_trace_sequential(buf.iter())
         } else {
-            self.run_trace_threads(buf.ops(), pc_par::max_threads())
+            // Sharding wants a contiguous slice; decode the packed words
+            // into the trace scratch once, then fan out.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            scratch.extend(buf.iter());
+            let sum = self.run_trace_threads(&scratch, pc_par::max_threads());
+            scratch.clear();
+            self.scratch = scratch;
+            sum
         };
         self.clock += buf.trailing();
         sum.cycles += buf.trailing();
@@ -310,14 +318,19 @@ impl Hierarchy {
     /// no per-op aggregate bookkeeping.
     pub fn apply_ops(&mut self, buf: &OpBuffer) {
         if buf.len() >= crate::llc::PAR_BATCH_MIN {
-            self.run_trace_threads(buf.ops(), pc_par::max_threads());
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            scratch.extend(buf.iter());
+            self.run_trace_threads(&scratch, pc_par::max_threads());
+            scratch.clear();
+            self.scratch = scratch;
         } else {
             let _engine = crate::fault::engine_scope(crate::fault::Engine::Batch);
             let allocates = self.llc.mode().allocates_in_llc();
             let mut clock = self.clock;
             let mut reads = 0u64;
             let mut writes = 0u64;
-            for &op in buf.ops() {
+            for op in buf.iter() {
                 let out = self.llc.access(op.addr, op.kind);
                 reads += u64::from(out.dram_reads);
                 writes += u64::from(out.dram_writes);

@@ -68,7 +68,7 @@ pub use geometry::CacheGeometry;
 pub use hierarchy::{Hierarchy, LatencyModel, OpApplier, TraceSummary};
 pub use llc::{AccessKind, AccessOutcome, BatchOutcome, DdioMode, SliceSet, SlicedCache};
 pub use memory::MemoryStats;
-pub use ops::{CacheOp, OpBuffer, OpSink};
+pub use ops::{CacheOp, OpBuffer, OpIter, OpSink};
 pub use partition::AdaptiveConfig;
 pub use replacement::ReplacementPolicy;
 pub use set::Domain;

@@ -36,6 +36,23 @@
 //!    period at all.) `paper_defaults` rescales the paper's
 //!    `p = 10 000` cycles by the modelled average access cost
 //!    (~80–100 cycles) over the 8 slices to ≈16 accesses per slice.
+//! 3. *Incremental re-evaluation, not a hardware sweep.* The paper's
+//!    hardware re-evaluates every set's boundary each period — free in
+//!    silicon, where 16 384 comparators fire in parallel, but the
+//!    dominant cost of adaptive mode in software (a ~15× tax over plain
+//!    DDIO before PR 8). The production engine therefore walks only a
+//!    dirty-set worklist (sets with I/O activity this period, epoch-
+//!    stamped for O(1) dedup) plus the still-active elevated sets,
+//!    *parking* any elevated set whose just-finished evaluation proves
+//!    the next one is a pure no-op. Skipped evaluations are exactly the
+//!    no-ops — they move no boundary, evict nothing, draw no RNG and
+//!    change no statistics — so the schedule of *observable* boundary
+//!    moves is identical to the full sweep's, byte for byte. The
+//!    [`crate::ReferenceCache`] oracle deliberately keeps the full scan
+//!    (`reference.rs::adapt`), and `tests/incremental_eval.rs` pins the
+//!    two against each other; the park-soundness condition itself is
+//!    derived in `shard.rs::adapt`'s docs and in ARCHITECTURE.md's
+//!    "Adaptive defense" section.
 //!
 //! # Displacement semantics at boundary moves
 //!

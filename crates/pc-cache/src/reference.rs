@@ -623,6 +623,15 @@ impl ReferenceCache {
         }
     }
 
+    // This is deliberately still the *full-scan* evaluator: every set
+    // on the touched or elevated list is revisited each period, no
+    // dirty worklist, no epoch stamps, no parking. The production
+    // engine (`shard.rs::adapt`) replaced this walk with an incremental
+    // one whose correctness argument is "skipping is only legal when
+    // the skipped evaluation is a provable no-op" — an argument that
+    // only means something while the naive schedule survives verbatim
+    // as the oracle (`tests/incremental_eval.rs` pins the two against
+    // each other). Do not optimize this method.
     fn adapt(&mut self, cfg: AdaptiveConfig, slice: usize) {
         self.ctl[slice].adapt_last = self.ctl[slice].clock;
         self.stats.defense_evals += 1;

@@ -43,7 +43,7 @@ use crate::partition::AdaptiveConfig;
 use crate::replacement::{ReplacementPolicy, Victims};
 use crate::set::Domain;
 use crate::stats::CacheStats;
-use crate::store::{LineStore, FLAG_ELEVATED, FLAG_TOUCHED};
+use crate::store::{LineStore, FLAG_ELEVATED, FLAG_PARKED, NEVER_TOUCHED};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -58,10 +58,22 @@ pub(crate) struct Shard {
     /// The defense clock: accesses this shard has processed. Drives the
     /// adaptive period; pure function of the slice's own access stream.
     clock: u64,
-    // Adaptive-defense bookkeeping (unused in other modes).
+    // Adaptive-defense bookkeeping (unused in other modes). The
+    // worklists are *incremental*: `dirty` holds the sets that saw an
+    // I/O write this epoch (deduplicated by `SetMeta::touch_epoch`
+    // stamps), `active` holds the elevated sets whose last evaluation
+    // was NOT a provable no-op. Elevated sets whose next evaluation is
+    // provably a no-op are parked (`FLAG_PARKED`) and skipped entirely
+    // until new I/O activity or a flush re-engages them — see
+    // `Shard::adapt` for the soundness argument.
     adapt_last: u64,
-    touched: Vec<usize>,
-    elevated: Vec<usize>,
+    /// Current dirty epoch; never equals [`NEVER_TOUCHED`].
+    epoch: u32,
+    dirty: Vec<usize>,
+    active: Vec<usize>,
+    /// Reusable evaluation worklist (capacity persists across periods so
+    /// steady-state adaptation allocates nothing).
+    scratch: Vec<usize>,
 }
 
 impl Shard {
@@ -85,8 +97,10 @@ impl Shard {
             stats: CacheStats::new(),
             clock: 0,
             adapt_last: 0,
-            touched: Vec::new(),
-            elevated: Vec::new(),
+            epoch: 0,
+            dirty: Vec::new(),
+            active: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -119,6 +133,20 @@ impl Shard {
     pub(crate) fn flush_all(&mut self) -> usize {
         let wb = self.store.invalidate_all();
         self.stats.writebacks += wb as u64;
+        // A flush breaks every parked set's stability premise (its
+        // resident I/O lines are gone, so its next evaluation shrinks
+        // the boundary instead of no-opping): re-engage them all. Index
+        // order is sound here because a parked set's post-flush
+        // evaluation is RNG-free and stats-free until it is touched
+        // again — and a touched set re-enters through `dirty` at
+        // exactly the position the full-scan walk would evaluate it.
+        for set in 0..self.store.sets.len() {
+            let meta = &mut self.store.sets[set];
+            if meta.flags & FLAG_PARKED != 0 {
+                meta.flags &= !FLAG_PARKED;
+                self.active.push(set);
+            }
+        }
         wb
     }
 
@@ -412,14 +440,53 @@ impl Shard {
             return;
         }
         self.store.sets[set].io_activity = self.store.sets[set].io_activity.saturating_add(1);
-        if self.store.sets[set].flags & FLAG_TOUCHED == 0 {
-            self.store.sets[set].flags |= FLAG_TOUCHED;
-            self.touched.push(set);
+        if self.store.sets[set].touch_epoch != self.epoch {
+            self.store.sets[set].touch_epoch = self.epoch;
+            // Fault site `stale-dirty-set`: batch replay stamps the
+            // epoch (so later writes in the period think the set is
+            // queued) but loses the worklist push — the set silently
+            // skips its evaluation. Keyed on the slice-local set index,
+            // which is schedule-independent.
+            if !crate::fault::fires_keyed(crate::fault::FaultSite::StaleDirtySet, set as u64) {
+                self.dirty.push(set);
+            }
         }
     }
 
-    /// Re-evaluates the I/O/CPU boundary of every recently active set of
-    /// this shard.
+    /// Re-evaluates the I/O/CPU boundary of every set of this shard
+    /// whose next evaluation could be observable — the incremental
+    /// worklist.
+    ///
+    /// The full-scan predecessor (still alive, verbatim, as the
+    /// [`crate::ReferenceCache`] oracle) revisited `touched ++ elevated`
+    /// every period. Under the paper's defaults (`t_high = 1` with the
+    /// presence floor) every set that ever holds an I/O line pins at
+    /// `max_io_lines` and stays on the elevated list forever, so the
+    /// walk degenerated to an all-no-op scan of the whole I/O working
+    /// set every 16 accesses — the dominant cost of adaptive mode. This
+    /// version evaluates `dirty ++ active` instead:
+    ///
+    /// * `dirty` is exactly the old touched list (same push condition,
+    ///   deduplicated by epoch stamp instead of a flag), so touched
+    ///   sets are evaluated at identical worklist positions.
+    /// * `active` is the old elevated list minus *parked* sets. A set
+    ///   parks only when its just-finished evaluation proves the next
+    ///   one is a pure no-op: its activity counter is zero (just
+    ///   reset), and with `p` resident I/O lines the untouched-next-
+    ///   period evaluation computes `activity = max(0, p) = p`, which
+    ///   is a no-op iff `p >= t_low && (p < t_high || io_limit ==
+    ///   max_io_lines)`. Such an evaluation moves no boundary, evicts
+    ///   nothing, draws no RNG and changes no statistics, so skipping
+    ///   it is unobservable — and the condition is self-perpetuating
+    ///   (in adaptive mode a set's I/O occupancy and activity can only
+    ///   change through an I/O write, which stamps the set into
+    ///   `dirty`, or through a flush, which re-engages all parked
+    ///   sets).
+    ///
+    /// Because skipped evaluations draw no RNG, the RNG consumption
+    /// sequence of the evaluated sets is identical to the full scan's,
+    /// which is what keeps the incremental engine byte-identical to the
+    /// oracle (pinned by `tests/incremental_eval.rs`).
     ///
     /// Displacement semantics when the boundary moves are **eager**: the
     /// losing side's surplus lines are invalidated (with writeback if
@@ -428,27 +495,47 @@ impl Shard {
     fn adapt(&mut self, cfg: AdaptiveConfig) {
         self.adapt_last = self.clock;
         self.stats.defense_evals += 1;
-        let touched = std::mem::take(&mut self.touched);
-        let elevated = std::mem::take(&mut self.elevated);
-        let mut revisit: Vec<usize> = Vec::with_capacity(touched.len() + elevated.len());
-        revisit.extend_from_slice(&touched);
-        // The touched flags must stay up while the elevated list is
-        // deduplicated against them. (The original implementation cleared
-        // them in the loop above, so sets on both lists were revisited
-        // twice per period — the second visit saw the freshly zeroed
-        // activity counter and moved the boundary a spurious step. With
-        // the paper's `t_high = 1` that grew every active partition to
-        // `max_io_lines` within one period and pinned it there.)
-        for set in elevated {
-            self.store.sets[set].flags &= !FLAG_ELEVATED;
-            if self.store.sets[set].flags & FLAG_TOUCHED == 0 {
-                revisit.push(set);
+        // Worklist = dirty ++ (active minus already-dirty), built in a
+        // persistent scratch vec: no per-period allocation (the old
+        // `std::mem::take` + `Vec::with_capacity` pattern reallocated
+        // all three lists every 16 accesses).
+        debug_assert!(self.scratch.is_empty());
+        std::mem::swap(&mut self.dirty, &mut self.scratch);
+        for i in 0..self.active.len() {
+            let set = self.active[i];
+            if self.store.sets[set].touch_epoch != self.epoch {
+                self.scratch.push(set);
             }
         }
-        for set in touched {
-            self.store.sets[set].flags &= !FLAG_TOUCHED;
+        self.active.clear();
+        // Bumping the epoch invalidates every stamp at once — this IS
+        // the old per-set touched-flag clear pass, in O(1).
+        //
+        // Fault site `skipped-epoch-bump`: the streaming engine keeps
+        // the stale epoch, so sets stamped last period falsely appear
+        // already-queued and their next I/O write never re-enters them
+        // into the dirty worklist. Keyed on the epoch itself
+        // (schedule-independent by construction) — and self-latching:
+        // a skipped bump leaves the key unchanged, so once the mutant
+        // fires the epoch stays frozen and dirty tracking dies for
+        // good, the way a real latched-condition bug would behave.
+        if !crate::fault::fires_keyed(
+            crate::fault::FaultSite::SkippedEpochBump,
+            u64::from(self.epoch),
+        ) {
+            self.epoch = self.epoch.wrapping_add(1);
+            if self.epoch == NEVER_TOUCHED {
+                // Stamp wrap (once per 2^32 - 1 periods): sweep every
+                // stamp back to the sentinel so no stale stamp can
+                // collide with a reused epoch value.
+                self.epoch = 0;
+                for meta in &mut self.store.sets {
+                    meta.touch_epoch = NEVER_TOUCHED;
+                }
+            }
         }
-        for set in revisit {
+        for i in 0..self.scratch.len() {
+            let set = self.scratch[i];
             // The paper's hardware counts cycles with a valid I/O line
             // *present*; a standing I/O line keeps the counter above
             // T_high for the whole period. Our event count is therefore
@@ -501,10 +588,27 @@ impl Shard {
                 }
             }
             self.store.sets[set].io_limit = new;
-            if new > cfg.min_io_lines && self.store.sets[set].flags & FLAG_ELEVATED == 0 {
-                self.store.sets[set].flags |= FLAG_ELEVATED;
-                self.elevated.push(set);
+            // Classify for next period. `post_present` is the I/O
+            // occupancy the untouched-next-period evaluation will see
+            // (shrink evictions just ran, grow never changes it).
+            let post_present = self.store.count_domain(set, Domain::Io) as u32;
+            let meta = &mut self.store.sets[set];
+            if new > cfg.min_io_lines {
+                meta.flags |= FLAG_ELEVATED;
+                let stable = post_present >= cfg.t_low
+                    && (post_present < cfg.t_high || new == cfg.max_io_lines);
+                if stable {
+                    // Next evaluation is a provable no-op: park the set
+                    // off the active worklist (see the method docs).
+                    meta.flags |= FLAG_PARKED;
+                } else {
+                    meta.flags &= !FLAG_PARKED;
+                    self.active.push(set);
+                }
+            } else {
+                meta.flags &= !(FLAG_ELEVATED | FLAG_PARKED);
             }
         }
+        self.scratch.clear();
     }
 }

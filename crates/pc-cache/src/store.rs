@@ -14,8 +14,9 @@
 //!   contiguous array. An invalid line is the all-zero word.
 //! * replacement state — flat per-line stamps / per-set PLRU bit blocks
 //!   ([`crate::replacement::FlatReplacement`]).
-//! * per-set bookkeeping — one packed 12-byte [`SetMeta`] record (valid
-//!   count, I/O count, partition limit, activity, flags) per set.
+//! * per-set bookkeeping — one packed 16-byte [`SetMeta`] record (valid
+//!   count, I/O count, partition limit, activity, flags, dirty-epoch
+//!   stamp) per set.
 //!
 //! The incrementally-maintained counters in [`SetMeta`] turn the
 //! DDIO way-limit and adaptive-partition quota checks (previously
@@ -35,10 +36,19 @@ const IO: u64 = 1 << 2;
 /// Bits below the tag.
 const TAG_SHIFT: u32 = 3;
 
-/// Scratch flag: set is on the adaptive defense's touched list.
-pub(crate) const FLAG_TOUCHED: u8 = 1 << 0;
-/// Scratch flag: set is on the elevated (`io_limit > min`) list.
+/// Scratch flag: set holds an elevated partition (`io_limit > min`).
 pub(crate) const FLAG_ELEVATED: u8 = 1 << 1;
+/// Scratch flag: set is elevated *and stable* — its last evaluation
+/// proved the next one would be a pure no-op (no boundary move, no
+/// eviction, no RNG draw), so the adaptive defense parks it off the
+/// active worklist until new I/O activity or a flush re-engages it.
+/// See `Shard::adapt` for the exact soundness condition.
+pub(crate) const FLAG_PARKED: u8 = 1 << 2;
+
+/// [`SetMeta::touch_epoch`] sentinel: "not touched in any epoch". The
+/// adaptive epoch counter skips this value when it wraps, so a stamp of
+/// `NEVER_TOUCHED` can never spuriously match the current epoch.
+pub(crate) const NEVER_TOUCHED: u32 = u32::MAX;
 
 #[inline]
 fn pack(tag: u64, domain: Domain, dirty: bool) -> u64 {
@@ -52,10 +62,10 @@ fn pack(tag: u64, domain: Domain, dirty: bool) -> u64 {
         | if domain == Domain::Io { IO } else { 0 }
 }
 
-/// Per-set bookkeeping, packed into one 12-byte record so a quota check
+/// Per-set bookkeeping, packed into one 16-byte record so a quota check
 /// or adaptation step touches a single cache line instead of five
 /// scattered arrays.
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Copy, Clone, Debug)]
 pub(crate) struct SetMeta {
     /// Valid lines in the set.
     pub(crate) valid: u16,
@@ -65,10 +75,29 @@ pub(crate) struct SetMeta {
     /// (2 under plain DDIO; 1..=3 under the adaptive defense).
     pub(crate) io_limit: u8,
     /// Adaptive-defense scratch flags
-    /// ([`FLAG_TOUCHED`] / [`FLAG_ELEVATED`]).
+    /// ([`FLAG_ELEVATED`] / [`FLAG_PARKED`]).
     pub(crate) flags: u8,
     /// I/O accesses observed during the current adaptation period.
     pub(crate) io_activity: u32,
+    /// Adaptive epoch in which the set last saw an I/O write
+    /// ([`NEVER_TOUCHED`] = never). A stamp equal to the shard's current
+    /// epoch means "already on the dirty worklist" — bumping the epoch
+    /// after each evaluation replaces the old per-set touched-flag clear
+    /// pass with a single counter increment.
+    pub(crate) touch_epoch: u32,
+}
+
+impl Default for SetMeta {
+    fn default() -> Self {
+        SetMeta {
+            valid: 0,
+            io: 0,
+            io_limit: 0,
+            flags: 0,
+            io_activity: 0,
+            touch_epoch: NEVER_TOUCHED,
+        }
+    }
 }
 
 /// All lines of all sets, as parallel flat arrays.

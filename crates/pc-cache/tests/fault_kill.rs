@@ -148,15 +148,18 @@ fn detect(stream_seed: u64) -> Option<String> {
     None
 }
 
-/// The six catalog sites whose mutation lives at or below the
+/// The nine catalog sites whose mutation lives at or below the
 /// op-stream engines (the two rx sites are killed in pc-core's suite).
-const CACHE_SITES: [FaultSite; 6] = [
+const CACHE_SITES: [FaultSite; 9] = [
     FaultSite::StatOffByOne,
     FaultSite::DroppedFlush,
     FaultSite::StaleLru,
     FaultSite::SwappedSliceBin,
     FaultSite::CorruptedLead,
     FaultSite::SkippedDefenseEval,
+    FaultSite::StaleDirtySet,
+    FaultSite::SkippedEpochBump,
+    FaultSite::TruncatedLead,
 ];
 
 #[test]

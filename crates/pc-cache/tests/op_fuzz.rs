@@ -202,6 +202,43 @@ proptest! {
             );
         }
     }
+
+    /// Packed-vs-unpacked round trip: every op pushed through the
+    /// 8-byte [`OpBuffer`] encoding decodes back to itself modulo line
+    /// quantization. Leads are drawn to straddle the inline/escape
+    /// boundary (0..=14 inline, 15.. escaped) so both encodings and the
+    /// escape cursor's ordering are fuzz-pinned, not just unit-tested.
+    #[test]
+    fn packed_ops_round_trip_through_the_buffer(
+        seed in 0u64..u64::MAX,
+        len in 1usize..3000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut buf = OpBuffer::new();
+        let mut want = Vec::with_capacity(len);
+        for _ in 0..len {
+            let addr = PhysAddr::new(rng.gen::<u64>() >> rng.gen_range(0..32));
+            let kind = match rng.gen_range(0..4u32) {
+                0 => AccessKind::CpuRead,
+                1 => AccessKind::CpuWrite,
+                2 => AccessKind::IoWrite,
+                _ => AccessKind::IoRead,
+            };
+            // Half the draws hug the escape threshold (lead 15), the
+            // rest sweep the full magnitude range.
+            let lead = if rng.gen_bool(0.5) {
+                rng.gen_range(0..31u64)
+            } else {
+                rng.gen::<u64>() >> rng.gen_range(0..64)
+            };
+            let op = CacheOp::new(addr, kind).after(lead);
+            want.push(CacheOp { addr: addr.line_base(), ..op });
+            buf.op(op);
+        }
+        let got: Vec<CacheOp> = buf.iter().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(buf.len(), len);
+    }
 }
 
 /// Empty streams and lead-only buffers: the degenerate windows the
