@@ -241,12 +241,25 @@ fn run_scenarios(names: &[String], scale: Scale, seed: u64) {
         let t = Instant::now();
         println!("==================================================================");
         println!("Scenario {} — {}", s.name(), s.summary());
+        // Per-scenario window-fusion telemetry: reset the process-wide
+        // counters so each stderr line reports this scenario's delta.
+        pc_core::reset_window_stats();
         print!("{}", s.run(scale, seed));
-        // Timing to stderr, like the figure experiments: stdout must be
-        // byte-stable (the CI determinism job diffs scenario runs too).
+        // Timing and window telemetry to stderr, like the figure
+        // experiments: stdout must be byte-stable (the CI determinism
+        // job diffs scenario runs too), while the fused window sizes —
+        // the thing the reconstruction engine exists to grow — stay
+        // observable without a bench run. Windows form only when the
+        // batched engine has worker threads to feed; other runs report
+        // 0 windows.
+        let w = pc_core::window_stats_snapshot();
         eprintln!(
-            "[scenario {name} done in {:.1}s]",
-            t.elapsed().as_secs_f64()
+            "[scenario {name} done in {:.1}s; {} windows, frames/window mean {:.1} p50 {} max {}]",
+            t.elapsed().as_secs_f64(),
+            w.windows,
+            w.mean_frames(),
+            w.p50_frames(),
+            w.max_frames
         );
     }
 }
@@ -585,21 +598,30 @@ fn bench_cache(scale: Scale, smoke: bool) {
         );
     }
     // The full arrival pipeline through the TestBed: windowed burst
-    // delivery vs per-frame vs the per-access oracle.
-    let testbeds = pc_bench::cache_bench::measure_testbed(samples, testbed_frames);
+    // delivery vs per-frame vs the per-access oracle — the per-mode
+    // backlog rows plus the cross-gap fusion row (bursty schedule with
+    // gaps and probe epochs, the shape that used to cut windows at
+    // every sync).
+    let mut testbeds = pc_bench::cache_bench::measure_testbed(samples, testbed_frames);
+    testbeds.push(pc_bench::cache_bench::measure_crossgap(
+        samples,
+        testbed_frames,
+    ));
     println!(
         "testbed_mode,testbed_burst_ns_per_frame,testbed_frame_ns_per_frame,\
-         testbed_scalar_ns_per_frame,testbed_burst_speedup,testbed_scalar_speedup"
+         testbed_scalar_ns_per_frame,testbed_burst_speedup,testbed_scalar_speedup,\
+         testbed_window_frames_mean"
     );
     for t in &testbeds {
         println!(
-            "{},{:.1},{:.1},{:.1},{:.2}x,{:.2}x",
+            "{},{:.1},{:.1},{:.1},{:.2}x,{:.2}x,{:.1}",
             t.mode,
             t.testbed_burst_ns_per_frame,
             t.testbed_frame_ns_per_frame,
             t.testbed_scalar_ns_per_frame,
             t.testbed_burst_speedup(),
-            t.testbed_scalar_speedup()
+            t.testbed_scalar_speedup(),
+            t.testbed_window_frames_mean
         );
     }
     // Fleet orchestration: the standard tenant mix end to end, wall
@@ -682,6 +704,24 @@ fn bench_cache(scale: Scale, smoke: bool) {
                     t.testbed_burst_speedup(),
                     t.host_threads,
                     t.mode
+                ));
+            }
+            // The cross-gap row's fusion gate: the pre-reconstruction
+            // engine cut a window at every gap sync and probe epoch, so
+            // its mean window could never exceed the burst size. Only
+            // meaningful with worker threads — a 1-core host delivers
+            // per frame by design and reports 0.0.
+            if t.mode == "crossgap"
+                && t.host_threads > 1
+                && t.testbed_window_frames_mean <= pc_bench::cache_bench::CROSSGAP_BURST as f64
+            {
+                die(&format!(
+                    "bench-cache smoke: cross-gap mean window {:.1} frames does not \
+                     exceed the {}-frame burst on a {}-thread host — windows are \
+                     not fusing across gaps/epochs",
+                    t.testbed_window_frames_mean,
+                    pc_bench::cache_bench::CROSSGAP_BURST,
+                    t.host_threads
                 ));
             }
         }

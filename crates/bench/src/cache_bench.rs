@@ -514,6 +514,14 @@ pub struct TestBedResult {
     pub testbed_frame_ns_per_frame: f64,
     /// Median ns/frame for the per-access oracle.
     pub testbed_scalar_ns_per_frame: f64,
+    /// Mean frames per fused delivery window on the `Batched` bed over
+    /// the measurement passes ([`pc_core::WindowStats::mean_frames`]) —
+    /// the figure the fusion engine exists to grow. 0.0 on a 1-thread
+    /// host, where `advance_to`/`drain` legitimately pick per-frame
+    /// delivery (windowing feeds the sharded engine), so readers — and
+    /// the `--smoke` gate on the `crossgap` row — only treat it as
+    /// meaningful when `host_threads > 1`.
+    pub testbed_window_frames_mean: f64,
     /// Worker threads on the measuring host ([`pc_par::max_threads`]);
     /// see [`DriverResult::host_threads`] for how to read burst
     /// speedups when this is 1.
@@ -592,12 +600,14 @@ fn time_testbed_mode(mode: DdioMode, samples: usize, frames: usize) -> TestBedRe
             }
         }
     }
+    let window_frames_mean = beds[0].window_stats().mean_frames();
     let mut medians = runs.into_iter().map(median);
     TestBedResult {
         mode: String::new(), // filled by the caller
         testbed_burst_ns_per_frame: medians.next().expect("batched row"),
         testbed_frame_ns_per_frame: medians.next().expect("per-frame row"),
         testbed_scalar_ns_per_frame: medians.next().expect("per-access row"),
+        testbed_window_frames_mean: window_frames_mean,
         host_threads: pc_par::max_threads(),
     }
 }
@@ -613,6 +623,107 @@ pub fn measure_testbed(samples: usize, frames: usize) -> Vec<TestBedResult> {
             ..time_testbed_mode(mode, samples, frames)
         })
         .collect()
+}
+
+/// Frames per burst in the cross-gap fusion schedule. This is also the
+/// upper bound on the mean fused window the *pre-reconstruction*
+/// engine could reach on that schedule (it cut a window at every gap
+/// sync and probe epoch), so the `--smoke` gate requires the measured
+/// [`TestBedResult::testbed_window_frames_mean`] to strictly exceed it
+/// on multi-thread hosts.
+pub const CROSSGAP_BURST: usize = 32;
+
+/// Gap between bursts in the cross-gap schedule: far larger than any
+/// burst's replay, so every burst boundary is a genuine gap sync the
+/// window must span by retroactive clock reconstruction.
+const CROSSGAP_GAP: u64 = 120_000;
+
+/// Probe epochs per cross-gap pass: the backlog drains in this many
+/// `advance_to` + monitor-sample rounds, so epoch syncs (the other
+/// historical flush point) are part of the measured workload.
+const CROSSGAP_EPOCHS: u64 = 8;
+
+/// Measures the cross-gap fusion row (`mode: "crossgap"`): the same
+/// three rx engines on a *bursty* arrival schedule —
+/// [`CROSSGAP_BURST`]-frame zero-gap bursts separated by
+/// `CROSSGAP_GAP`-cycle gaps — drained through `CROSSGAP_EPOCHS`
+/// probe epochs (each an `advance_to` plus a fused
+/// [`pc_probe::Monitor`] sample). Exactly the shape that capped the
+/// pre-reconstruction engine at one window per gap/epoch; the row's
+/// `testbed_window_frames_mean` is the direct measure of what
+/// per-segment clock reconstruction buys.
+pub fn measure_crossgap(samples: usize, frames: usize) -> TestBedResult {
+    use pc_core::footprint::{build_monitor, page_aligned_targets};
+    use pc_core::{TestBed, TestBedConfig};
+    use pc_probe::AddressPool;
+    let engines = [RxEngine::Batched, RxEngine::PerFrame, RxEngine::PerAccess];
+    let mut beds: Vec<TestBed> = engines
+        .iter()
+        .map(|&engine| {
+            TestBed::new(
+                TestBedConfig {
+                    record_rx: false,
+                    ..TestBedConfig::paper_baseline().with_seed(0xc406)
+                }
+                .with_rx_engine(engine),
+            )
+        })
+        .collect();
+    // Probe epochs are part of the workload: a small monitor per bed,
+    // primed once, sampled at every epoch boundary while the bursty
+    // backlog drains. The sample cost is identical on every engine, so
+    // the engine comparison stays fair.
+    let monitors: Vec<_> = beds
+        .iter_mut()
+        .map(|tb| {
+            let geom = tb.hierarchy().llc().geometry();
+            let targets: Vec<_> = page_aligned_targets(&geom).into_iter().take(16).collect();
+            let pool = AddressPool::allocate(0xc406, 16384);
+            let m = build_monitor(tb.hierarchy().llc(), &pool, &targets);
+            m.prime_all(tb.hierarchy_mut());
+            m
+        })
+        .collect();
+    let mix = driver_frames(frames);
+    let mut runs: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); engines.len()];
+    for i in 0..=samples {
+        for (e, tb) in beds.iter_mut().enumerate() {
+            let start = tb.now() + 1;
+            let mut at = start;
+            let schedule: Vec<pc_net::ScheduledFrame> = mix
+                .iter()
+                .enumerate()
+                .map(|(j, &frame)| {
+                    if j > 0 && j % CROSSGAP_BURST == 0 {
+                        at += CROSSGAP_GAP;
+                    }
+                    pc_net::ScheduledFrame { at, frame }
+                })
+                .collect();
+            let end = at;
+            let t = Instant::now();
+            tb.enqueue(schedule);
+            for k in 1..=CROSSGAP_EPOCHS {
+                tb.advance_to(start + (end - start) * k / CROSSGAP_EPOCHS);
+                let _ = monitors[e].sample(tb.hierarchy_mut());
+            }
+            tb.drain();
+            let ns = t.elapsed().as_nanos() as f64 / frames as f64;
+            if i > 0 {
+                runs[e].push(ns); // first pass is warm-up
+            }
+        }
+    }
+    let window_frames_mean = beds[0].window_stats().mean_frames();
+    let mut medians = runs.into_iter().map(median);
+    TestBedResult {
+        mode: "crossgap".to_owned(),
+        testbed_burst_ns_per_frame: medians.next().expect("batched row"),
+        testbed_frame_ns_per_frame: medians.next().expect("per-frame row"),
+        testbed_scalar_ns_per_frame: medians.next().expect("per-access row"),
+        testbed_window_frames_mean: window_frames_mean,
+        host_threads: pc_par::max_threads(),
+    }
 }
 
 /// Tenants per fleet measurement pass (full runs; `--smoke` shortens
@@ -697,11 +808,13 @@ pub fn adaptive_driver_tax(drivers: &[DriverResult]) -> Option<f64> {
 }
 
 /// Renders results as the `BENCH_cache.json` document (schema
-/// `pc-bench-cache-v6`; the `trace_*` fields, the per-mode `modes`
+/// `pc-bench-cache-v7`; the `trace_*` fields, the per-mode `modes`
 /// summary, the end-to-end `driver` and `testbed` rows — each
-/// annotated with the measuring host's `host_threads` — the `fleet`
-/// entry and the `adaptive_driver_tax` ratio are documented in
-/// `crates/bench/README.md`).
+/// annotated with the measuring host's `host_threads` and, for
+/// testbed rows, the `testbed_window_frames_mean` fusion telemetry
+/// (the `crossgap` row measures the bursty gap + probe-epoch
+/// schedule) — the `fleet` entry and the `adaptive_driver_tax` ratio
+/// are documented in `crates/bench/README.md`).
 pub fn to_json(
     results: &[CaseResult],
     drivers: &[DriverResult],
@@ -712,7 +825,7 @@ pub fn to_json(
     use std::fmt::Write as _;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v6\",");
+    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v7\",");
     let _ = writeln!(s, "  \"trace_len\": {trace_len},");
     let _ = writeln!(s, "  \"threads\": {},", pc_par::max_threads());
     s.push_str("  \"modes\": [\n");
@@ -746,13 +859,14 @@ pub fn to_json(
     for (i, t) in testbeds.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"mode\": \"{}\", \"testbed_burst_ns_per_frame\": {:.1}, \"testbed_frame_ns_per_frame\": {:.1}, \"testbed_scalar_ns_per_frame\": {:.1}, \"testbed_burst_speedup\": {:.2}, \"testbed_scalar_speedup\": {:.2}, \"host_threads\": {}}}",
+            "    {{\"mode\": \"{}\", \"testbed_burst_ns_per_frame\": {:.1}, \"testbed_frame_ns_per_frame\": {:.1}, \"testbed_scalar_ns_per_frame\": {:.1}, \"testbed_burst_speedup\": {:.2}, \"testbed_scalar_speedup\": {:.2}, \"testbed_window_frames_mean\": {:.1}, \"host_threads\": {}}}",
             t.mode,
             t.testbed_burst_ns_per_frame,
             t.testbed_frame_ns_per_frame,
             t.testbed_scalar_ns_per_frame,
             t.testbed_burst_speedup(),
             t.testbed_scalar_speedup(),
+            t.testbed_window_frames_mean,
             t.host_threads
         );
         s.push_str(if i + 1 < testbeds.len() { ",\n" } else { "\n" });
@@ -824,6 +938,7 @@ mod tests {
             testbed_burst_ns_per_frame: 500.0,
             testbed_frame_ns_per_frame: 600.0,
             testbed_scalar_ns_per_frame: 750.0,
+            testbed_window_frames_mean: 96.5,
             host_threads: 4,
         }
     }
@@ -857,7 +972,8 @@ mod tests {
         assert!(s.contains("\"testbed_burst_ns_per_frame\": 500.0"));
         assert!(s.contains("\"testbed_burst_speedup\": 1.20"));
         assert!(s.contains("\"testbed_scalar_speedup\": 1.50"));
-        assert!(s.contains("pc-bench-cache-v6"));
+        assert!(s.contains("\"testbed_window_frames_mean\": 96.5"));
+        assert!(s.contains("pc-bench-cache-v7"));
         assert!(s.contains(
             "\"fleet\": {\"tenants\": 64, \"tenants_per_sec\": 40.0, \"packets_per_sec\": 2000000}"
         ));

@@ -9,7 +9,7 @@
 //! means a single-point mutation in one engine slipped past every
 //! differential check the repository relies on.
 //!
-//! The four suites, cheapest first (the order is part of the printed
+//! The five suites, cheapest first (the order is part of the printed
 //! contract):
 //!
 //! * `ops` — the op-stream differential from
@@ -23,15 +23,21 @@
 //!   frame-size cycle, per DDIO mode × randomization defense.
 //! * `testbed` — the windowed ↔ per-frame trajectory comparison from
 //!   `crates/core/tests/fault_kill_rx.rs`, the only detector that
-//!   exercises the windowed-rx-scoped sites (`dropped-deferred-read`,
-//!   `burst-flush-elision`).
+//!   exercises the windowed-rx sites (`dropped-deferred-read`,
+//!   `burst-flush-elision`, `swapped-segment-subtotal`,
+//!   `stale-deferred-segment-index`).
+//! * `monitor` — the fused multi-target probe sample
+//!   (`pc_probe::Monitor`) against per-target probing on a cloned
+//!   machine, mirroring `crates/pc-probe/tests/fault_kill_probe.rs` —
+//!   the only detector that exercises `cross-epoch-misclassify`, whose
+//!   mutation lives in the fused per-segment classification alone.
 //! * `golden` — the scenario registry at the blessed parameters
 //!   (`Scale::Quick`, seed 2020) byte-compared against the snapshots
 //!   in `tests/golden/` (`fingerprint` is excluded: it costs more than
 //!   every other scenario combined and the sites it could kill are
 //!   already covered by the cheaper suites).
 //!
-//! A negative control runs first: with nothing armed, all four suites
+//! A negative control runs first: with nothing armed, all five suites
 //! must stay silent, pinning that the matrix only ever reports
 //! injected faults. The run aborts (exit 2 via the caller) if the
 //! control trips.
@@ -46,6 +52,7 @@ use pc_cache::{
 use pc_core::{RxEngine, TestBed, TestBedConfig};
 use pc_net::{EthernetFrame, ScheduledFrame};
 use pc_nic::{DriverConfig, IgbDriver, PageAllocator, RandomizeMode, RxEvent};
+use pc_probe::{oracle_eviction_sets, AddressPool, Monitor, MonitorTarget};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -57,10 +64,11 @@ type Suite = fn() -> Option<String>;
 
 /// The suites in run order (cheap → expensive). Names are the matrix
 /// column headers.
-const SUITES: [(&str, Suite); 4] = [
+const SUITES: [(&str, Suite); 5] = [
     ("ops", op_stream_differential),
     ("driver", driver_batch_equivalence),
     ("testbed", testbed_trajectory),
+    ("monitor", monitor_differential),
     ("golden", scenario_goldens),
 ];
 
@@ -384,40 +392,67 @@ fn testbed_config(rx_engine: RxEngine) -> TestBedConfig {
     .with_rx_engine(rx_engine)
 }
 
-/// Bursts shaped so windows are collected while deferred payload reads
-/// are pending: one MTU frame defers its reads, then a zero-gap small
-/// train arrives just past the due time.
+/// Burst period of [`testbed_schedule`]; each burst is observed in two
+/// detect steps (head and tail).
+const BURST_PERIOD: u64 = 60_000;
+
+/// The kill schedule from `crates/core/tests/fault_kill_rx.rs`: each
+/// burst puts `burst % 24` zero-gap copybreak frames before its MTU
+/// frame (sweeping the deferral's fused-window segment index across
+/// every keyed site's modulus range), then an 8-frame small train that
+/// brackets the deferred payload due time at one-replay (~900 cycle)
+/// spacing — a fired mutation shifts the due ~5.5 k cycles (one MTU
+/// replay) and reorders the reads across several frames' DMA near the
+/// burst end, where the minuscule cache still remembers the order.
 fn testbed_schedule() -> Vec<ScheduledFrame> {
     let mtu = EthernetFrame::new(1514).expect("legal size");
     let small = EthernetFrame::new(64).expect("legal size");
     let mut frames = Vec::new();
     let mut t = 1_000u64;
-    for _ in 0..40 {
-        frames.push(ScheduledFrame { at: t, frame: mtu });
-        for _ in 0..6 {
+    for burst in 0..40u64 {
+        let leading = burst % 24;
+        for _ in 0..leading {
             frames.push(ScheduledFrame {
-                at: t + 24_000,
+                at: t,
                 frame: small,
             });
         }
-        t += 40_000;
+        frames.push(ScheduledFrame { at: t, frame: mtu });
+        let emit_end = 900 * leading + 5_500;
+        for j in 0..8u64 {
+            frames.push(ScheduledFrame {
+                at: t + emit_end + 12_800 + j * 900,
+                frame: small,
+            });
+        }
+        t += BURST_PERIOD;
     }
     frames
 }
 
 /// Drives a windowed and a per-frame bed through the schedule in
 /// lockstep, comparing the *trajectory* — clock, traffic, statistics,
-/// records and mid-flight residency after every burst.
+/// records and mid-flight residency after every step. Two steps per
+/// burst: the head step delivers `[smalls…, MTU]` alone and resolves
+/// the deferral against reconstructed segment ends; the tail step
+/// delivers the train, so every deferred-pending cut it takes comes
+/// from an exact heap due — the cut `burst-flush-elision` must not
+/// elide.
 fn testbed_trajectory() -> Option<String> {
     let mut windowed = TestBed::new(testbed_config(RxEngine::Batched));
     let mut perframe = TestBed::new(testbed_config(RxEngine::PerFrame));
     let frames = testbed_schedule();
-    let end = frames.last().expect("nonempty").at + 40_000;
+    let end = frames.last().expect("nonempty").at + BURST_PERIOD;
     windowed.enqueue(frames.clone());
     perframe.enqueue(frames);
-    let mut t = 0;
-    while t < end {
-        t += 40_000;
+    let mut steps = Vec::new();
+    let mut burst_at = 1_000;
+    while burst_at < end {
+        steps.push(burst_at + 12_000);
+        steps.push(burst_at + 52_000);
+        burst_at += BURST_PERIOD;
+    }
+    for t in steps {
         windowed.run_window(t);
         windowed.advance_to(t);
         perframe.advance_to(t);
@@ -454,6 +489,66 @@ fn testbed_trajectory() -> Option<String> {
     }
     if windowed.driver().ring().page_addresses() != perframe.driver().ring().page_addresses() {
         return Some("ring placement after drain".into());
+    }
+    None
+}
+
+// --- suite `monitor`: fused probe sample vs per-target probing ------
+
+/// The fused multi-target probe sample against per-target probing on a
+/// cloned machine: 32 monitored sets (every keyed modulus in the
+/// catalog fires within the first 32 keys), with NIC writes landing on
+/// a rotating third of the victims between samples. The per-target
+/// path never consults the fused classification hook, so it is the
+/// oracle for `cross-epoch-misclassify` — and the comparison doubles
+/// as a fusion-equivalence regression (clock and statistics included).
+fn monitor_differential() -> Option<String> {
+    let mut h = Hierarchy::new(CacheGeometry::xeon_e5_2660(), DdioMode::enabled());
+    let pool = AddressPool::allocate(6, 16384);
+    let mut victims: Vec<PhysAddr> = Vec::new();
+    let mut targets = Vec::new();
+    for page in 0..4000u64 {
+        if targets.len() >= 32 {
+            break;
+        }
+        let v = PhysAddr::new(page * 4096);
+        let ss = h.llc().locate(v);
+        if victims.iter().any(|&p| h.llc().locate(p) == ss) {
+            continue;
+        }
+        let set = oracle_eviction_sets(h.llc(), &pool, &[ss]).remove(0);
+        targets.push(MonitorTarget::new(
+            targets.len(),
+            set,
+            h.latencies().miss_threshold(),
+        ));
+        victims.push(v);
+    }
+    let m = Monitor::new(targets);
+    m.prime_all(&mut h);
+    let _ = m.sample_misses(&mut h); // settle the primed state
+    for round in 0..3usize {
+        for (i, &v) in victims.iter().enumerate() {
+            if i % 3 == round {
+                h.io_write(v);
+            }
+        }
+        let mut oracle = h.clone();
+        let fused = m.sample_misses(&mut h);
+        let split: Vec<u32> = m
+            .targets()
+            .iter()
+            .map(|t| t.probe.probe(&mut oracle).misses)
+            .collect();
+        if fused != split {
+            return Some(format!("fused sample row diverged (round {round})"));
+        }
+        if h.now() != oracle.now() {
+            return Some(format!("clock after fused sample (round {round})"));
+        }
+        if h.llc().stats() != oracle.llc().stats() {
+            return Some(format!("LLC stats after fused sample (round {round})"));
+        }
     }
     None
 }

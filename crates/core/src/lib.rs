@@ -53,4 +53,7 @@ pub mod levenshtein;
 pub mod sequencer;
 mod testbed;
 
-pub use testbed::{rx_engine_from_env, RxEngine, RxRecord, TestBed, TestBedConfig};
+pub use testbed::{
+    reset_window_stats, rx_engine_from_env, window_stats_snapshot, RxEngine, RxRecord, TestBed,
+    TestBedConfig, WindowStats,
+};

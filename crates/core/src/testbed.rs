@@ -3,34 +3,51 @@
 //!
 //! ## Burst delivery and clock windows
 //!
-//! Frame delivery is windowed on the default engine: every queued
-//! arrival that is provably in the past gets fused into **one**
-//! [`IgbDriver::receive_burst`] op batch (sharded by slice when it is
-//! big enough), and the window is cut only where something must observe
-//! the mid-stream clock:
+//! Frame delivery is windowed on the default engine: pending arrivals
+//! fuse into **one** segment-marked op batch per window (emitted via
+//! [`IgbDriver::receive_fused`], replayed — sharded by slice when big
+//! enough — via [`pc_cache::Hierarchy::run_ops_segmented`]), and the
+//! clock for every frame is **reconstructed after the fact** from the
+//! per-segment cycle subtotals. The op-stream determinism contract
+//! makes every outcome — hits, evictions, statistics, RNG draws, the
+//! adaptive defense's access-count clock — independent of the clock
+//! value, so a window may span what used to be hard flush points:
 //!
-//! * **gap syncs** — an arrival ahead of the replay clock jumps the
-//!   clock to an absolute time, which a fixed [`pc_cache::CacheOp`]
-//!   lead cannot express mid-batch (the lead's value would depend on
-//!   the latencies still being replayed); the window flushes, the gap
-//!   is applied at the now-exact clock, and the next window opens;
-//! * **deferred no-DDIO reads** — a large frame without DDIO needs the
-//!   exact cycle its header reads finished (to schedule its payload
-//!   reads), and while any deferred read is pending every frame
-//!   boundary must run the due ones at the exact clock;
-//! * **probe epochs** — each [`TestBed::advance_to`] call returns with
-//!   all pending ops applied, so a monitor sampling between calls (the
-//!   `footprint::watch` loop) always observes a fully synchronized
-//!   machine. Windows never span an `advance_to` boundary.
+//! * **gap syncs** — an arrival ahead of the reconstructed clock no
+//!   longer cuts the window: each frame opens a segment, and the
+//!   post-hoc subtotals let the bed replay `clock = max(arrival,
+//!   clock); clock += segment cycles` over the segment list, applying
+//!   every gap's `max` retroactively and the residual as one trailing
+//!   advance — byte-identical to a per-gap flush;
+//! * **deferred no-DDIO reads** — a large frame's payload-read due
+//!   time is the reconstructed end of its emit segment (its second
+//!   segment mark) plus the header-to-payload delay; the reads are
+//!   filed *unresolved* against that segment
+//!   ([`DeferredReads::push_unresolved`]) and resolved once the window
+//!   replays. The window is cut only when a **pending** read could
+//!   actually fall due at a frame boundary: the bed tracks a lower
+//!   bound `lb` (fold of `max(lb, arrival) + min_shape_cycles` plus
+//!   each packet's exact defense cost) and an upper bound `ub` (same
+//!   fold at `max_shape_cycles`), and cuts when the earliest pending
+//!   due — an exact heap due, or an in-window deferral's lower bound
+//!   `lb + header_to_payload_delay` — could be `<= ub` at the
+//!   boundary, so the due reads run at an exact clock exactly where
+//!   the per-frame engine runs them;
+//! * **probe epochs** — each [`TestBed::advance_to`] call still
+//!   returns with all pending ops applied, so a monitor sampling
+//!   between calls (the `footprint::watch` loop) always observes a
+//!   fully synchronized machine; `pc-probe`'s monitor fuses the
+//!   per-target probes *within* one epoch the same way (one segmented
+//!   batch, one subtotal per target).
 //!
-//! Whether a queued arrival is "provably in the past" is decided
-//! without observing the clock: the bed tracks a lower bound (window
-//! start plus each collected frame's [`DriverConfig::min_frame_cycles`])
-//! and cuts the window when the next arrival could outrun it. Within a
-//! window every inter-frame gap is therefore zero, and the remaining
-//! clock movement — driver overheads, defense costs — rides the op
-//! stream as [`pc_cache::CacheOp::lead`]s. All engines are
-//! byte-identical; see `RxEngine`.
+//! The only remaining cuts are the op-scratch cap
+//! (`MAX_WINDOW_OPS`), the `advance_to` target itself, and the
+//! could-fall-due rule above. Defense costs fold into both bounds
+//! *exactly* ([`DriverConfig::defense_cost_for_packet`] — the
+//! `EveryNPackets` tick is a pure function of the packet counter; the
+//! adaptive cache defense charges no cycles at all), so defense ticks
+//! never cut a window. All engines are byte-identical; see
+//! [`RxEngine`].
 
 use pc_cache::{CacheGeometry, Cycles, DdioMode, Hierarchy, LatencyModel, PhysAddr};
 use pc_net::ScheduledFrame;
@@ -46,11 +63,12 @@ use std::collections::VecDeque;
 /// performance and observability.
 #[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
 pub enum RxEngine {
-    /// Windowed burst delivery — the fast path, and the default: every
-    /// pending arrival in a clock window replays as one fused
-    /// [`IgbDriver::receive_burst`] batch (sharded by slice when large
-    /// enough), flushing only where a frame must observe the
-    /// mid-stream clock (see the module docs).
+    /// Windowed burst delivery — the fast path, and the default:
+    /// pending arrivals fuse into segment-marked op batches
+    /// ([`IgbDriver::receive_fused`], sharded by slice when large
+    /// enough) spanning gaps, deferring frames and defense ticks, with
+    /// every frame's clock reconstructed from per-segment subtotals
+    /// after the replay (see the module docs).
     #[default]
     Batched,
     /// One op batch per frame through [`IgbDriver::receive`] — the
@@ -87,6 +105,100 @@ impl RxEngine {
 /// for any cap); it bounds the op scratch when a drain faces a huge
 /// backlog.
 const MAX_WINDOW_OPS: u64 = pc_cache::ops::OP_SCRATCH_CAP;
+
+/// Telemetry of the windowed receive engine: how many fused delivery
+/// windows formed and how many frames each carried. Cheap to keep
+/// (a few counters and a log2 histogram), reported on stderr by the
+/// `repro` harness — never on stdout, so the byte-diffed outputs stay
+/// engine- and thread-invariant while the window sizes (the thing the
+/// fusion engine exists to grow) stay observable.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct WindowStats {
+    /// Fused delivery windows formed.
+    pub windows: u64,
+    /// Frames delivered through those windows.
+    pub frames: u64,
+    /// Largest single window, in frames.
+    pub max_frames: u64,
+    /// `hist[k]` counts windows carrying `2^k <= frames < 2^(k+1)`
+    /// frames — enough for a bucketed median without per-window
+    /// storage.
+    hist: [u64; 32],
+}
+
+impl WindowStats {
+    fn record(&mut self, frames: u64) {
+        self.windows += 1;
+        self.frames += frames;
+        self.max_frames = self.max_frames.max(frames);
+        self.hist[(frames.max(1).ilog2() as usize).min(31)] += 1;
+    }
+
+    /// Mean frames per window (0 when no window formed).
+    pub fn mean_frames(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.frames as f64 / self.windows as f64
+        }
+    }
+
+    /// Median frames per window at power-of-two resolution: the lower
+    /// bound of the histogram bucket holding the median window (0 when
+    /// no window formed).
+    pub fn p50_frames(&self) -> u64 {
+        let mut seen = 0;
+        for (k, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if 2 * seen >= self.windows && n > 0 {
+                return 1 << k;
+            }
+        }
+        0
+    }
+}
+
+/// Process-wide window telemetry: scenarios build (and reset) their
+/// beds internally, often on worker threads, so the per-bed
+/// [`WindowStats`] are unreachable from the harness; every bed also
+/// folds each window into these relaxed atomics. Stderr reporting
+/// only — nothing deterministic reads them.
+mod global_window_stats {
+    use std::sync::atomic::AtomicU64;
+
+    pub(super) static WINDOWS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static FRAMES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MAX_FRAMES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static HIST: [AtomicU64; 32] = [const { AtomicU64::new(0) }; 32];
+}
+
+/// Snapshot of the process-wide window telemetry (every bed, every
+/// thread, since start or the last [`reset_window_stats`]).
+pub fn window_stats_snapshot() -> WindowStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut hist = [0u64; 32];
+    for (h, g) in hist.iter_mut().zip(&global_window_stats::HIST) {
+        *h = g.load(Relaxed);
+    }
+    WindowStats {
+        windows: global_window_stats::WINDOWS.load(Relaxed),
+        frames: global_window_stats::FRAMES.load(Relaxed),
+        max_frames: global_window_stats::MAX_FRAMES.load(Relaxed),
+        hist,
+    }
+}
+
+/// Zeroes the process-wide window telemetry, so a harness can report
+/// per-phase deltas.
+pub fn reset_window_stats() {
+    use std::sync::atomic::Ordering::Relaxed;
+    global_window_stats::WINDOWS.store(0, Relaxed);
+    global_window_stats::FRAMES.store(0, Relaxed);
+    global_window_stats::MAX_FRAMES.store(0, Relaxed);
+    for g in &global_window_stats::HIST {
+        g.store(0, Relaxed);
+    }
+}
 
 /// Reads the `PC_RX_ENGINE` environment variable (`batched`,
 /// `per-frame` or `per-access`) — the CI determinism job uses it to
@@ -215,10 +327,16 @@ pub struct TestBed {
     records: Vec<RxRecord>,
     record_rx: bool,
     rx_engine: RxEngine,
-    /// Window scratch (frames + arrival times of the burst being
-    /// collected); content never outlives one flush, capacity carried.
-    burst_frames: Vec<pc_net::EthernetFrame>,
-    burst_ats: Vec<Cycles>,
+    /// Fused-window scratch: the segment-marked op batch being
+    /// collected, its per-segment subtotals, the arrival attached to
+    /// each frame-start segment (`None` on post-deferral segments) and
+    /// the reconstructed segment end clocks. Contents never outlive
+    /// one window; capacity carried across windows and resets.
+    fused_ops: pc_cache::OpBuffer,
+    seg_sums: Vec<pc_cache::TraceSummary>,
+    seg_arrivals: Vec<Option<Cycles>>,
+    seg_ends: Vec<Cycles>,
+    window_stats: WindowStats,
 }
 
 impl TestBed {
@@ -246,8 +364,11 @@ impl TestBed {
             records: Vec::new(),
             record_rx: cfg.record_rx,
             rx_engine: cfg.rx_engine,
-            burst_frames: Vec::new(),
-            burst_ats: Vec::new(),
+            fused_ops: pc_cache::OpBuffer::new(),
+            seg_sums: Vec::new(),
+            seg_arrivals: Vec::new(),
+            seg_ends: Vec::new(),
+            window_stats: WindowStats::default(),
         }
     }
 
@@ -267,8 +388,11 @@ impl TestBed {
         self.records.clear();
         self.record_rx = cfg.record_rx;
         self.rx_engine = cfg.rx_engine;
-        self.burst_frames.clear();
-        self.burst_ats.clear();
+        self.fused_ops.clear();
+        self.seg_sums.clear();
+        self.seg_arrivals.clear();
+        self.seg_ends.clear();
+        self.window_stats = WindowStats::default();
     }
 
     /// Current cycle.
@@ -294,6 +418,12 @@ impl TestBed {
     /// The active receive engine.
     pub fn rx_engine(&self) -> RxEngine {
         self.rx_engine
+    }
+
+    /// This bed's windowed-delivery telemetry (zeros on the per-frame
+    /// engines, which form no windows).
+    pub fn window_stats(&self) -> &WindowStats {
+        &self.window_stats
     }
 
     /// Ground-truth receive log (empty when `record_rx` is off).
@@ -336,46 +466,28 @@ impl TestBed {
     /// Frames already due are back-to-back by definition (nothing
     /// between them observes the clock — this entry point runs deferred
     /// reads once, at the end), so on the burst engine the backlog
-    /// fuses into [`IgbDriver::receive_burst`] batches, cut only by the
-    /// op scratch cap.
+    /// fuses into segmented [`IgbDriver::receive_fused`] windows, cut
+    /// only by the op scratch cap.
     pub fn deliver_due(&mut self) -> usize {
         // Same scheduling rule as advance_to: windowing feeds the
         // sharded batch engine, so a worker-less host delivers per
         // frame (byte-identical either way).
         let delivered = match self.rx_engine {
             RxEngine::Batched if pc_par::max_threads() > 1 => {
-                let cfg = *self.driver.config();
-                let mut frames = std::mem::take(&mut self.burst_frames);
-                let mut ats = std::mem::take(&mut self.burst_ats);
-                let mut n = 0;
                 // Delivery advances the clock, which can make further
                 // frames due (the per-frame loop re-checks after every
-                // frame); burst the due prefix repeatedly until none is.
+                // frame); fuse the due prefix repeatedly until none is.
+                // No could-fall-due cut: this entry point runs deferred
+                // reads once, at the end, on every engine.
+                let mut n = 0;
                 loop {
                     let now = self.h.now();
-                    let mut ops_estimate = 0u64;
-                    frames.clear();
-                    ats.clear();
-                    while let Some(front) = self.pending.front() {
-                        if front.at > now || ops_estimate >= MAX_WINDOW_OPS {
-                            break;
-                        }
-                        let sf = self.pending.pop_front().expect("peeked");
-                        let (blocks, small) = cfg.frame_shape(sf.frame);
-                        ops_estimate += cfg.frame_op_count(blocks, small);
-                        frames.push(sf.frame);
-                        ats.push(sf.at);
-                    }
-                    if frames.is_empty() {
+                    let got = self.fuse_window(now, false);
+                    if got == 0 {
                         break;
                     }
-                    self.flush_burst(&frames, &ats);
-                    n += frames.len();
+                    n += got;
                 }
-                frames.clear();
-                ats.clear();
-                self.burst_frames = frames;
-                self.burst_ats = ats;
                 n
             }
             _ => {
@@ -460,18 +572,20 @@ impl TestBed {
         delivered
     }
 
-    /// Runs one delivery window: every pending arrival up to `target`
-    /// is delivered as fused [`IgbDriver::receive_burst`] batches,
-    /// flushing only at the clock-observation points listed in the
-    /// module docs. Returns the number of frames delivered; the clock
-    /// ends wherever the last delivered work left it (callers wanting
-    /// the clock *at* `target` use [`TestBed::advance_to`]).
+    /// Runs one delivery pass: every pending arrival up to `target` is
+    /// delivered as fused segment-marked windows, cut only at the
+    /// points listed in the module docs (op scratch cap, could-fall-due
+    /// deferred reads). Returns the number of frames delivered; the
+    /// clock ends wherever the last delivered work left it (callers
+    /// wanting the clock *at* `target` use [`TestBed::advance_to`]).
     ///
     /// Byte-identical to per-frame delivery of the same arrivals —
     /// events, records, clock, statistics, ring state and RNG stream —
     /// for any window shape, including zero inter-arrival gaps,
-    /// duplicate arrival times and a `target` landing exactly on an
-    /// arrival (this module's property tests pin those edges).
+    /// duplicate arrival times, arbitrarily large gaps mid-window, a
+    /// `target` landing exactly on an arrival, and deferred reads due
+    /// inside a later window (this module's property tests pin those
+    /// edges).
     ///
     /// On the `PerFrame` / `PerAccess` engines this honours the
     /// configured receive path instead of windowing: an experiment
@@ -483,90 +597,174 @@ impl TestBed {
             return self.deliver_per_frame_to(target);
         }
         let _engine = pc_cache::fault::engine_scope(pc_cache::fault::Engine::WindowedRx);
-        let lat = self.h.latencies();
-        let min_lat = lat.llc_hit.min(lat.dram);
-        let ddio = self.h.llc().mode().allocates_in_llc();
-        let cfg = *self.driver.config();
         let mut delivered = 0usize;
-        let mut frames = std::mem::take(&mut self.burst_frames);
-        let mut ats = std::mem::take(&mut self.burst_ats);
-        while let Some(front_at) = self.pending.front().map(|f| f.at) {
-            if front_at > target {
+        loop {
+            let n = self.fuse_window(target, true);
+            if n == 0 {
                 break;
             }
-            // Gap sync: the window boundary is the one place the clock
-            // is exact, so an arrival still ahead of it jumps the clock
-            // here; inside the window gaps are zero by construction.
-            if front_at > self.h.now() {
-                let gap = front_at - self.h.now();
-                self.h.advance(gap);
-            }
-            // Collect the longest run of arrivals provably in the past:
-            // `lb` is a lower bound on the clock after replaying the
-            // frames collected so far.
-            let mut lb = self.h.now();
-            let mut ops_estimate = 0u64;
-            frames.clear();
-            ats.clear();
-            while let Some(front) = self.pending.front() {
-                if front.at > target || front.at > lb || ops_estimate >= MAX_WINDOW_OPS {
-                    break;
-                }
-                let sf = self.pending.pop_front().expect("peeked");
-                let (blocks, small) = cfg.frame_shape(sf.frame);
-                lb += cfg.min_shape_cycles(blocks, small, min_lat);
-                ops_estimate += cfg.frame_op_count(blocks, small);
-                frames.push(sf.frame);
-                ats.push(sf.at);
-                // Clock-observing boundaries close the window: a
-                // deferring frame (its payload-read due time), and —
-                // while deferred reads are pending — every frame (the
-                // due ones must run between frames, at the exact
-                // clock). Fault site `burst-flush-elision` lets the
-                // windowed engine skip one deferred-pending cut, so
-                // pending payload reads replay after frames they
-                // should precede.
-                if (!small && !ddio)
-                    || (!self.deferred.is_empty()
-                        && !pc_cache::fault::fires(pc_cache::fault::FaultSite::BurstFlushElision))
-                {
-                    break;
-                }
-            }
-            debug_assert!(!frames.is_empty(), "the sync put the front in the past");
-            self.flush_burst(&frames, &ats);
+            // The window ended at a point where a deferred read may be
+            // due; the reconstruction made the clock exact, so run them
+            // here — exactly where the per-frame engine runs them.
             self.deferred.run_due(&mut self.h);
-            delivered += frames.len();
+            delivered += n;
         }
-        frames.clear();
-        ats.clear();
-        self.burst_frames = frames;
-        self.burst_ats = ats;
         delivered
     }
 
-    /// Replays one collected window. The window *boundaries* encode the
-    /// clock-observation semantics; which engine replays the inside is
-    /// a pure scheduling choice between byte-identical paths (pc-nic's
-    /// equivalence suite pins them): a multi-frame window takes the
-    /// batch engine ([`IgbDriver::receive_burst`]), whose fused op
-    /// stream shards by slice; a degenerate one-frame window streams
-    /// through [`IgbDriver::receive`] rather than paying the batch
-    /// scratch round-trip for nothing.
-    fn flush_burst(&mut self, frames: &[pc_net::EthernetFrame], ats: &[Cycles]) {
-        if frames.len() > 1 {
-            let events = self
-                .driver
-                .receive_burst(&mut self.h, frames, &mut self.rng);
-            for (ev, &at) in events.iter().zip(ats) {
-                self.record_event(ev, at);
-            }
-        } else {
-            for (&frame, &at) in frames.iter().zip(ats) {
-                let ev = self.driver.receive(&mut self.h, frame, &mut self.rng);
-                self.record_event(&ev, at);
-            }
+    /// Collects, replays and reconstructs **one** fused delivery
+    /// window: the longest run of pending arrivals `<= target` the cut
+    /// rules allow. Each frame is emitted into the segment-marked
+    /// batch by [`IgbDriver::receive_fused`] (ring, RNG and counters
+    /// advance normally; the clock does not), the batch replays once
+    /// through [`pc_cache::Hierarchy::run_ops_segmented`], and the
+    /// per-segment subtotals reconstruct every frame's exact clock —
+    /// `clock = max(arrival, clock) + segment cycles` — with the gap
+    /// residual applied as one trailing advance. Deferred payload
+    /// reads are filed against their emit segment and resolved against
+    /// the reconstructed segment ends.
+    ///
+    /// With `due_cut`, the window is cut at any frame boundary where a
+    /// pending deferred read could fall due (earliest exact heap due,
+    /// or an in-window deferral's `lb + header_to_payload_delay` lower
+    /// bound, `<=` the boundary's upper-bound clock `ub`) — the caller
+    /// runs due reads between windows at the exact clock, where the
+    /// per-frame engine runs them. Fault site `burst-flush-elision`
+    /// lets the engine skip one such cut, so pending payload reads
+    /// replay after frames they should precede. Without `due_cut`
+    /// ([`TestBed::deliver_due`]'s contract), nothing runs between
+    /// frames and only the op scratch cap cuts.
+    ///
+    /// Returns the frames delivered — 0 exactly when nothing is
+    /// pending at or before `target`. Does **not** run due deferred
+    /// reads; callers sequence those per their own contract.
+    fn fuse_window(&mut self, target: Cycles, due_cut: bool) -> usize {
+        match self.pending.front() {
+            Some(f) if f.at <= target => {}
+            _ => return 0,
         }
+        let _engine = pc_cache::fault::engine_scope(pc_cache::fault::Engine::WindowedRx);
+        let lat = self.h.latencies();
+        let min_lat = lat.llc_hit.min(lat.dram);
+        let max_lat = lat.llc_hit.max(lat.dram);
+        let ddio = self.h.llc().mode().allocates_in_llc();
+        let cfg = *self.driver.config();
+        let delay = cfg.header_to_payload_delay;
+
+        // Clock bounds over the frames collected so far, both folding
+        // the arrivals' `max` and each packet's exact defense cost;
+        // `lb` prices every op at the cheapest latency, `ub` at the
+        // costliest. The true reconstructed clock at any boundary is
+        // provably within [lb, ub] without observing the replay.
+        let c0 = self.h.now();
+        let mut lb = c0;
+        let mut ub = c0;
+        // Earliest pending deferred due: exact heap dues now, joined
+        // by in-window deferral lower bounds as deferring frames are
+        // collected.
+        let mut min_due = self.deferred.next_due();
+        let mut ops_estimate = 0u64;
+        let mut frames = 0u64;
+
+        let mut ops = std::mem::take(&mut self.fused_ops);
+        ops.clear();
+        self.seg_arrivals.clear();
+        while let Some(front) = self.pending.front() {
+            if front.at > target || ops_estimate >= MAX_WINDOW_OPS {
+                break;
+            }
+            if due_cut
+                && frames > 0
+                && min_due.is_some_and(|d| d <= ub)
+                && !pc_cache::fault::fires(pc_cache::fault::FaultSite::BurstFlushElision)
+            {
+                break;
+            }
+            let sf = self.pending.pop_front().expect("peeked");
+            let (blocks, small) = cfg.frame_shape(sf.frame);
+            ops_estimate += cfg.frame_op_count(blocks, small);
+            self.seg_arrivals.push(Some(sf.at));
+            let ev = self
+                .driver
+                .receive_fused(&mut ops, ddio, sf.frame, &mut self.rng);
+            // The frame just emitted is the driver's
+            // `packets_received()`-th packet; its defense cost is a
+            // pure function of that ordinal, so both bounds carry it
+            // exactly and defense ticks never cut the window.
+            let defense = cfg.defense_cost_for_packet(self.driver.packets_received());
+            lb = lb.max(sf.at) + cfg.min_shape_cycles(blocks, small, min_lat);
+            ub = ub.max(sf.at) + cfg.max_shape_cycles(blocks, small, max_lat);
+            if let Some(seg) = ev.deferral_segment {
+                // An in-window deferral: its exact due is this emit
+                // boundary's reconstructed clock plus the delay, known
+                // only after replay — bound it below by `lb` here
+                // (both exclude the defense cost, which lands after
+                // the dues on every engine).
+                let d = lb + delay;
+                min_due = Some(min_due.map_or(d, |m| m.min(d)));
+                self.seg_arrivals.push(None);
+                for b in 2..ev.blocks {
+                    self.deferred
+                        .push_unresolved(seg, ev.buffer_addr.add_blocks(u64::from(b)));
+                }
+            }
+            lb += defense;
+            ub += defense;
+            if self.record_rx {
+                self.records.push(RxRecord {
+                    at: sf.at,
+                    buffer_index: ev.buffer_index,
+                    buffer_addr: ev.buffer_addr,
+                    blocks: ev.blocks,
+                });
+            }
+            frames += 1;
+        }
+        debug_assert!(frames > 0, "the guarded entry put the front in range");
+
+        // One replay for the whole window, then the per-segment
+        // subtotals replace the mid-stream clock observations: fold
+        // `max(arrival, clock)` into each frame-start segment and walk
+        // the subtotals to every segment's exact end clock. The replay
+        // advanced the clock by the subtotals alone, so the fold's
+        // excess over it is exactly the gaps' residual.
+        self.h.run_ops_segmented(&ops, &mut self.seg_sums);
+        debug_assert_eq!(
+            self.seg_sums.len(),
+            self.seg_arrivals.len(),
+            "one subtotal per emitted segment"
+        );
+        self.seg_ends.clear();
+        let mut c = c0;
+        for (sum, arrival) in self.seg_sums.iter().zip(&self.seg_arrivals) {
+            if let Some(at) = arrival {
+                c = c.max(*at);
+            }
+            c += sum.cycles;
+            self.seg_ends.push(c);
+        }
+        debug_assert!(lb <= c && c <= ub, "bounds bracket the reconstruction");
+        let residual = c - self.h.now();
+        if residual > 0 {
+            self.h.advance(residual);
+        }
+        self.deferred.resolve_segments(&self.seg_ends, delay);
+
+        ops.clear();
+        self.fused_ops = ops;
+        self.note_window(frames);
+        frames as usize
+    }
+
+    /// Folds one formed window into this bed's [`WindowStats`] and the
+    /// process-wide telemetry.
+    fn note_window(&mut self, frames: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.window_stats.record(frames);
+        global_window_stats::WINDOWS.fetch_add(1, Relaxed);
+        global_window_stats::FRAMES.fetch_add(frames, Relaxed);
+        global_window_stats::MAX_FRAMES.fetch_max(frames, Relaxed);
+        global_window_stats::HIST[(frames.max(1).ilog2() as usize).min(31)].fetch_add(1, Relaxed);
     }
 
     fn record_event(&mut self, ev: &pc_nic::RxEvent, at: Cycles) {
@@ -811,6 +1009,135 @@ mod tests {
             }
             assert_beds_identical(&windowed, &per_frame, "edge windows");
         }
+    }
+
+    #[test]
+    fn windowed_delivery_matches_per_frame_across_gaps_and_epochs() {
+        // Cross-gap fusion edges: zero-gap bursts alternating with
+        // large gaps (each gap folds into the window as a retroactive
+        // `max`), deferred reads falling due inside later segments
+        // (no-DDIO large frames under dense traffic), defense ticks
+        // folding into the bounds (EveryNPackets / EveryPacket), a
+        // probe epoch landing mid-backlog, and an arrival placed
+        // exactly on the reconstructed window-end clock.
+        use pc_nic::RandomizeMode;
+        let mut defended = TestBedConfig::paper_baseline();
+        defended.driver.randomize = RandomizeMode::EveryNPackets(7);
+        let mut defended_no_ddio = TestBedConfig::no_ddio();
+        defended_no_ddio.driver.randomize = RandomizeMode::EveryPacket;
+        for cfg in [
+            TestBedConfig::paper_baseline(),
+            TestBedConfig::no_ddio(),
+            TestBedConfig::adaptive_defense(),
+            defended,
+            defended_no_ddio,
+        ] {
+            let mut windowed = TestBed::new(cfg.with_rx_engine(RxEngine::Batched));
+            let mut per_frame = TestBed::new(cfg.with_rx_engine(RxEngine::PerFrame));
+            for (tb, win) in [(&mut windowed, true), (&mut per_frame, false)] {
+                let advance = |tb: &mut TestBed, target| {
+                    if win {
+                        advance_windowed(tb, target);
+                    } else {
+                        tb.advance_to(target);
+                    }
+                };
+                let mut rng = SmallRng::seed_from_u64(31);
+                // Zero-gap + large-gap alternation: 8 bursts of 12
+                // frames each, every burst at one timestamp, bursts
+                // 250 k cycles apart (far beyond any frame's cost, so
+                // each gap used to be a hard window cut).
+                let mut frames = ArrivalSchedule::new(LineRate::ten_gigabit())
+                    .frames_per_second(2_000_000)
+                    .generate(&mut pc_net::UniformSizes::full_range(), 0, 96, &mut rng);
+                for (i, f) in frames.iter_mut().enumerate() {
+                    f.at = 1_000 + (i as u64 / 12) * 250_000;
+                }
+                tb.enqueue(frames);
+                // Probe epoch mid-backlog: stop between bursts, touch
+                // monitor-style addresses at the synchronized clock.
+                advance(tb, 620_000);
+                for line in 0..16u64 {
+                    tb.hierarchy_mut().cpu_read(PhysAddr::new(line << 6));
+                }
+                if win {
+                    drain_windowed(tb);
+                } else {
+                    tb.drain();
+                }
+                // Dense no-DDIO-style tail spanning several deferral
+                // delays: deferred reads fall due inside later fused
+                // windows, exercising the could-fall-due cut.
+                let tail = ArrivalSchedule::new(LineRate::gigabit())
+                    .frames_per_second(120_000)
+                    .generate(
+                        &mut ConstantSize::new(pc_net::EthernetFrame::mtu_sized()),
+                        tb.now() + 5_000,
+                        40,
+                        &mut rng,
+                    );
+                let last = tail.last().unwrap().at;
+                tb.enqueue(tail);
+                advance(tb, last);
+                if win {
+                    drain_windowed(tb);
+                } else {
+                    tb.drain();
+                }
+                // Arrival exactly on the reconstructed clock: the next
+                // frame lands on the cycle the last window ended, so
+                // its gap `max` is exactly a no-op at the boundary.
+                let exact = vec![ScheduledFrame {
+                    at: tb.now(),
+                    frame: pc_net::EthernetFrame::new(64).unwrap(),
+                }];
+                tb.enqueue(exact);
+                if win {
+                    drain_windowed(tb);
+                } else {
+                    tb.drain();
+                }
+            }
+            assert_beds_identical(&windowed, &per_frame, "cross-gap windows");
+            assert!(
+                windowed.window_stats().windows > 0,
+                "the windowed bed formed windows"
+            );
+            if cfg.ddio.allocates_in_llc() {
+                // Nothing defers, so nothing cuts: whole zero-gap
+                // bursts and the 250 k-cycle gaps between them fuse
+                // into single windows.
+                assert!(
+                    windowed.window_stats().max_frames >= 12,
+                    "a burst and its gaps fused into one window (got {})",
+                    windowed.window_stats().max_frames
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_stats_track_fused_windows() {
+        let mut tb =
+            TestBed::new(TestBedConfig::paper_baseline().with_rx_engine(RxEngine::Batched));
+        tb.enqueue(schedule(32, 0));
+        drain_windowed(&mut tb);
+        let ws = *tb.window_stats();
+        assert_eq!(ws.frames, 32);
+        assert!(ws.windows >= 1 && ws.windows <= 32);
+        assert!(ws.max_frames as f64 >= ws.mean_frames());
+        assert!(ws.p50_frames() >= 1 && ws.p50_frames() <= ws.max_frames);
+        let snap = window_stats_snapshot();
+        assert!(snap.windows >= ws.windows, "globals fold every bed");
+        // Paced arrivals (one frame per ~28 k cycles) still fuse: the
+        // gaps reconstruct retroactively instead of cutting.
+        assert!(
+            ws.max_frames > 1,
+            "cross-gap fusion spans paced arrivals (max {})",
+            ws.max_frames
+        );
+        tb.reset(TestBedConfig::paper_baseline());
+        assert_eq!(tb.window_stats().windows, 0, "reset clears telemetry");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! delivery engine is mutated and the windowed ↔ per-frame trajectory
 //! comparison must notice.
 //!
-//! The two catalog sites above the op-stream engines —
-//! `dropped-deferred-read` and `burst-flush-elision`
+//! The four catalog sites above the op-stream engines —
+//! `dropped-deferred-read`, `burst-flush-elision`,
+//! `swapped-segment-subtotal` and `stale-deferred-segment-index`
 //! (`pc_cache::fault`) — mutate windowed delivery only, so the
 //! detector drives the same arrival schedule through a `Batched` bed
 //! (via the public [`TestBed::run_window`], so windows form on any
@@ -53,29 +54,55 @@ fn config(rx_engine: RxEngine) -> TestBedConfig {
     .with_rx_engine(rx_engine)
 }
 
-/// Bursts shaped to exercise both rx fault sites: one MTU frame defers
-/// its payload reads (due ≈ +18 k cycles, the driver default), then a
-/// zero-gap train of copybreak frames arrives just past that due time
-/// — so windows are collected *while* deferred reads are pending (the
-/// deferred-pending cut engages) and the due reads run between those
-/// windows (inside `run_window`, where the windowed-rx sites live).
+/// Burst period; each burst is observed in two detect steps (head and
+/// tail, see [`schedule`]).
+const BURST_PERIOD: u64 = 60_000;
+
+/// Bursts shaped to exercise all four rx fault sites. Each burst puts
+/// `burst % 24` zero-gap copybreak frames *before* its MTU frame, so
+/// the MTU — the frame that defers its payload reads — lands at every
+/// fused-window segment index 0..23: the keyed sites
+/// (`stale-deferred-segment-index` keys on the deferral's segment,
+/// `swapped-segment-subtotal` on the swapped boundary) are consulted
+/// across their whole modulus range, and a fired mutation shifts the
+/// payload due ~5.5 k cycles earlier (the MTU replay's cost). A small
+/// train then brackets the true due time (due = emit end + 18 k, the
+/// driver default delay) at ~900-cycle (one replay) spacing, so the
+/// 22 payload reads land between specific train frames and any due
+/// shift reorders them across several frames' DMA — near the *end* of
+/// the burst, where the minuscule cache still remembers the order at
+/// the next trajectory check. The detector observes each burst in two
+/// steps: the head step delivers `[smalls…, MTU]` alone and resolves
+/// the deferral against reconstructed segment ends; the tail step
+/// then delivers the train, so every deferred-pending cut it takes
+/// comes from an *exact* heap due — a cut the reads run right behind,
+/// which is precisely the cut `burst-flush-elision` must not get away
+/// with eliding (and each read consults `dropped-deferred-read`).
 fn schedule() -> Vec<ScheduledFrame> {
     let mtu = EthernetFrame::new(1514).expect("legal size");
     let small = EthernetFrame::new(64).expect("legal size");
     let mut frames = Vec::new();
     let mut t = 1_000u64;
-    for _ in 0..40 {
-        frames.push(ScheduledFrame { at: t, frame: mtu });
-        // Past the MTU's payload due time (arrival + ~5 k replay +
-        // 18 k delay): the first small is collected with the dues
-        // pending (the cut engages) and the dues run right after it.
-        for _ in 0..6 {
+    for burst in 0..40u64 {
+        let leading = burst % 24;
+        for _ in 0..leading {
             frames.push(ScheduledFrame {
-                at: t + 24_000,
+                at: t,
                 frame: small,
             });
         }
-        t += 40_000;
+        frames.push(ScheduledFrame { at: t, frame: mtu });
+        // The train starts just past the earliest mutated due
+        // (emit end − MTU cost + delay ≈ +18 k from the emit end) and
+        // runs past the true due (+18 k), one frame per replay cost.
+        let emit_end = 900 * leading + 5_500;
+        for j in 0..8u64 {
+            frames.push(ScheduledFrame {
+                at: t + emit_end + 12_800 + j * 900,
+                frame: small,
+            });
+        }
+        t += BURST_PERIOD;
     }
     frames
 }
@@ -86,15 +113,21 @@ fn detect() -> Option<String> {
     let mut windowed = TestBed::new(config(RxEngine::Batched));
     let mut perframe = TestBed::new(config(RxEngine::PerFrame));
     let frames = schedule();
-    let end = frames.last().expect("nonempty").at + 40_000;
+    let end = frames.last().expect("nonempty").at + BURST_PERIOD;
     windowed.enqueue(frames.clone());
     perframe.enqueue(frames);
-    // One step per burst, landing after the burst's smalls: the dues
-    // must still be pending when the small train is collected, so no
-    // step boundary may fall between the due time and the train.
-    let mut t = 0;
-    while t < end {
-        t += 40_000;
+    // Two steps per burst: the head step (`+12 k`, before any due can
+    // fall) delivers `[smalls…, MTU]` and resolves the deferral; the
+    // tail step delivers the train, where every deferred-pending cut
+    // comes from the exact resolved due (see `schedule`).
+    let mut steps = Vec::new();
+    let mut burst_at = 1_000;
+    while burst_at < end {
+        steps.push(burst_at + 12_000);
+        steps.push(burst_at + 52_000);
+        burst_at += BURST_PERIOD;
+    }
+    for t in steps {
         // The public windowed entry point (window collection plus the
         // trailing advance) — explicit, so windows form even on hosts
         // where `advance_to` legitimately picks per-frame delivery.
@@ -153,7 +186,12 @@ fn detect() -> Option<String> {
     None
 }
 
-const RX_SITES: [FaultSite; 2] = [FaultSite::DroppedDeferredRead, FaultSite::BurstFlushElision];
+const RX_SITES: [FaultSite; 4] = [
+    FaultSite::DroppedDeferredRead,
+    FaultSite::BurstFlushElision,
+    FaultSite::SwappedSegmentSubtotal,
+    FaultSite::StaleDeferredSegmentIndex,
+];
 
 #[test]
 fn every_rx_fault_site_is_killed_for_every_seed() {

@@ -135,11 +135,29 @@ pub enum FaultSite {
     /// word; lexically buffered-decode-only (streaming and oracle
     /// engines never decode).
     TruncatedLead,
+    /// The segmented replay swaps keyed neighbouring segments' cycle
+    /// subtotals — totals (and the final clock) stay right, but a
+    /// consumer reconstructing per-segment clocks (the fused window's
+    /// gap max, deferred-read dues) reads the wrong boundary. Keyed on
+    /// the segment index; lexically segmented-replay-only.
+    SwappedSegmentSubtotal,
+    /// The fused receive path files a keyed deferred payload read under
+    /// the *previous* segment's index — its due time reconstructs from
+    /// the wrong segment base, so the read replays earlier than the
+    /// per-frame engine performs it. Keyed on the deferral's segment
+    /// index; lexically fused-receive-only.
+    StaleDeferredSegmentIndex,
+    /// The monitor's fused cross-epoch sample inverts a keyed target's
+    /// classification (misses become `accesses - misses`) — the fused
+    /// batch aggregate disagrees with the per-target probe walk it
+    /// summarizes. Keyed on the target index; lexically
+    /// fused-sample-only.
+    CrossEpochMisclassify,
 }
 
 impl FaultSite {
     /// Every catalog entry, in matrix order.
-    pub const ALL: [FaultSite; 11] = [
+    pub const ALL: [FaultSite; 14] = [
         FaultSite::StatOffByOne,
         FaultSite::DroppedFlush,
         FaultSite::StaleLru,
@@ -151,6 +169,9 @@ impl FaultSite {
         FaultSite::StaleDirtySet,
         FaultSite::SkippedEpochBump,
         FaultSite::TruncatedLead,
+        FaultSite::SwappedSegmentSubtotal,
+        FaultSite::StaleDeferredSegmentIndex,
+        FaultSite::CrossEpochMisclassify,
     ];
 
     /// The site's kebab-case name (the `PC_FAULT` spelling).
@@ -167,6 +188,9 @@ impl FaultSite {
             FaultSite::StaleDirtySet => "stale-dirty-set",
             FaultSite::SkippedEpochBump => "skipped-epoch-bump",
             FaultSite::TruncatedLead => "truncated-lead",
+            FaultSite::SwappedSegmentSubtotal => "swapped-segment-subtotal",
+            FaultSite::StaleDeferredSegmentIndex => "stale-deferred-segment-index",
+            FaultSite::CrossEpochMisclassify => "cross-epoch-misclassify",
         }
     }
 
@@ -197,7 +221,10 @@ impl FaultSite {
             | FaultSite::SkippedDefenseEval
             | FaultSite::StaleDirtySet
             | FaultSite::SkippedEpochBump
-            | FaultSite::TruncatedLead => FiringKind::Keyed,
+            | FaultSite::TruncatedLead
+            | FaultSite::SwappedSegmentSubtotal
+            | FaultSite::StaleDeferredSegmentIndex
+            | FaultSite::CrossEpochMisclassify => FiringKind::Keyed,
         }
     }
 
@@ -228,6 +255,15 @@ impl FaultSite {
             FaultSite::StaleDirtySet => "batch shard stamps a set dirty without queueing it",
             FaultSite::SkippedEpochBump => "streaming shard keeps last period's dirty stamps live",
             FaultSite::TruncatedLead => "packed op decode truncates an escaped lead",
+            FaultSite::SwappedSegmentSubtotal => {
+                "segmented replay swaps neighbouring segment subtotals"
+            }
+            FaultSite::StaleDeferredSegmentIndex => {
+                "fused receive files a deferred read under the previous segment"
+            }
+            FaultSite::CrossEpochMisclassify => {
+                "fused monitor sample inverts one target's classification"
+            }
         }
     }
 

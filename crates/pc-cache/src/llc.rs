@@ -170,6 +170,10 @@ impl BatchOutcome {
 /// One decoded access, binned per slice by the batch dispatcher.
 type BinnedOp = (u32, u64, AccessKind); // (local set, tag, kind)
 
+/// A [`BinnedOp`] that also remembers which segment of the trace it
+/// came from, for the segment-reporting dispatcher.
+type SegBinnedOp = (u32, u32, u64, AccessKind); // (segment, local set, tag, kind)
+
 /// Reusable per-slice bin scratch for the batch dispatchers.
 ///
 /// Binning a trace needs one `Vec` per slice; allocating them per batch
@@ -188,6 +192,23 @@ pub(crate) struct TraceBins {
 impl TraceBins {
     /// Clears all bins and makes sure one exists per slice; keeps
     /// whatever capacity previous batches grew.
+    fn reset(&mut self, slices: usize) {
+        self.bins.resize_with(slices, Vec::new);
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+    }
+}
+
+/// [`TraceBins`] for the segment-reporting dispatcher. A separate
+/// scratch (rather than widening [`BinnedOp`]) keeps the unsegmented
+/// hot path's bin records at their current size.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SegTraceBins {
+    bins: Vec<Vec<SegBinnedOp>>,
+}
+
+impl SegTraceBins {
     fn reset(&mut self, slices: usize) {
         self.bins.resize_with(slices, Vec::new);
         for bin in &mut self.bins {
@@ -224,6 +245,8 @@ pub struct SlicedCache {
     shards: Vec<Shard>,
     /// Per-slice bin scratch reused across batch dispatches.
     bins: TraceBins,
+    /// Per-slice bin scratch for the segment-reporting dispatcher.
+    seg_bins: SegTraceBins,
 }
 
 impl SlicedCache {
@@ -287,6 +310,7 @@ impl SlicedCache {
                 })
                 .collect(),
             bins: TraceBins::default(),
+            seg_bins: SegTraceBins::default(),
         }
     }
 
@@ -502,6 +526,121 @@ impl SlicedCache {
     /// Whether a batch of `len` ops should take the sharded path.
     pub(crate) fn batch_worth_sharding(&self, len: usize, threads: usize) -> bool {
         threads > 1 && self.shards.len() > 1 && len >= PAR_BATCH_MIN
+    }
+
+    /// Segment-reporting [`SlicedCache::trace_batch_threads`]: `starts`
+    /// are ascending segment start indices (`starts[0] == 0`), and
+    /// `seg_out` receives one latency-priced [`TraceSummary`] per
+    /// segment, merged across shards in slice order. The access stream
+    /// each shard replays is identical to the unsegmented dispatch —
+    /// segment tags ride along in the bins purely as reporting keys —
+    /// so cache state, statistics and the segment-summed totals are
+    /// byte-identical to [`SlicedCache::trace_batch_threads`], for any
+    /// thread count. Leads are again the caller's job.
+    pub(crate) fn trace_batch_threads_segmented(
+        &mut self,
+        ops: &[CacheOp],
+        starts: &[usize],
+        threads: usize,
+        lat: LatencyModel,
+        seg_out: &mut Vec<TraceSummary>,
+    ) {
+        let nsegs = starts.len();
+        seg_out.clear();
+        seg_out.resize(nsegs, TraceSummary::default());
+        let mode = self.mode;
+        let allocates = mode.allocates_in_llc();
+        let slices = self.shards.len();
+        self.seg_bins.reset(slices);
+        let hash = self.hash;
+        let geom = self.geom;
+        let shards = &mut self.shards;
+        let bins = &mut self.seg_bins.bins;
+        // Same keyed misbinning fault as the unsegmented dispatcher
+        // (`swapped-slice-bin`): the two arms must stay equally covered.
+        let slice_of = |addr: crate::PhysAddr| {
+            let slice = hash.slice_of(addr);
+            if slices > 1
+                && crate::fault::fires_keyed(crate::fault::FaultSite::SwappedSliceBin, addr.raw())
+            {
+                slice ^ 1
+            } else {
+                slice
+            }
+        };
+        let run = |shard: &mut Shard, bin: &[SegBinnedOp]| {
+            let mut sums = vec![TraceSummary::default(); nsegs];
+            for &(seg, set, tag, kind) in bin {
+                let out = shard.access(mode, set as usize, tag, kind);
+                let sum = &mut sums[seg as usize];
+                sum.accesses += 1;
+                sum.hits += u64::from(out.hit);
+                sum.cycles += lat.access_latency(out.hit, kind, allocates);
+                sum.dram_reads += u64::from(out.dram_reads);
+                sum.dram_writes += u64::from(out.dram_writes);
+            }
+            sums
+        };
+        let per_shard: Vec<Vec<TraceSummary>> = if threads <= 1 || slices <= 1 {
+            let _engine = crate::fault::engine_scope(crate::fault::Engine::Batch);
+            let per_slice_hint = ops.len() / slices + ops.len() / 8 + 1;
+            for bin in bins.iter_mut() {
+                bin.reserve(per_slice_hint);
+            }
+            let mut seg = 0u32;
+            for (idx, &op) in ops.iter().enumerate() {
+                while (seg as usize + 1) < nsegs && idx >= starts[seg as usize + 1] {
+                    seg += 1;
+                }
+                bins[slice_of(op.addr)].push((
+                    seg,
+                    geom.set_index(op.addr) as u32,
+                    geom.tag(op.addr),
+                    op.kind,
+                ));
+            }
+            shards
+                .iter_mut()
+                .zip(bins.iter())
+                .map(|(shard, bin)| run(shard, bin))
+                .collect()
+        } else {
+            let groups = pc_par::parallel_zip_chunks_threads(
+                shards,
+                bins,
+                threads,
+                |first_slice, shard_group, bin_group| {
+                    let _engine = crate::fault::engine_scope(crate::fault::Engine::Batch);
+                    let range = first_slice..first_slice + shard_group.len();
+                    let mut seg = 0u32;
+                    for (idx, &op) in ops.iter().enumerate() {
+                        while (seg as usize + 1) < nsegs && idx >= starts[seg as usize + 1] {
+                            seg += 1;
+                        }
+                        let slice = slice_of(op.addr);
+                        if range.contains(&slice) {
+                            bin_group[slice - first_slice].push((
+                                seg,
+                                geom.set_index(op.addr) as u32,
+                                geom.tag(op.addr),
+                                op.kind,
+                            ));
+                        }
+                    }
+                    shard_group
+                        .iter_mut()
+                        .zip(bin_group.iter())
+                        .map(|(shard, bin)| run(shard, bin))
+                        .collect::<Vec<Vec<TraceSummary>>>()
+                },
+            );
+            groups.into_iter().flatten().collect()
+        };
+        for sums in per_shard {
+            for (out, sum) in seg_out.iter_mut().zip(sums) {
+                out.merge(&sum);
+            }
+        }
     }
 
     /// Partitions `ops` by slice-hash range and runs `run` once per

@@ -12,9 +12,12 @@
 //! fault armed must stay silent — the negative control pinning that
 //! the injection hooks themselves perturb nothing.
 //!
-//! The two rx-engine sites (`dropped-deferred-read`,
-//! `burst-flush-elision`) live above this crate; their kill tests are
-//! `crates/core/tests/fault_kill_rx.rs`.
+//! The four rx-engine sites (`dropped-deferred-read`,
+//! `burst-flush-elision`, `swapped-segment-subtotal`,
+//! `stale-deferred-segment-index`) live above this crate; their kill
+//! tests are `crates/core/tests/fault_kill_rx.rs`. The monitor site
+//! (`cross-epoch-misclassify`) is killed by
+//! `crates/pc-probe/tests/fault_kill_probe.rs`.
 
 use pc_cache::fault::{self, FaultSite, FaultSpec};
 use pc_cache::{

@@ -148,6 +148,40 @@ impl DriverConfig {
         self.per_packet_overhead + self.frame_op_count(blocks, small) * min_op_latency
     }
 
+    /// Upper-bound counterpart of [`DriverConfig::min_shape_cycles`]:
+    /// the per-packet overhead plus every emitted op priced at
+    /// `max_op_latency` (the costliest latency the model can charge).
+    /// Window planners use min and max together — the min proves a
+    /// queued arrival is already in the past, the max proves a pending
+    /// deferred read is still in the future — to fuse across boundaries
+    /// without observing the mid-stream clock.
+    pub fn max_shape_cycles(&self, blocks: u32, small: bool, max_op_latency: Cycles) -> Cycles {
+        self.per_packet_overhead + self.frame_op_count(blocks, small) * max_op_latency
+    }
+
+    /// The exact randomization-defense cost the driver charges when its
+    /// packet counter reaches `count` (1-based: the `count`-th packet
+    /// ever received): zero except on defense ticks. A pure function of
+    /// the configuration and the counter — the `EveryNPackets` ring
+    /// re-randomization fires on exact multiples — so window planners
+    /// fold the *exact* future defense costs into both clock bounds
+    /// instead of flushing at every tick. (The adaptive cache defense
+    /// has no term here: its period evaluations re-partition sets but
+    /// charge no cycles — their cost surfaces in stats, not the clock.)
+    pub fn defense_cost_for_packet(&self, count: u64) -> Cycles {
+        match self.randomize {
+            RandomizeMode::Off => 0,
+            RandomizeMode::EveryPacket => self.realloc_cost,
+            RandomizeMode::EveryNPackets(n) => {
+                if count.is_multiple_of(n) {
+                    self.realloc_cost * self.ring_size as Cycles
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -209,6 +243,31 @@ pub struct RxEvent {
     /// latency without DDIO); feed these to a
     /// [`crate::DeferredReads`] queue.
     pub deferred_reads: Vec<(Cycles, PhysAddr)>,
+}
+
+/// What [`IgbDriver::receive_fused`] recorded for one frame: the ring
+/// placement and disposition (as in [`RxEvent`]) plus, for a deferring
+/// frame, *which segment* of the fused batch its payload reads hang
+/// off — the due times themselves don't exist yet; the caller
+/// reconstructs them from the segmented replay's subtotals.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct FusedRxEvent {
+    /// Ring descriptor index that was filled.
+    pub buffer_index: usize,
+    /// DMA target address of the buffer's first block.
+    pub buffer_addr: PhysAddr,
+    /// Cache blocks the frame occupied.
+    pub blocks: u32,
+    /// The buffer's page was reallocated.
+    pub reallocated: bool,
+    /// The buffer flipped to the other half-page.
+    pub flipped: bool,
+    /// `Some(seg)` when the frame defers payload reads (large frame,
+    /// no DDIO): reads of blocks `2..blocks` become due
+    /// [`DriverConfig::header_to_payload_delay`] after segment `seg`'s
+    /// reconstructed end clock — the cycle the per-frame engine's
+    /// `h.now()` would have shown when it computed the dues.
+    pub deferral_segment: Option<usize>,
 }
 
 /// The driver model.
@@ -541,6 +600,70 @@ impl IgbDriver {
         ops.clear();
         self.ops = ops;
         events
+    }
+
+    /// Receives one frame into a caller-held fused-burst buffer without
+    /// ever observing the hierarchy — the emit half of the cross-gap
+    /// fusion pipeline.
+    ///
+    /// Opens a segment (see [`pc_cache::OpBuffer::mark_segment`]) and
+    /// emits the frame's ops into it; a deferring frame (large, no
+    /// DDIO) closes its emit with a *second* mark, so the segment's
+    /// reconstructed end clock is exactly the `h.now()` the per-frame
+    /// engine reads payload-read dues from. Defense costs are emitted
+    /// as pending advances, which the next mark (or the buffer's
+    /// trailing advance) attributes to this frame — the same
+    /// reads-then-defense order every other receive path replays.
+    ///
+    /// Ring state, RNG draws and counters advance exactly as in
+    /// [`IgbDriver::receive`]; only the replay (and therefore the
+    /// clock) is left to the caller, who runs the whole batch through
+    /// [`Hierarchy::run_ops_segmented`] and applies arrivals
+    /// retroactively per segment. `ddio` must be the replaying
+    /// hierarchy's [`pc_cache::DdioMode::allocates_in_llc`].
+    pub fn receive_fused(
+        &mut self,
+        ops: &mut OpBuffer,
+        ddio: bool,
+        frame: EthernetFrame,
+        rng: &mut SmallRng,
+    ) -> FusedRxEvent {
+        let idx = self.ring.advance();
+        let buffer_addr = self.ring.buffer(idx).dma_addr();
+        let (blocks, small) = self.cfg.frame_shape(frame);
+        ops.mark_segment();
+        self.cfg.emit_frame_ops(buffer_addr, blocks, small, ops);
+        let deferral_segment = if !small && !ddio {
+            let mut seg = ops.segments() - 1;
+            // Fault site `stale-deferred-segment-index`: the fused
+            // receive files a keyed deferral under the previous
+            // segment, so its due reconstructs from the wrong segment
+            // base and the payload reads replay too early.
+            if pc_cache::fault::fires_keyed(
+                pc_cache::fault::FaultSite::StaleDeferredSegmentIndex,
+                seg as u64,
+            ) {
+                seg = seg.saturating_sub(1);
+            }
+            // Close the emit here: the dues hang off this boundary's
+            // reconstructed clock, the defense cost lands after it.
+            ops.mark_segment();
+            Some(seg)
+        } else {
+            None
+        };
+        let (reallocated, flipped, defense_cost) = self.frame_disposition(rng, idx, small);
+        if defense_cost > 0 {
+            ops.advance(defense_cost);
+        }
+        FusedRxEvent {
+            buffer_index: idx,
+            buffer_addr,
+            blocks,
+            reallocated,
+            flipped,
+            deferral_segment,
+        }
     }
 
     /// Replaces the page behind descriptor `idx` with a fresh one.

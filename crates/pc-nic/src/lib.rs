@@ -50,5 +50,5 @@ mod ring;
 
 pub use alloc::{PageAllocator, PageRef};
 pub use deferred::DeferredReads;
-pub use driver::{DriverConfig, FrameMeta, IgbDriver, RandomizeMode, RxEvent};
+pub use driver::{DriverConfig, FrameMeta, FusedRxEvent, IgbDriver, RandomizeMode, RxEvent};
 pub use ring::{RxBuffer, RxRing, HALF_PAGE_BYTES, RX_BUFFER_BLOCKS};

@@ -180,13 +180,21 @@ impl SampleMatrix {
 /// one row of the activity matrix. The caller interleaves packet
 /// deliveries between samples; see the test-bed in `pc-core`.
 ///
-/// A probe epoch is a **flush point** for the test bed's windowed
-/// burst delivery: `TestBed::advance_to` returns with every pending
-/// frame op applied, so the probe always observes a fully synchronized
-/// machine — delivery windows never span the epoch boundary, whatever
-/// engine delivers the frames. The monitor itself needs no special
-/// handling; the contract is documented here because this is the
-/// clock-observing caller the window planner defers to.
+/// A probe epoch observes a synchronized machine: `TestBed::advance_to`
+/// returns with every pending frame op applied and every frame's clock
+/// reconstructed, so the probe never sees a half-replayed window —
+/// whatever engine delivers the frames. Since the bed's windowed
+/// engine fuses across gaps and reconstructs clocks retroactively,
+/// epochs cost only that synchronization, not a per-gap flush cascade.
+/// The monitor plays the same per-segment trick *inside* an epoch:
+/// when every target's threshold separates hit from miss in the
+/// latency model (every calibrated threshold does), one
+/// [`Monitor::sample`] concatenates all targets' probe walks into a
+/// single segmented batch — one `pc_cache::TraceSummary` per target,
+/// classified from the aggregates (`misses = accesses − hits`),
+/// byte-identical to probing target by target but sharded slice-
+/// parallel like any large batch. An ambiguous threshold falls back
+/// to per-target probing.
 #[derive(Clone, Debug)]
 pub struct Monitor {
     targets: Vec<MonitorTarget>,
@@ -223,18 +231,64 @@ impl Monitor {
     }
 
     /// Probes every target once, returning per-target activity.
+    ///
+    /// Fused when every target's threshold separates the latency model
+    /// (see the type docs): one segmented batch, one subtotal per
+    /// target, byte-identical to per-target probing.
     pub fn sample(&self, h: &mut Hierarchy) -> Vec<bool> {
-        self.targets
-            .iter()
-            .map(|t| t.probe.probe(h).activity())
-            .collect()
+        self.probe_all(h).into_iter().map(|m| m > 0).collect()
     }
 
     /// Probes every target once, returning per-target miss counts.
+    /// Fused exactly like [`Monitor::sample`].
     pub fn sample_misses(&self, h: &mut Hierarchy) -> Vec<u32> {
-        self.targets
-            .iter()
-            .map(|t| t.probe.probe(h).misses)
+        self.probe_all(h)
+    }
+
+    /// One probe pass over every target, in target order. When all
+    /// targets are batch-separable, the targets' reverse probe walks
+    /// concatenate into **one** trace with a segment start per target
+    /// ([`Hierarchy::run_trace_segmented`]); each target's misses are
+    /// recovered from its subtotal as `accesses − hits`. The access
+    /// stream, clock and statistics are identical to probing one
+    /// target at a time — the fusion only lets a many-target monitor
+    /// (Figures 7/8 sample 256 sets) clear the sharded-dispatch
+    /// threshold instead of replaying hundreds of tiny batches.
+    fn probe_all(&self, h: &mut Hierarchy) -> Vec<u32> {
+        let lat = h.latencies();
+        if !self.targets.iter().all(|t| t.probe.batch_separable(lat)) {
+            return self
+                .targets
+                .iter()
+                .map(|t| t.probe.probe(h).misses)
+                .collect();
+        }
+        let mut ops: Vec<pc_cache::CacheOp> = Vec::new();
+        let mut starts = Vec::with_capacity(self.targets.len());
+        for t in &self.targets {
+            starts.push(ops.len());
+            ops.extend(t.probe.probe_ops());
+        }
+        let mut seg = Vec::new();
+        h.run_trace_segmented(&ops, &starts, &mut seg);
+        seg.iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let mut misses = (s.accesses - s.hits) as u32;
+                // Fault site `cross-epoch-misclassify`: the fused
+                // sample inverts one keyed target's classification
+                // (misses become hits and vice versa) — the aggregate
+                // is consistent, only the recovered per-target signal
+                // is wrong, which is exactly what a differential
+                // monitor check must catch.
+                if pc_cache::fault::fires_keyed(
+                    pc_cache::fault::FaultSite::CrossEpochMisclassify,
+                    k as u64,
+                ) {
+                    misses = s.accesses as u32 - misses;
+                }
+                misses
+            })
             .collect()
     }
 
@@ -323,5 +377,29 @@ mod tests {
     fn matrix_rejects_ragged_rows() {
         let mut m = SampleMatrix::new(vec![0, 1]);
         m.push(vec![true]);
+    }
+
+    #[test]
+    fn fused_sample_matches_per_target_probing() {
+        // The fused segmented sample against a hand-driven per-target
+        // walk on a cloned machine: same misses, same clock, same
+        // cache statistics — fusion is pure scheduling.
+        let (mut h, m, victims) = setup(6);
+        m.prime_all(&mut h);
+        let _ = m.sample(&mut h);
+        h.io_write(victims[1]);
+        h.io_write(victims[4]);
+        let mut oracle = h.clone();
+        let fused = m.sample_misses(&mut h);
+        let split: Vec<u32> = m
+            .targets()
+            .iter()
+            .map(|t| t.probe.probe(&mut oracle).misses)
+            .collect();
+        assert_eq!(fused, split);
+        assert_eq!(h.now(), oracle.now());
+        assert_eq!(h.llc().stats(), oracle.llc().stats());
+        assert!(fused[1] > 0 && fused[4] > 0, "activity where written");
+        assert_eq!(fused[0], 0);
     }
 }

@@ -55,9 +55,22 @@ impl PrimeProbe {
     }
 
     /// The probing walk: the same lines in reverse (re-priming as it
-    /// goes — the classic zig-zag).
-    fn probe_ops(&self) -> impl Iterator<Item = CacheOp> + '_ {
+    /// goes — the classic zig-zag). Crate-visible so the monitor's
+    /// fused multi-target sample can concatenate many targets' walks
+    /// into one segmented batch.
+    pub(crate) fn probe_ops(&self) -> impl Iterator<Item = CacheOp> + '_ {
         self.set.addresses().iter().rev().map(|&a| CacheOp::read(a))
+    }
+
+    /// Whether the batch fast path can classify this instance's probe
+    /// from aggregates alone under `lat`: the latency model separates
+    /// hit from miss at the threshold (`llc_hit < threshold ≤ dram` —
+    /// true for every calibrated threshold), so per-access timing
+    /// recovers exactly as `misses = accesses − hits`. The single
+    /// definition behind [`PrimeProbe::probe`]'s fast path and the
+    /// monitor's fused sample.
+    pub(crate) fn batch_separable(&self, lat: pc_cache::LatencyModel) -> bool {
+        lat.llc_hit < self.threshold && lat.dram >= self.threshold
     }
 
     /// Fills the target set with the spy's lines.
@@ -81,7 +94,7 @@ impl PrimeProbe {
     /// back to the per-access oracle walk.
     pub fn probe(&self, h: &mut Hierarchy) -> ProbeResult {
         let lat = h.latencies();
-        if lat.llc_hit < self.threshold && lat.dram >= self.threshold {
+        if self.batch_separable(lat) {
             let sum = h.run_trace(self.probe_ops());
             return ProbeResult {
                 misses: (sum.accesses - sum.hits) as u32,
