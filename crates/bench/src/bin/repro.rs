@@ -2,8 +2,8 @@
 //! registered end-to-end scenarios.
 //!
 //! ```text
-//! repro [--full] [--smoke] [--seed N] [--rx-engine E] <experiment|all|bench-cache>
-//! repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list
+//! repro [--full] [--smoke] [--seed N] [--rx-engine E] [--queues N] <experiment|all|bench-cache>
+//! repro [--full] [--seed N] [--rx-engine E] [--queues N] scenario <name>... | list
 //! repro [--full] [--seed N] [--tenants N] fleet
 //! repro [--seeds N] fault-matrix
 //!
@@ -106,15 +106,38 @@ fn main() {
                 }
                 std::env::set_var("PC_RX_ENGINE", v);
             }
+            // Queue-count selection for every TestBed the run
+            // constructs, same pattern as --rx-engine: validated here,
+            // routed through PC_RSS_QUEUES so nested TestBedConfig
+            // construction sites (and scenario spec defaults) pick it up.
+            "--queues" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--queues needs a queue count"));
+                match v.parse::<usize>() {
+                    Ok(n) if (1..=pc_nic::MAX_RSS_QUEUES).contains(&n) => {
+                        std::env::set_var("PC_RSS_QUEUES", v);
+                    }
+                    _ => die(&format!(
+                        "--queues needs 1..={} rx queues",
+                        pc_nic::MAX_RSS_QUEUES
+                    )),
+                }
+            }
             "-h" | "--help" => {
-                println!("usage: repro [--full] [--smoke] [--seed N] [--rx-engine E] <experiment|all|bench-cache>");
+                println!("usage: repro [--full] [--smoke] [--seed N] [--rx-engine E] [--queues N] <experiment|all|bench-cache>");
                 println!(
-                    "       repro [--full] [--seed N] [--rx-engine E] scenario <name>... | list"
+                    "       repro [--full] [--seed N] [--rx-engine E] [--queues N] scenario <name>... | list"
                 );
                 println!("       repro [--full] [--seed N] [--tenants N] fleet");
                 println!("       repro [--seeds N] fault-matrix");
                 println!("--rx-engine: TestBed receive engine (batched|per-frame|per-access;");
                 println!("             all byte-identical — the CI determinism job diffs them)");
+                println!(
+                    "--queues:    rx queue count for every TestBed (1..={}; overrides",
+                    pc_nic::MAX_RSS_QUEUES
+                );
+                println!("             scenario defaults; routed via PC_RSS_QUEUES)");
                 println!("experiments: fig5 fig6 fig7 fig8 table1 fig10 fig11 fig12ab");
                 println!("             fig12cd fig13 fingerprint table2 fig14 fig15 fig16");
                 println!("bench-cache: LLC hot-path microbenchmark -> BENCH_cache.json");
@@ -624,6 +647,13 @@ fn bench_cache(scale: Scale, smoke: bool) {
             t.testbed_window_frames_mean
         );
     }
+    // End-to-end multi-queue scenarios: wall clock per registry run, so
+    // RSS steering and window-fusion overhead are tracked PR to PR.
+    let scenarios = pc_bench::cache_bench::measure_scenarios(samples, if smoke { 4 } else { 1 });
+    println!("scenario,wall_ms");
+    for s in &scenarios {
+        println!("{},{:.1}", s.scenario, s.wall_ms);
+    }
     // Fleet orchestration: the standard tenant mix end to end, wall
     // clock for the harness plus the (deterministic) simulated line rate.
     let fleet_tenants = if smoke {
@@ -642,7 +672,9 @@ fn bench_cache(scale: Scale, smoke: bool) {
     if let Some(tax) = pc_bench::cache_bench::adaptive_driver_tax(&drivers) {
         println!("# adaptive_driver_tax: {tax:.2}x enabled-mode ns/packet (target <= 4x)");
     }
-    let json = pc_bench::cache_bench::to_json(&results, &drivers, &testbeds, &fleet, trace_len);
+    let json = pc_bench::cache_bench::to_json(
+        &results, &drivers, &testbeds, &scenarios, &fleet, trace_len,
+    );
     // Smoke runs are quarter-length single-sample measurements: keep
     // them away from the tracked BENCH_cache.json so the PR-to-PR perf
     // trajectory only ever records full-protocol numbers.
@@ -725,16 +757,25 @@ fn bench_cache(scale: Scale, smoke: bool) {
                 ));
             }
         }
+        for s in &scenarios {
+            if !s.is_sane() {
+                die(&format!(
+                    "bench-cache smoke: unusable scenario timing for {}: {s:?}",
+                    s.scenario
+                ));
+            }
+        }
         if !fleet.is_sane() {
             die(&format!(
                 "bench-cache smoke: unusable fleet measurement: {fleet:?}"
             ));
         }
         println!(
-            "# smoke: {} cases + {} driver rows + {} testbed rows + fleet sane",
+            "# smoke: {} cases + {} driver rows + {} testbed rows + {} scenario rows + fleet sane",
             results.len(),
             drivers.len(),
-            testbeds.len()
+            testbeds.len(),
+            scenarios.len()
         );
     }
 }

@@ -589,7 +589,7 @@ fn time_testbed_mode(mode: DdioMode, samples: usize, frames: usize) -> TestBedRe
             let at = tb.now() + 1;
             let schedule: Vec<pc_net::ScheduledFrame> = mix
                 .iter()
-                .map(|&frame| pc_net::ScheduledFrame { at, frame })
+                .map(|&frame| pc_net::ScheduledFrame::new(at, frame))
                 .collect();
             let t = Instant::now();
             tb.enqueue(schedule);
@@ -697,7 +697,7 @@ pub fn measure_crossgap(samples: usize, frames: usize) -> TestBedResult {
                     if j > 0 && j % CROSSGAP_BURST == 0 {
                         at += CROSSGAP_GAP;
                     }
-                    pc_net::ScheduledFrame { at, frame }
+                    pc_net::ScheduledFrame::new(at, frame)
                 })
                 .collect();
             let end = at;
@@ -792,6 +792,61 @@ pub fn measure_fleet(samples: usize, tenants: usize) -> FleetResult {
     }
 }
 
+/// One timed end-to-end scenario row: wall clock for a full registry
+/// scenario run. The multi-queue scenarios added with the RSS model are
+/// tracked here so steering/fusion overhead shows up in the perf
+/// trajectory next to the engine rows.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Median wall-clock milliseconds per full scenario run.
+    pub wall_ms: f64,
+    /// Worker threads on the measuring host.
+    pub host_threads: usize,
+}
+
+impl ScenarioResult {
+    /// `true` when the timing is usable (finite, positive).
+    pub fn is_sane(&self) -> bool {
+        self.wall_ms.is_finite() && self.wall_ms > 0.0
+    }
+}
+
+/// The multi-queue scenarios `measure_scenarios` times, in reporting
+/// order.
+pub const BENCH_SCENARIOS: [&str; 4] = ["kv-store", "dns-flood", "large-transfer", "co-tenancy"];
+
+/// Times each [`BENCH_SCENARIOS`] scenario end to end at
+/// [`crate::experiments::Scale::Quick`]: `samples` passes after an
+/// untimed warm-up, median wall clock per run. `shrink` divides the
+/// scenario's quick work units (`--smoke` passes 4, like the traces).
+pub fn measure_scenarios(samples: usize, shrink: u64) -> Vec<ScenarioResult> {
+    use crate::experiments::Scale;
+    BENCH_SCENARIOS
+        .iter()
+        .map(|&name| {
+            let base = crate::scenario::find(name).expect("bench scenario registered");
+            let units = (base.duration().quick / shrink).max(1);
+            let spec = base.clone().with_units(units, units);
+            let mut runs = Vec::with_capacity(samples);
+            for i in 0..=samples {
+                let t = Instant::now();
+                let out = spec.run(Scale::Quick, 2020);
+                assert!(!out.is_empty(), "scenario produced no report");
+                if i > 0 {
+                    runs.push(t.elapsed().as_secs_f64() * 1e3); // first pass is warm-up
+                }
+            }
+            ScenarioResult {
+                scenario: name.to_owned(),
+                wall_ms: median(runs),
+                host_threads: pc_par::max_threads(),
+            }
+        })
+        .collect()
+}
+
 /// The adaptive-mode tax: adaptive ns/packet ÷ enabled ns/packet on the
 /// streaming driver path. This is the number the incremental partition
 /// re-evaluation is sized by (target ≤ 4× since PR 8; it was ~15×
@@ -808,24 +863,26 @@ pub fn adaptive_driver_tax(drivers: &[DriverResult]) -> Option<f64> {
 }
 
 /// Renders results as the `BENCH_cache.json` document (schema
-/// `pc-bench-cache-v7`; the `trace_*` fields, the per-mode `modes`
+/// `pc-bench-cache-v8`; the `trace_*` fields, the per-mode `modes`
 /// summary, the end-to-end `driver` and `testbed` rows — each
 /// annotated with the measuring host's `host_threads` and, for
 /// testbed rows, the `testbed_window_frames_mean` fusion telemetry
 /// (the `crossgap` row measures the bursty gap + probe-epoch
-/// schedule) — the `fleet` entry and the `adaptive_driver_tax` ratio
-/// are documented in `crates/bench/README.md`).
+/// schedule) — the per-scenario `scenarios` wall-clock rows, the
+/// `fleet` entry and the `adaptive_driver_tax` ratio are documented
+/// in `crates/bench/README.md`).
 pub fn to_json(
     results: &[CaseResult],
     drivers: &[DriverResult],
     testbeds: &[TestBedResult],
+    scenarios: &[ScenarioResult],
     fleet: &FleetResult,
     trace_len: usize,
 ) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v7\",");
+    let _ = writeln!(s, "  \"schema\": \"pc-bench-cache-v8\",");
     let _ = writeln!(s, "  \"trace_len\": {trace_len},");
     let _ = writeln!(s, "  \"threads\": {},", pc_par::max_threads());
     s.push_str("  \"modes\": [\n");
@@ -870,6 +927,16 @@ pub fn to_json(
             t.host_threads
         );
         s.push_str(if i + 1 < testbeds.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scenario\": \"{}\", \"wall_ms\": {:.1}, \"host_threads\": {}}}",
+            sc.scenario, sc.wall_ms, sc.host_threads
+        );
+        s.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     let _ = writeln!(
@@ -951,12 +1018,21 @@ mod tests {
         }
     }
 
+    fn scenario_result(name: &str) -> ScenarioResult {
+        ScenarioResult {
+            scenario: name.into(),
+            wall_ms: 12.5,
+            host_threads: 4,
+        }
+    }
+
     #[test]
     fn json_is_well_formed_enough() {
         let r = vec![result("stream/enabled")];
         let d = vec![driver_result("enabled")];
         let t = vec![testbed_result("enabled")];
-        let s = to_json(&r, &d, &t, &fleet_result(), TRACE_LEN);
+        let sc = vec![scenario_result("kv-store")];
+        let s = to_json(&r, &d, &t, &sc, &fleet_result(), TRACE_LEN);
         assert!(s.contains("\"speedup\": 3.00"));
         assert!(s.contains("\"parallel_speedup\": 2.00"));
         assert!(s.contains("\"trace_parallel_speedup\": 5.00"));
@@ -973,7 +1049,8 @@ mod tests {
         assert!(s.contains("\"testbed_burst_speedup\": 1.20"));
         assert!(s.contains("\"testbed_scalar_speedup\": 1.50"));
         assert!(s.contains("\"testbed_window_frames_mean\": 96.5"));
-        assert!(s.contains("pc-bench-cache-v7"));
+        assert!(s.contains("pc-bench-cache-v8"));
+        assert!(s.contains("\"scenario\": \"kv-store\", \"wall_ms\": 12.5"));
         assert!(s.contains(
             "\"fleet\": {\"tenants\": 64, \"tenants_per_sec\": 40.0, \"packets_per_sec\": 2000000}"
         ));
@@ -994,6 +1071,7 @@ mod tests {
             &[result("stream/enabled")],
             &drivers,
             &[testbed_result("enabled")],
+            &[scenario_result("dns-flood")],
             &fleet_result(),
             TRACE_LEN,
         );
@@ -1016,6 +1094,16 @@ mod tests {
         f.packets_per_sec = 2_000_000.0;
         f.tenants = 0;
         assert!(!f.is_sane());
+    }
+
+    #[test]
+    fn scenario_sanity_gate_rejects_bogus_timings() {
+        let mut sc = scenario_result("kv-store");
+        assert!(sc.is_sane());
+        sc.wall_ms = 0.0;
+        assert!(!sc.is_sane());
+        sc.wall_ms = f64::NAN;
+        assert!(!sc.is_sane());
     }
 
     #[test]

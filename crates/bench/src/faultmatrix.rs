@@ -412,18 +412,12 @@ fn testbed_schedule() -> Vec<ScheduledFrame> {
     for burst in 0..40u64 {
         let leading = burst % 24;
         for _ in 0..leading {
-            frames.push(ScheduledFrame {
-                at: t,
-                frame: small,
-            });
+            frames.push(ScheduledFrame::new(t, small));
         }
-        frames.push(ScheduledFrame { at: t, frame: mtu });
+        frames.push(ScheduledFrame::new(t, mtu));
         let emit_end = 900 * leading + 5_500;
         for j in 0..8u64 {
-            frames.push(ScheduledFrame {
-                at: t + emit_end + 12_800 + j * 900,
-                frame: small,
-            });
+            frames.push(ScheduledFrame::new(t + emit_end + 12_800 + j * 900, small));
         }
         t += BURST_PERIOD;
     }

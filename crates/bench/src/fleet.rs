@@ -101,7 +101,9 @@ impl FleetConfig {
 /// The default tenant mix: every tenant-capable scenario, skewed
 /// toward the paper's DDIO baseline with NoDDIO and Adaptive minorities
 /// (so per-mode breakdowns always have all three configurations at
-/// fleet sizes ≥ the cycle length of 12).
+/// fleet sizes ≥ the cycle length of 16). The multi-queue flow
+/// scenarios ride at the end of the cycle so the pre-RSS assignment of
+/// the first twelve slots is unchanged.
 pub fn standard_templates() -> Vec<TenantTemplate> {
     let spec = |name: &str| {
         scenario::find(name)
@@ -158,6 +160,27 @@ pub fn standard_templates() -> Vec<TenantTemplate> {
             label: "web-mix/DDIO",
             weight: 2,
         },
+        TenantTemplate {
+            spec: spec("kv-store")
+                .with_units(256, 2_048)
+                .with_mode("DDIO", DdioMode::enabled()),
+            label: "kv-store/DDIO",
+            weight: 2,
+        },
+        TenantTemplate {
+            spec: spec("dns-flood")
+                .with_units(256, 2_048)
+                .with_mode("Adaptive", DdioMode::adaptive()),
+            label: "dns-flood/Adaptive",
+            weight: 1,
+        },
+        TenantTemplate {
+            spec: spec("large-transfer")
+                .with_units(64, 512)
+                .with_mode("NoDDIO", DdioMode::Disabled),
+            label: "large-transfer/NoDDIO",
+            weight: 1,
+        },
     ]
 }
 
@@ -175,6 +198,10 @@ pub struct TenantOutcome {
 /// Runs every tenant and returns outcomes **in tenant-index order**
 /// (the fan-out collects by input index, not completion time).
 pub fn run_fleet_outcomes(cfg: &FleetConfig) -> Vec<TenantOutcome> {
+    // Window telemetry is process-global; scope it to this fleet run so
+    // `repro fleet` (and back-to-back runs in one process) never report
+    // a predecessor's fusion counters.
+    pc_core::reset_window_stats();
     let cycle = cfg.assignment_cycle();
     let jobs: Vec<(usize, usize)> = (0..cfg.tenants)
         .map(|i| (i, cycle[i % cycle.len()]))
@@ -404,7 +431,7 @@ mod tests {
     fn assignment_follows_the_weighted_cycle() {
         let cfg = tiny_fleet(14, 1);
         let cycle = cfg.assignment_cycle();
-        assert_eq!(cycle.len(), 12, "standard weights sum to 12");
+        assert_eq!(cycle.len(), 16, "standard weights sum to 16");
         let outcomes = run_fleet_outcomes(&cfg);
         for o in &outcomes {
             assert_eq!(o.template, cycle[o.tenant % cycle.len()]);

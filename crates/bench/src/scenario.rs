@@ -31,10 +31,13 @@ use pc_core::fingerprint::{evaluate_closed_world, CaptureConfig};
 use pc_core::sequencer::{ground_truth_sequence, recover_window, SequenceQuality, SequencerConfig};
 use pc_core::{TestBed, TestBedConfig};
 use pc_defense::workloads::{file_copy, nginx, tcp_recv, NginxConfig, Workbench, WorkloadMetrics};
-use pc_net::{ArrivalSchedule, ClosedWorld, ConstantSize, LineRate, TraceReplay};
+use pc_net::{
+    ArrivalSchedule, ClosedWorld, ConstantSize, EthernetFrame, FlowCycle, LineRate, ScheduledFrame,
+    TraceReplay, UniformSizes,
+};
 use pc_probe::AddressPool;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::OnceLock;
@@ -147,6 +150,10 @@ enum SpecKind {
     Nginx,
     TcpRecv,
     FileCopy,
+    KvStore,
+    DnsFlood,
+    LargeTransfer,
+    CoTenancy,
 }
 
 /// Work units per scale, in the scenario's own unit (samples, trials,
@@ -229,6 +236,11 @@ pub struct ScenarioSpec {
     /// weight 1, the historical behaviour).
     mix: Vec<u32>,
     modes: ModeSweep,
+    /// Default rx queue count for the spec's TestBeds (overridable at
+    /// run time via `PC_RSS_QUEUES` / `repro --queues`). The pre-RSS
+    /// scenarios carry 1 and stay byte-identical to their single-ring
+    /// goldens; the multi-queue scenarios default to 4.
+    queues: usize,
 }
 
 impl ScenarioSpec {
@@ -255,6 +267,18 @@ impl ScenarioSpec {
     /// The DDIO modes the report sweeps.
     pub fn modes(&self) -> &ModeSweep {
         &self.modes
+    }
+
+    /// Default rx queue count of the spec's simulated NIC.
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
+    /// The queue count this run's TestBeds actually use: the
+    /// `PC_RSS_QUEUES` override when set (the CI determinism legs pin
+    /// it), else the spec default.
+    fn bed_queues(&self) -> usize {
+        pc_core::rss_queues_from_env().unwrap_or(self.queues)
     }
 
     /// Replaces the per-scale work units (builder style).
@@ -300,6 +324,10 @@ impl ScenarioSpec {
             SpecKind::Nginx | SpecKind::TcpRecv | SpecKind::FileCopy => {
                 self.report_workload(scale, seed)
             }
+            SpecKind::KvStore | SpecKind::DnsFlood | SpecKind::LargeTransfer => {
+                self.report_flow_traffic(scale, seed)
+            }
+            SpecKind::CoTenancy => self.report_co_tenancy(scale, seed),
         }
     }
 
@@ -590,6 +618,163 @@ impl ScenarioSpec {
         }
     }
 
+    /// The arrival schedule for the flow-steered traffic scenarios:
+    /// `count` frames whose sizes and flow populations are the
+    /// scenario's shape, cycled round-robin over a synthetic client
+    /// population so RSS spreads them across rx queues. One definition
+    /// shared by the report sweep, the tenant run and the co-tenancy
+    /// victim stream.
+    fn flow_schedule(&self, count: usize, start: Cycles, seed: u64) -> Vec<ScheduledFrame> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xf7_0b);
+        let sched = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(self.arrival.fps)
+            .jitter(self.arrival.jitter);
+        match self.kind {
+            SpecKind::KvStore => {
+                // 80/20 GET/SET: small request/hit frames vs fatter
+                // value writes, pre-drawn into a replayable trace.
+                let mut trng = SmallRng::seed_from_u64(seed ^ 0x6e7);
+                let sizes = (0..count)
+                    .map(|_| {
+                        if trng.gen::<f64>() < 0.8 {
+                            trng.gen_range(64..=160)
+                        } else {
+                            trng.gen_range(320..=1024)
+                        }
+                    })
+                    .collect();
+                let mut gen = FlowCycle::clients(TraceReplay::new(sizes), 16, 6379);
+                sched.generate(&mut gen, start, count, &mut rng)
+            }
+            SpecKind::DnsFlood => {
+                let mut gen = FlowCycle::clients(UniformSizes::new(64, 96), 64, 53);
+                sched.generate(&mut gen, start, count, &mut rng)
+            }
+            SpecKind::LargeTransfer => {
+                let mut gen =
+                    FlowCycle::clients(ConstantSize::new(EthernetFrame::mtu_sized()), 4, 443);
+                sched.generate(&mut gen, start, count, &mut rng)
+            }
+            SpecKind::CoTenancy => {
+                // The victim: the chasing scenario's frame shape, but
+                // owned by a client population RSS spreads over queues.
+                let mut gen = FlowCycle::clients(ConstantSize::blocks(2), 12, 80);
+                sched.generate(&mut gen, start, count, &mut rng)
+            }
+            _ => unreachable!("not a flow-traffic scenario"),
+        }
+    }
+
+    /// Replays this spec's flow schedule on one machine and snapshots
+    /// it — the multi-queue sibling of [`ScenarioSpec::web_mix_drive`].
+    fn flow_drive(
+        &self,
+        tb: &mut TestBed,
+        frames: usize,
+        seed: u64,
+    ) -> (u64, Cycles, CacheStats, u64) {
+        let schedule = self.flow_schedule(frames, tb.now() + 1, seed);
+        tb.enqueue(schedule);
+        let t0 = tb.now();
+        tb.drain();
+        let elapsed = tb.now() - t0;
+        let stats = tb.hierarchy().llc().stats();
+        let mem = tb.hierarchy().memory_stats();
+        (frames as u64, elapsed, stats, mem.total())
+    }
+
+    /// The flow-steered traffic scenarios (kv-store, dns-flood,
+    /// large-transfer): one row per swept DDIO mode on a multi-queue
+    /// bed, web-mix-shaped columns plus the queue count.
+    fn report_flow_traffic(&self, scale: Scale, seed: u64) -> ScenarioReport {
+        let frames_n = self.duration.pick(scale) as usize;
+        let queues = self.bed_queues();
+        let mut report = ScenarioReport::new(vec![
+            "config",
+            "queues",
+            "frames",
+            "cycles_per_frame",
+            "llc_miss_rate",
+            "dram_lines",
+        ]);
+        let mut scratch = TenantScratch::new();
+        for (name, mode) in self.modes.entries() {
+            let tb = scratch.bed(TestBedConfig {
+                ddio: mode,
+                ..TestBedConfig::paper_baseline()
+                    .with_seed(seed)
+                    .with_queues(queues)
+            });
+            let (frames, elapsed, stats, dram_lines) = self.flow_drive(tb, frames_n, seed);
+            report.push_row(vec![
+                Metric::Text(name.to_string()),
+                Metric::Count(queues as u64),
+                Metric::Count(frames),
+                Metric::Count(elapsed / frames),
+                Metric::Fixed(stats.miss_rate(), 3),
+                Metric::Count(dram_lines),
+            ]);
+        }
+        report.comment(format!("{queues} rx queues, Toeplitz flow steering"));
+        report
+    }
+
+    /// Attacker–victim co-tenancy: the ring-order recovery of the
+    /// chasing scenario, but the victim's flows are RSS-spread across
+    /// rx queues while the attacker monitors queue 0's ring. One row
+    /// per queue count (single-ring baseline, then the spec's
+    /// multi-queue bed) — steering dilutes the attacker's view, which
+    /// the error-rate column quantifies.
+    fn report_co_tenancy(&self, scale: Scale, seed: u64) -> ScenarioReport {
+        let monitored = 16usize;
+        let samples = self.duration.pick(scale) as usize;
+        let mut counts = vec![1usize];
+        if self.bed_queues() > 1 {
+            counts.push(self.bed_queues());
+        }
+        let mut report = ScenarioReport::new(vec![
+            "queues",
+            "samples",
+            "q0_frames",
+            "levenshtein",
+            "error_rate_pct",
+        ]);
+        for queues in counts {
+            let mut tb = TestBed::new(
+                TestBedConfig::paper_baseline()
+                    .with_seed(seed)
+                    .with_queues(queues),
+            );
+            let geom = tb.hierarchy().llc().geometry();
+            let targets: Vec<SliceSet> = pc_core::footprint::page_aligned_targets(&geom)
+                .into_iter()
+                .take(monitored)
+                .collect();
+            let pool = AddressPool::allocate(seed ^ 0x5ce, 12288);
+            let frames = self.flow_schedule(samples * 4, tb.now() + 1, seed);
+            tb.enqueue(frames);
+            let cfg = SequencerConfig {
+                samples,
+                interval: 33_000,
+                ..SequencerConfig::paper_defaults()
+            };
+            let t0 = tb.now();
+            let recovered = recover_window(&mut tb, &pool, &targets, &cfg);
+            let elapsed = tb.now() - t0;
+            let truth = ground_truth_sequence(tb.hierarchy().llc(), tb.driver(), &targets);
+            let q = SequenceQuality::evaluate(&recovered, &truth, elapsed);
+            report.push_row(vec![
+                Metric::Count(queues as u64),
+                Metric::Count(samples as u64),
+                Metric::Count(tb.queue_driver(0).packets_received()),
+                Metric::Count(q.levenshtein as u64),
+                Metric::Fixed(q.error_rate * 100.0, 1),
+            ]);
+        }
+        report.comment("attacker monitors queue 0; RSS spreads the victim's flows");
+        report
+    }
+
     /// Runs this spec as one fleet tenant: a single machine in the
     /// spec's tenant mode, returning typed metrics for the merge.
     ///
@@ -630,6 +815,23 @@ impl ScenarioSpec {
                     ..TestBedConfig::paper_baseline().with_seed(seed)
                 });
                 let (frames, elapsed, llc, dram_lines) = self.web_mix_drive(tb, sizes, seed);
+                Some(TenantMetrics {
+                    mode: mode_name,
+                    unit: "frames",
+                    units: frames,
+                    elapsed_cycles: elapsed,
+                    llc,
+                    dram_lines,
+                })
+            }
+            SpecKind::KvStore | SpecKind::DnsFlood | SpecKind::LargeTransfer => {
+                let tb = scratch.bed(TestBedConfig {
+                    ddio: mode,
+                    ..TestBedConfig::paper_baseline()
+                        .with_seed(seed)
+                        .with_queues(self.bed_queues())
+                });
+                let (frames, elapsed, llc, dram_lines) = self.flow_drive(tb, units as usize, seed);
                 Some(TenantMetrics {
                     mode: mode_name,
                     unit: "frames",
@@ -752,6 +954,23 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
+            },
+            ScenarioSpec {
+                name: "co-tenancy",
+                summary: "ring recovery against a victim RSS-spread over rx queues",
+                kind: SpecKind::CoTenancy,
+                duration: Duration {
+                    quick: 4_000,
+                    full: 40_000,
+                },
+                arrival: Arrival {
+                    fps: 200_000,
+                    jitter: 0.02,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+                queues: 4,
             },
             ScenarioSpec {
                 name: "covert-sweep",
@@ -767,6 +986,23 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
+            },
+            ScenarioSpec {
+                name: "dns-flood",
+                summary: "small-packet flood from many clients across rx queues",
+                kind: SpecKind::DnsFlood,
+                duration: Duration {
+                    quick: 6_000,
+                    full: 60_000,
+                },
+                arrival: Arrival {
+                    fps: 450_000,
+                    jitter: 0.01,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+                queues: 4,
             },
             ScenarioSpec {
                 name: "file-copy",
@@ -779,6 +1015,7 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
             },
             ScenarioSpec {
                 name: "fingerprint",
@@ -791,6 +1028,39 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
+            },
+            ScenarioSpec {
+                name: "kv-store",
+                summary: "80/20 GET/SET key-value mix steered over rx queues",
+                kind: SpecKind::KvStore,
+                duration: Duration {
+                    quick: 4_000,
+                    full: 40_000,
+                },
+                arrival: Arrival {
+                    fps: 300_000,
+                    jitter: 0.03,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+                queues: 4,
+            },
+            ScenarioSpec {
+                name: "large-transfer",
+                summary: "paced MTU-sized bulk transfers on few flows",
+                kind: SpecKind::LargeTransfer,
+                duration: Duration {
+                    quick: 2_500,
+                    full: 25_000,
+                },
+                arrival: Arrival {
+                    fps: 80_000,
+                    jitter: 0.0,
+                },
+                mix: Vec::new(),
+                modes: ModeSweep::All,
+                queues: 4,
             },
             ScenarioSpec {
                 name: "line-rate-sweep",
@@ -806,6 +1076,7 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
             },
             ScenarioSpec {
                 name: "nginx",
@@ -821,6 +1092,7 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
             },
             ScenarioSpec {
                 name: "tcp-recv",
@@ -836,6 +1108,7 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
             },
             ScenarioSpec {
                 name: "web-mix",
@@ -850,6 +1123,7 @@ pub fn registry() -> &'static [ScenarioSpec] {
                 },
                 mix: Vec::new(),
                 modes: ModeSweep::All,
+                queues: 1,
             },
         ]
     })
@@ -923,9 +1197,13 @@ mod tests {
             names,
             [
                 "chasing",
+                "co-tenancy",
                 "covert-sweep",
+                "dns-flood",
                 "file-copy",
                 "fingerprint",
+                "kv-store",
+                "large-transfer",
                 "line-rate-sweep",
                 "nginx",
                 "tcp-recv",
@@ -1012,9 +1290,33 @@ mod tests {
     }
 
     #[test]
+    fn flow_scenarios_are_deterministic_multi_queue_tenants() {
+        let mut scratch = TenantScratch::new();
+        for name in ["kv-store", "dns-flood", "large-transfer"] {
+            let s = find(name).expect("registered").clone().with_units(600, 600);
+            assert_eq!(s.queues(), 4, "{name} defaults to a multi-queue bed");
+            let a = s.run(Scale::Quick, 11);
+            let b = s.run(Scale::Quick, 11);
+            assert_eq!(a, b, "{name} not deterministic");
+            let m = s
+                .run_tenant(Scale::Quick, 5, &mut scratch)
+                .expect("flow scenarios are tenant workloads");
+            assert_eq!(m.unit, "frames");
+            assert_eq!(m.units, 600);
+            assert!(m.units_per_second() > 0.0);
+        }
+    }
+
+    #[test]
     fn attack_scenarios_are_not_tenants() {
         let mut scratch = TenantScratch::new();
-        for name in ["chasing", "fingerprint", "line-rate-sweep", "covert-sweep"] {
+        for name in [
+            "chasing",
+            "fingerprint",
+            "line-rate-sweep",
+            "covert-sweep",
+            "co-tenancy",
+        ] {
             let s = find(name).expect("registered");
             assert!(
                 s.run_tenant(Scale::Quick, 1, &mut scratch).is_none(),

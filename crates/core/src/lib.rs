@@ -33,10 +33,10 @@
 //!
 //! let mut tb = TestBed::new(TestBedConfig::paper_baseline());
 //! let before = tb.hierarchy().llc().stats().io_misses;
-//! tb.enqueue(vec![ScheduledFrame {
-//!     at: tb.now(),
-//!     frame: EthernetFrame::clamped(192), // 3 cache blocks via DDIO
-//! }]);
+//! tb.enqueue(vec![ScheduledFrame::new(
+//!     tb.now(),
+//!     EthernetFrame::clamped(192), // 3 cache blocks via DDIO
+//! )]);
 //! tb.drain();
 //! assert!(tb.hierarchy().llc().stats().io_misses > before);
 //! assert_eq!(tb.records().len(), 1);
@@ -54,6 +54,6 @@ pub mod sequencer;
 mod testbed;
 
 pub use testbed::{
-    reset_window_stats, rx_engine_from_env, window_stats_snapshot, RxEngine, RxRecord, TestBed,
-    TestBedConfig, WindowStats,
+    reset_window_stats, rss_queues_from_env, rx_engine_from_env, window_stats_snapshot, RxEngine,
+    RxRecord, TestBed, TestBedConfig, WindowStats,
 };

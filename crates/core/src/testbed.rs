@@ -51,7 +51,8 @@
 
 use pc_cache::{CacheGeometry, Cycles, DdioMode, Hierarchy, LatencyModel, PhysAddr};
 use pc_net::ScheduledFrame;
-use pc_nic::{DeferredReads, DriverConfig, IgbDriver, PageAllocator};
+use pc_nic::{DeferredReads, DriverConfig, IgbDriver, PageAllocator, RssConfig};
+use pc_par::{stream_seed, SeedDomain};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -106,6 +107,19 @@ impl RxEngine {
 /// backlog.
 const MAX_WINDOW_OPS: u64 = pc_cache::ops::OP_SCRATCH_CAP;
 
+/// Buckets of the per-window frame-count histogram.
+const HIST_BUCKETS: usize = 32;
+
+/// Log2 histogram bucket for a window carrying `frames` frames.
+/// Everything at or beyond `2^31` frames saturates explicitly into the
+/// last bucket, so the histogram never indexes out of range however
+/// large a window grows. The per-bed [`WindowStats`] and the
+/// process-wide atomics both bucket through this one function — the
+/// two histograms cannot drift.
+fn hist_bucket(frames: u64) -> usize {
+    (frames.max(1).ilog2() as usize).min(HIST_BUCKETS - 1)
+}
+
 /// Telemetry of the windowed receive engine: how many fused delivery
 /// windows formed and how many frames each carried. Cheap to keep
 /// (a few counters and a log2 histogram), reported on stderr by the
@@ -121,9 +135,9 @@ pub struct WindowStats {
     /// Largest single window, in frames.
     pub max_frames: u64,
     /// `hist[k]` counts windows carrying `2^k <= frames < 2^(k+1)`
-    /// frames — enough for a bucketed median without per-window
-    /// storage.
-    hist: [u64; 32],
+    /// frames (last bucket saturating, see [`hist_bucket`]) — enough
+    /// for a bucketed median without per-window storage.
+    hist: [u64; HIST_BUCKETS],
 }
 
 impl WindowStats {
@@ -131,7 +145,7 @@ impl WindowStats {
         self.windows += 1;
         self.frames += frames;
         self.max_frames = self.max_frames.max(frames);
-        self.hist[(frames.max(1).ilog2() as usize).min(31)] += 1;
+        self.hist[hist_bucket(frames)] += 1;
     }
 
     /// Mean frames per window (0 when no window formed).
@@ -169,14 +183,15 @@ mod global_window_stats {
     pub(super) static WINDOWS: AtomicU64 = AtomicU64::new(0);
     pub(super) static FRAMES: AtomicU64 = AtomicU64::new(0);
     pub(super) static MAX_FRAMES: AtomicU64 = AtomicU64::new(0);
-    pub(super) static HIST: [AtomicU64; 32] = [const { AtomicU64::new(0) }; 32];
+    pub(super) static HIST: [AtomicU64; super::HIST_BUCKETS] =
+        [const { AtomicU64::new(0) }; super::HIST_BUCKETS];
 }
 
 /// Snapshot of the process-wide window telemetry (every bed, every
 /// thread, since start or the last [`reset_window_stats`]).
 pub fn window_stats_snapshot() -> WindowStats {
     use std::sync::atomic::Ordering::Relaxed;
-    let mut hist = [0u64; 32];
+    let mut hist = [0u64; HIST_BUCKETS];
     for (h, g) in hist.iter_mut().zip(&global_window_stats::HIST) {
         *h = g.load(Relaxed);
     }
@@ -218,6 +233,30 @@ pub fn rx_engine_from_env() -> Option<RxEngine> {
     )
 }
 
+/// Reads the `PC_RSS_QUEUES` environment variable (an rx queue count,
+/// `1..=`[`pc_nic::MAX_RSS_QUEUES`]) — the CI multi-queue determinism
+/// job and `repro --queues` use it to re-run whole scenario suites at
+/// another queue count without touching scenario code. Returns `None`
+/// when unset.
+///
+/// # Panics
+///
+/// Panics on a non-numeric or out-of-range value, for the same reason
+/// [`rx_engine_from_env`] does: a CI leg silently falling back to the
+/// default queue count would pass vacuously.
+pub fn rss_queues_from_env() -> Option<usize> {
+    let v = std::env::var("PC_RSS_QUEUES").ok()?;
+    let n: usize = v
+        .parse()
+        .unwrap_or_else(|_| panic!("PC_RSS_QUEUES must be a queue count, got `{v}`"));
+    assert!(
+        (1..=pc_nic::MAX_RSS_QUEUES).contains(&n),
+        "PC_RSS_QUEUES must be 1..={}, got {n}",
+        pc_nic::MAX_RSS_QUEUES
+    );
+    Some(n)
+}
+
 /// Everything needed to stand up a [`TestBed`].
 #[derive(Copy, Clone, Debug)]
 pub struct TestBedConfig {
@@ -237,14 +276,21 @@ pub struct TestBedConfig {
     pub record_rx: bool,
     /// How frame receives replay against the hierarchy.
     pub rx_engine: RxEngine,
+    /// Rx queue count: RSS spreads flows over this many independent
+    /// rings / driver streams (1 — the default — is the pre-RSS
+    /// single-ring model; legacy all-zero flows always land on
+    /// queue 0, whatever the count).
+    pub rss_queues: usize,
 }
 
 impl TestBedConfig {
     /// The paper's vulnerable baseline: DDIO on, stock IGB driver.
     ///
-    /// The receive engine honours [`rx_engine_from_env`] so one binary
-    /// can run a whole scenario suite on each engine; an explicit
-    /// [`TestBedConfig::with_rx_engine`] still wins.
+    /// The receive engine honours [`rx_engine_from_env`] and the queue
+    /// count honours [`rss_queues_from_env`], so one binary can run a
+    /// whole scenario suite on each engine or queue count; an explicit
+    /// [`TestBedConfig::with_rx_engine`] / [`TestBedConfig::with_queues`]
+    /// still wins.
     pub fn paper_baseline() -> Self {
         TestBedConfig {
             geometry: CacheGeometry::xeon_e5_2660(),
@@ -254,6 +300,7 @@ impl TestBedConfig {
             seed: 0x9ac4e7,
             record_rx: true,
             rx_engine: rx_engine_from_env().unwrap_or_default(),
+            rss_queues: rss_queues_from_env().unwrap_or(1),
         }
     }
 
@@ -284,6 +331,12 @@ impl TestBedConfig {
         self.rx_engine = rx_engine;
         self
     }
+
+    /// Replaces the rx queue count (builder style).
+    pub fn with_queues(mut self, rss_queues: usize) -> Self {
+        self.rss_queues = rss_queues;
+        self
+    }
 }
 
 impl Default for TestBedConfig {
@@ -308,8 +361,23 @@ pub struct RxRecord {
     pub blocks: u32,
 }
 
-/// The victim machine: one hierarchy, one NIC driver, a queue of future
-/// frame arrivals, and the deferred payload reads of the no-DDIO path.
+/// One rx queue's private slice of the NIC: its ring / driver, the
+/// deferred payload reads it owes, and its driver RNG stream. Queue 0
+/// runs on the bed's legacy base-seed streams; queues `1..` derive
+/// theirs through [`SeedDomain::Queue`], so adding queues never
+/// perturbs queue 0 and a queue count of 1 is byte-identical to the
+/// pre-RSS single-ring model.
+#[derive(Clone, Debug)]
+struct RxQueue {
+    driver: IgbDriver,
+    deferred: DeferredReads,
+    rng: SmallRng,
+}
+
+/// The victim machine: one hierarchy, one or more rx queues (each its
+/// own NIC ring, driver streams and deferred payload reads), a queue
+/// of future frame arrivals, and the RSS steer that assigns each
+/// arrival's flow to a queue.
 ///
 /// The spy and the experiments drive time forward through
 /// [`TestBed::advance_to`] and probe through
@@ -317,13 +385,23 @@ pub struct RxRecord {
 /// [`TestBed::enqueue`] are delivered whenever the clock passes their
 /// arrival time — fused into burst windows on the default engine (see
 /// the module docs).
+///
+/// ## Multi-queue delivery order
+///
+/// Steering picks *which queue's state* a frame advances; it never
+/// reorders processing. Frames process in global arrival order on
+/// every engine (cutting a window early must stay legal, which a
+/// queue-grouped replay would break), and wherever queues synchronize
+/// at one clock — window cuts, per-frame boundaries, trailing
+/// advances — their due deferred reads run in **queue index order**,
+/// the documented merge rule that makes multi-queue runs byte-
+/// identical across thread counts and engines.
 #[derive(Clone, Debug)]
 pub struct TestBed {
     h: Hierarchy,
-    driver: IgbDriver,
+    rss: RssConfig,
+    queues: Vec<RxQueue>,
     pending: VecDeque<ScheduledFrame>,
-    deferred: DeferredReads,
-    rng: SmallRng,
     records: Vec<RxRecord>,
     record_rx: bool,
     rx_engine: RxEngine,
@@ -340,27 +418,44 @@ pub struct TestBed {
 }
 
 impl TestBed {
-    /// The seeded machine parts: hierarchy, driver, RNG — one
-    /// definition shared by [`TestBed::new`] and [`TestBed::reset`] so
-    /// a reused bed can never drift from a freshly built one.
-    fn build(cfg: &TestBedConfig) -> (Hierarchy, IgbDriver, SmallRng) {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    /// The seeded machine parts: hierarchy and per-queue driver
+    /// streams — one definition shared by [`TestBed::new`] and
+    /// [`TestBed::reset`] so a reused bed can never drift from a
+    /// freshly built one.
+    fn build(cfg: &TestBedConfig) -> (Hierarchy, Vec<RxQueue>) {
         let llc = pc_cache::SlicedCache::new(cfg.geometry, cfg.ddio);
         let h = Hierarchy::with_llc(llc).with_latencies(cfg.latencies);
-        let alloc = PageAllocator::new(cfg.seed ^ 0x5eed_1a7e);
-        let driver = IgbDriver::new(cfg.driver, alloc, &mut rng);
-        (h, driver, rng)
+        let queues = (0..cfg.rss_queues)
+            .map(|q| {
+                // Queue 0 keeps the bed's historical streams exactly —
+                // not `stream_seed(seed, Queue, 0)` — so every pre-RSS
+                // golden replays unchanged at any queue count.
+                let qseed = if q == 0 {
+                    cfg.seed
+                } else {
+                    stream_seed(cfg.seed, SeedDomain::Queue, q as u64)
+                };
+                let mut rng = SmallRng::seed_from_u64(qseed);
+                let alloc = PageAllocator::new(qseed ^ 0x5eed_1a7e);
+                let driver = IgbDriver::new(cfg.driver, alloc, &mut rng);
+                RxQueue {
+                    driver,
+                    deferred: DeferredReads::new(),
+                    rng,
+                }
+            })
+            .collect();
+        (h, queues)
     }
 
     /// Builds the machine.
     pub fn new(cfg: TestBedConfig) -> Self {
-        let (h, driver, rng) = TestBed::build(&cfg);
+        let (h, queues) = TestBed::build(&cfg);
         TestBed {
             h,
-            driver,
+            rss: RssConfig::new(cfg.rss_queues, cfg.seed),
+            queues,
             pending: VecDeque::new(),
-            deferred: DeferredReads::new(),
-            rng,
             records: Vec::new(),
             record_rx: cfg.record_rx,
             rx_engine: cfg.rx_engine,
@@ -379,12 +474,11 @@ impl TestBed {
     /// worker instead of building one per tenant keeps the per-tenant
     /// setup cost at clears rather than allocations.
     pub fn reset(&mut self, cfg: TestBedConfig) {
-        let (h, driver, rng) = TestBed::build(&cfg);
+        let (h, queues) = TestBed::build(&cfg);
         self.h = h;
-        self.driver = driver;
-        self.rng = rng;
+        self.rss = RssConfig::new(cfg.rss_queues, cfg.seed);
+        self.queues = queues;
         self.pending.clear();
-        self.deferred = DeferredReads::new();
         self.records.clear();
         self.record_rx = cfg.record_rx;
         self.rx_engine = cfg.rx_engine;
@@ -410,9 +504,38 @@ impl TestBed {
         &self.h
     }
 
-    /// The driver (ground-truth ring inspection).
+    /// Queue 0's driver (ground-truth ring inspection; the only queue
+    /// on single-queue beds). Other queues: [`TestBed::queue_driver`].
     pub fn driver(&self) -> &IgbDriver {
-        &self.driver
+        &self.queues[0].driver
+    }
+
+    /// Queue `q`'s driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= queue_count()`.
+    pub fn queue_driver(&self, q: usize) -> &IgbDriver {
+        &self.queues[q].driver
+    }
+
+    /// Rx queues this bed models.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The RSS steering configuration assigning flows to queues.
+    pub fn rss(&self) -> &RssConfig {
+        &self.rss
+    }
+
+    /// Packets received summed over every queue (equals queue 0's
+    /// [`IgbDriver::packets_received`] on single-queue beds).
+    pub fn packets_received_total(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| q.driver.packets_received())
+            .sum()
     }
 
     /// The active receive engine.
@@ -503,8 +626,27 @@ impl TestBed {
                 delivered
             }
         };
-        self.deferred.run_due(&mut self.h);
+        self.run_due_all();
         delivered
+    }
+
+    /// Runs every queue's due deferred reads, in **queue index
+    /// order** — the documented merge rule wherever queues synchronize
+    /// at one clock (window cuts, per-frame boundaries, trailing
+    /// advances). Every engine sequences dues through this one
+    /// function, so the order cannot drift between them.
+    fn run_due_all(&mut self) {
+        for q in &mut self.queues {
+            q.deferred.run_due(&mut self.h);
+        }
+    }
+
+    /// Earliest pending deferred due across every queue's heap.
+    fn min_next_due(&self) -> Option<Cycles> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.deferred.next_due())
+            .min()
     }
 
     /// Advances the clock to `target`, delivering arrivals on the way.
@@ -544,7 +686,7 @@ impl TestBed {
             let gap = target - self.h.now();
             self.h.advance(gap);
         }
-        self.deferred.run_due(&mut self.h);
+        self.run_due_all();
     }
 
     /// Per-frame delivery of every arrival up to `target` (gap advance,
@@ -563,7 +705,7 @@ impl TestBed {
                     }
                     let sf = self.pending.pop_front().expect("peeked");
                     self.receive_now(sf);
-                    self.deferred.run_due(&mut self.h);
+                    self.run_due_all();
                     delivered += 1;
                 }
                 _ => break,
@@ -606,7 +748,7 @@ impl TestBed {
             // The window ended at a point where a deferred read may be
             // due; the reconstruction made the clock exact, so run them
             // here — exactly where the per-frame engine runs them.
-            self.deferred.run_due(&mut self.h);
+            self.run_due_all();
             delivered += n;
         }
         delivered
@@ -648,7 +790,9 @@ impl TestBed {
         let min_lat = lat.llc_hit.min(lat.dram);
         let max_lat = lat.llc_hit.max(lat.dram);
         let ddio = self.h.llc().mode().allocates_in_llc();
-        let cfg = *self.driver.config();
+        // Every queue shares one DriverConfig; queue 0's copy speaks
+        // for all of them.
+        let cfg = *self.queues[0].driver.config();
         let delay = cfg.header_to_payload_delay;
 
         // Clock bounds over the frames collected so far, both folding
@@ -659,10 +803,10 @@ impl TestBed {
         let c0 = self.h.now();
         let mut lb = c0;
         let mut ub = c0;
-        // Earliest pending deferred due: exact heap dues now, joined
-        // by in-window deferral lower bounds as deferring frames are
-        // collected.
-        let mut min_due = self.deferred.next_due();
+        // Earliest pending deferred due across every queue: exact heap
+        // dues now, joined by in-window deferral lower bounds as
+        // deferring frames are collected.
+        let mut min_due = self.min_next_due();
         let mut ops_estimate = 0u64;
         let mut frames = 0u64;
 
@@ -681,17 +825,22 @@ impl TestBed {
                 break;
             }
             let sf = self.pending.pop_front().expect("peeked");
+            // Steering picks whose ring / RNG / deferred state this
+            // frame advances; processing order stays global arrival
+            // order (see the struct docs).
+            let qi = self.rss.steer(sf.flow);
             let (blocks, small) = cfg.frame_shape(sf.frame);
             ops_estimate += cfg.frame_op_count(blocks, small);
             self.seg_arrivals.push(Some(sf.at));
-            let ev = self
+            let queue = &mut self.queues[qi];
+            let ev = queue
                 .driver
-                .receive_fused(&mut ops, ddio, sf.frame, &mut self.rng);
-            // The frame just emitted is the driver's
+                .receive_fused(&mut ops, ddio, sf.frame, &mut queue.rng);
+            // The frame just emitted is its queue's
             // `packets_received()`-th packet; its defense cost is a
             // pure function of that ordinal, so both bounds carry it
             // exactly and defense ticks never cut the window.
-            let defense = cfg.defense_cost_for_packet(self.driver.packets_received());
+            let defense = cfg.defense_cost_for_packet(queue.driver.packets_received());
             lb = lb.max(sf.at) + cfg.min_shape_cycles(blocks, small, min_lat);
             ub = ub.max(sf.at) + cfg.max_shape_cycles(blocks, small, max_lat);
             if let Some(seg) = ev.deferral_segment {
@@ -699,12 +848,15 @@ impl TestBed {
                 // boundary's reconstructed clock plus the delay, known
                 // only after replay — bound it below by `lb` here
                 // (both exclude the defense cost, which lands after
-                // the dues on every engine).
+                // the dues on every engine). Filed on the owning queue
+                // against the *global* segment index, so every queue
+                // resolves against the one shared reconstruction.
                 let d = lb + delay;
                 min_due = Some(min_due.map_or(d, |m| m.min(d)));
                 self.seg_arrivals.push(None);
                 for b in 2..ev.blocks {
-                    self.deferred
+                    queue
+                        .deferred
                         .push_unresolved(seg, ev.buffer_addr.add_blocks(u64::from(b)));
                 }
             }
@@ -748,7 +900,9 @@ impl TestBed {
         if residual > 0 {
             self.h.advance(residual);
         }
-        self.deferred.resolve_segments(&self.seg_ends, delay);
+        for q in &mut self.queues {
+            q.deferred.resolve_segments(&self.seg_ends, delay);
+        }
 
         ops.clear();
         self.fused_ops = ops;
@@ -764,11 +918,13 @@ impl TestBed {
         global_window_stats::WINDOWS.fetch_add(1, Relaxed);
         global_window_stats::FRAMES.fetch_add(frames, Relaxed);
         global_window_stats::MAX_FRAMES.fetch_max(frames, Relaxed);
-        global_window_stats::HIST[(frames.max(1).ilog2() as usize).min(31)].fetch_add(1, Relaxed);
+        global_window_stats::HIST[hist_bucket(frames)].fetch_add(1, Relaxed);
     }
 
-    fn record_event(&mut self, ev: &pc_nic::RxEvent, at: Cycles) {
-        self.deferred.extend(ev.deferred_reads.iter().copied());
+    fn record_event(&mut self, qi: usize, ev: &pc_nic::RxEvent, at: Cycles) {
+        self.queues[qi]
+            .deferred
+            .extend(ev.deferred_reads.iter().copied());
         if self.record_rx {
             self.records.push(RxRecord {
                 at,
@@ -784,22 +940,28 @@ impl TestBed {
         while let Some(last_at) = self.pending.back().map(|f| f.at) {
             self.advance_to(last_at);
         }
-        self.deferred.drain_all(&mut self.h);
+        for q in &mut self.queues {
+            q.deferred.drain_all(&mut self.h);
+        }
     }
 
     fn receive_now(&mut self, sf: ScheduledFrame) {
         // The frame's memory traffic pipelines as one op batch on the
         // per-frame engine; the per-access oracle replays it one access
         // at a time (identical results, pinned below and in pc-nic).
+        let qi = self.rss.steer(sf.flow);
+        let queue = &mut self.queues[qi];
         let ev = match self.rx_engine {
             RxEngine::Batched | RxEngine::PerFrame => {
-                self.driver.receive(&mut self.h, sf.frame, &mut self.rng)
+                queue.driver.receive(&mut self.h, sf.frame, &mut queue.rng)
             }
-            RxEngine::PerAccess => self
-                .driver
-                .receive_scalar(&mut self.h, sf.frame, &mut self.rng),
+            RxEngine::PerAccess => {
+                queue
+                    .driver
+                    .receive_scalar(&mut self.h, sf.frame, &mut queue.rng)
+            }
         };
-        self.record_event(&ev, sf.at);
+        self.record_event(qi, &ev, sf.at);
     }
 }
 
@@ -906,12 +1068,15 @@ mod tests {
             b.hierarchy().memory_stats(),
             "{what}: memory stats"
         );
-        assert_eq!(
-            a.driver().ring().page_addresses(),
-            b.driver().ring().page_addresses(),
-            "{what}: ring pages"
-        );
-        assert_eq!(a.rng, b.rng, "{what}: RNG stream");
+        assert_eq!(a.queue_count(), b.queue_count(), "{what}: queue count");
+        for (qi, (qa, qb)) in a.queues.iter().zip(&b.queues).enumerate() {
+            assert_eq!(
+                qa.driver.ring().page_addresses(),
+                qb.driver.ring().page_addresses(),
+                "{what}: queue {qi} ring pages"
+            );
+            assert_eq!(qa.rng, qb.rng, "{what}: queue {qi} RNG stream");
+        }
     }
 
     #[test]
@@ -953,7 +1118,9 @@ mod tests {
         while let Some(last_at) = tb.pending.back().map(|f| f.at) {
             advance_windowed(tb, last_at);
         }
-        tb.deferred.drain_all(&mut tb.h);
+        for q in &mut tb.queues {
+            q.deferred.drain_all(&mut tb.h);
+        }
     }
 
     #[test]
@@ -1087,10 +1254,10 @@ mod tests {
                 // Arrival exactly on the reconstructed clock: the next
                 // frame lands on the cycle the last window ended, so
                 // its gap `max` is exactly a no-op at the boundary.
-                let exact = vec![ScheduledFrame {
-                    at: tb.now(),
-                    frame: pc_net::EthernetFrame::new(64).unwrap(),
-                }];
+                let exact = vec![ScheduledFrame::new(
+                    tb.now(),
+                    pc_net::EthernetFrame::new(64).unwrap(),
+                )];
                 tb.enqueue(exact);
                 if win {
                     drain_windowed(tb);
@@ -1231,6 +1398,118 @@ mod tests {
         assert_eq!(RxEngine::parse("per-access"), Some(RxEngine::PerAccess));
         assert_eq!(RxEngine::parse("Batched"), None, "names are exact");
         assert_eq!(RxEngine::parse(""), None);
+    }
+
+    #[test]
+    fn window_histogram_saturates_into_the_last_bucket() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 0);
+        assert_eq!(hist_bucket(3), 1);
+        assert_eq!(hist_bucket(1 << 31), HIST_BUCKETS - 1);
+        assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+        let mut ws = WindowStats::default();
+        ws.record(u64::MAX);
+        assert_eq!(ws.hist[HIST_BUCKETS - 1], 1, "explicit saturation");
+        assert_eq!(ws.p50_frames(), 1 << (HIST_BUCKETS - 1));
+    }
+
+    /// A flow-cycled schedule: `count` frames across `clients` client
+    /// flows, sizes spanning the copybreak both ways.
+    fn flow_schedule(clients: u64, count: usize, seed: u64) -> Vec<ScheduledFrame> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = pc_net::FlowCycle::clients(pc_net::UniformSizes::full_range(), clients, 80);
+        ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(150_000)
+            .generate(&mut gen, 0, count, &mut rng)
+    }
+
+    #[test]
+    fn multi_queue_delivery_is_byte_identical_across_engines() {
+        // Four queues, flows spread across them, all three engines plus
+        // the explicit windowed driver: records, clock, statistics and
+        // every queue's ring and RNG stream must agree.
+        for cfg in [
+            TestBedConfig::paper_baseline().with_queues(4),
+            TestBedConfig::no_ddio().with_queues(4),
+        ] {
+            let mut windowed = TestBed::new(cfg.with_rx_engine(RxEngine::Batched));
+            let mut per_frame = TestBed::new(cfg.with_rx_engine(RxEngine::PerFrame));
+            let mut oracle = TestBed::new(cfg.with_rx_engine(RxEngine::PerAccess));
+            for (tb, win) in [
+                (&mut windowed, true),
+                (&mut per_frame, false),
+                (&mut oracle, false),
+            ] {
+                tb.enqueue(flow_schedule(9, 300, 17));
+                if win {
+                    drain_windowed(tb);
+                } else {
+                    tb.drain();
+                }
+            }
+            assert_beds_identical(&windowed, &per_frame, "multi-queue windowed vs per-frame");
+            assert_beds_identical(&windowed, &oracle, "multi-queue windowed vs per-access");
+            let active = (0..windowed.queue_count())
+                .filter(|&q| windowed.queue_driver(q).packets_received() > 0)
+                .count();
+            assert!(active >= 2, "flows actually spread over queues ({active})");
+            assert_eq!(windowed.packets_received_total(), 300);
+        }
+    }
+
+    #[test]
+    fn legacy_flows_pin_to_queue_zero_at_any_queue_count() {
+        // A flow-less (legacy) schedule on a 4-queue bed: queues 1..
+        // stay completely idle and the observable run — records,
+        // clock, cache statistics, queue 0's ring and RNG — is
+        // byte-identical to the single-queue bed. Pre-RSS goldens
+        // therefore replay unchanged at any queue count.
+        let mut single = TestBed::new(TestBedConfig::paper_baseline().with_queues(1));
+        let mut multi = TestBed::new(TestBedConfig::paper_baseline().with_queues(4));
+        for tb in [&mut single, &mut multi] {
+            tb.enqueue(schedule(60, 0));
+            tb.drain();
+        }
+        assert_eq!(single.records(), multi.records(), "records");
+        assert_eq!(single.now(), multi.now(), "clock");
+        assert_eq!(
+            single.hierarchy().llc().stats(),
+            multi.hierarchy().llc().stats(),
+            "llc stats"
+        );
+        assert_eq!(
+            single.driver().ring().page_addresses(),
+            multi.driver().ring().page_addresses(),
+            "queue 0 ring pages"
+        );
+        assert_eq!(single.queues[0].rng, multi.queues[0].rng, "queue 0 RNG");
+        for q in 1..multi.queue_count() {
+            assert_eq!(
+                multi.queue_driver(q).packets_received(),
+                0,
+                "queue {q} stays idle under legacy flows"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_streams_are_independent_of_queue_count() {
+        // Steering is a pure flow property, and each queue's streams
+        // derive from the master seed alone — so a reset to a
+        // different queue count then back reproduces the original run
+        // exactly (the fleet driver reuses beds across tenant
+        // configs with different queue counts).
+        let cfg = TestBedConfig::paper_baseline().with_queues(4).with_seed(99);
+        let mut fresh = TestBed::new(cfg);
+        let mut reused = TestBed::new(TestBedConfig::paper_baseline().with_queues(2));
+        reused.enqueue(flow_schedule(5, 80, 3));
+        reused.drain();
+        reused.reset(cfg);
+        for tb in [&mut fresh, &mut reused] {
+            tb.enqueue(flow_schedule(7, 120, 11));
+            tb.drain();
+        }
+        assert_beds_identical(&fresh, &reused, "reset across queue counts");
     }
 
     #[test]

@@ -153,11 +153,18 @@ pub enum FaultSite {
     /// summarizes. Keyed on the target index; lexically
     /// fused-sample-only.
     CrossEpochMisclassify,
+    /// The RSS steer routes a keyed flow to the *next* queue index —
+    /// frames land in the wrong ring, so per-queue ring order, page
+    /// placement and RNG streams all diverge from the steering
+    /// contract. Keyed on the flow tuple's digest; lexically
+    /// steer-only (`pc-nic`'s `rss.rs`), and inert at queue count 1
+    /// (`(q+1) % 1 == q`), so armed single-queue runs stay byte-exact.
+    SwappedQueueSteer,
 }
 
 impl FaultSite {
     /// Every catalog entry, in matrix order.
-    pub const ALL: [FaultSite; 14] = [
+    pub const ALL: [FaultSite; 15] = [
         FaultSite::StatOffByOne,
         FaultSite::DroppedFlush,
         FaultSite::StaleLru,
@@ -172,6 +179,7 @@ impl FaultSite {
         FaultSite::SwappedSegmentSubtotal,
         FaultSite::StaleDeferredSegmentIndex,
         FaultSite::CrossEpochMisclassify,
+        FaultSite::SwappedQueueSteer,
     ];
 
     /// The site's kebab-case name (the `PC_FAULT` spelling).
@@ -191,6 +199,7 @@ impl FaultSite {
             FaultSite::SwappedSegmentSubtotal => "swapped-segment-subtotal",
             FaultSite::StaleDeferredSegmentIndex => "stale-deferred-segment-index",
             FaultSite::CrossEpochMisclassify => "cross-epoch-misclassify",
+            FaultSite::SwappedQueueSteer => "swapped-queue-steer",
         }
     }
 
@@ -224,7 +233,8 @@ impl FaultSite {
             | FaultSite::TruncatedLead
             | FaultSite::SwappedSegmentSubtotal
             | FaultSite::StaleDeferredSegmentIndex
-            | FaultSite::CrossEpochMisclassify => FiringKind::Keyed,
+            | FaultSite::CrossEpochMisclassify
+            | FaultSite::SwappedQueueSteer => FiringKind::Keyed,
         }
     }
 
@@ -264,6 +274,7 @@ impl FaultSite {
             FaultSite::CrossEpochMisclassify => {
                 "fused monitor sample inverts one target's classification"
             }
+            FaultSite::SwappedQueueSteer => "RSS steer routes a flow to the next queue",
         }
     }
 

@@ -1,0 +1,129 @@
+//! Transport flow identities for RSS steering.
+//!
+//! Real NICs spread receive load across queues by hashing each
+//! packet's flow tuple (source/destination address and port) with a
+//! seeded Toeplitz hash. This module supplies the tuple itself; the
+//! hash and the queue model live in `pc-nic`, which consumes the
+//! tuple's canonical byte encoding. Nothing here draws from an RNG —
+//! a schedule's flow assignment is a pure function of the generator
+//! state, so adding flows to a stream never shifts the shared
+//! schedule RNG (and so never perturbs pre-RSS goldens).
+
+/// A transport flow tuple: the fields a receive-side-scaling hash
+/// keys on.
+///
+/// The [`Default`] tuple (all zeros) is the **legacy flow**: every
+/// schedule built before flows existed carries it, and RSS steering
+/// pins it to queue 0, so untagged traffic behaves exactly like the
+/// single-ring model whatever the queue count.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct FlowTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+}
+
+impl FlowTuple {
+    /// A fully specified tuple.
+    pub fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        FlowTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// The `i`-th member of a synthetic client population: distinct
+    /// clients behind distinct source addresses and ports, all
+    /// talking to one server socket (`10.0.x.x:ephemeral ->
+    /// 192.168.0.1:dst_port`). A pure function of `(i, dst_port)`, so
+    /// scenario traffic can assign flows per frame without touching
+    /// any RNG stream.
+    pub fn client(i: u64, dst_port: u16) -> Self {
+        FlowTuple {
+            src_ip: 0x0A00_0000 | (i as u32 & 0x00FF_FFFF),
+            dst_ip: 0xC0A8_0001,
+            src_port: 32_768 + (i % 28_000) as u16,
+            dst_port,
+        }
+    }
+
+    /// The canonical 12-byte encoding the steering hash consumes:
+    /// `src_ip · dst_ip · src_port · dst_port`, each field big-endian
+    /// (the order RSS hardware hashes an IPv4 tuple in).
+    pub fn hash_bytes(&self) -> [u8; 12] {
+        let mut b = [0u8; 12];
+        b[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b
+    }
+
+    /// A stable 64-bit digest of the tuple, for keyed fault injection
+    /// and diagnostics. Steering itself hashes the full
+    /// [`FlowTuple::hash_bytes`]; this digest is merely injective
+    /// enough to key a fault's modulus on.
+    pub fn key(&self) -> u64 {
+        let hi = (u64::from(self.src_ip) << 32) | u64::from(self.dst_ip);
+        let lo = (u64::from(self.src_port) << 16) | u64::from(self.dst_port);
+        hi ^ lo.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// `true` for the all-zero legacy flow (the [`Default`] tuple).
+    pub fn is_legacy(&self) -> bool {
+        *self == FlowTuple::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_legacy_flow() {
+        assert!(FlowTuple::default().is_legacy());
+        assert!(!FlowTuple::client(0, 80).is_legacy());
+    }
+
+    #[test]
+    fn clients_are_distinct_pure_functions() {
+        let a = FlowTuple::client(3, 80);
+        assert_eq!(a, FlowTuple::client(3, 80), "pure function of (i, port)");
+        for i in 0..1000 {
+            for j in (i + 1)..1000 {
+                assert_ne!(
+                    FlowTuple::client(i, 80),
+                    FlowTuple::client(j, 80),
+                    "clients {i} and {j} collide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_bytes_pack_big_endian_fields() {
+        let t = FlowTuple::new(0x0102_0304, 0x0506_0708, 0x090A, 0x0B0C);
+        assert_eq!(
+            t.hash_bytes(),
+            [1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0A, 0x0B, 0x0C]
+        );
+    }
+
+    #[test]
+    fn key_separates_nearby_tuples() {
+        let base = FlowTuple::client(0, 80);
+        let mut keys = std::collections::HashSet::new();
+        keys.insert(base.key());
+        for i in 1..512 {
+            assert!(keys.insert(FlowTuple::client(i, 80).key()));
+        }
+        assert_ne!(base.key(), FlowTuple::client(0, 53).key());
+    }
+}

@@ -1,5 +1,6 @@
 //! Frame-size generators for every experiment's traffic.
 
+use crate::flow::FlowTuple;
 use crate::frame::{EthernetFrame, MAX_FRAME_BYTES, MIN_FRAME_BYTES};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -12,6 +13,15 @@ use rand::Rng;
 pub trait SizeGenerator {
     /// Produces the next frame.
     fn next_frame(&mut self, rng: &mut SmallRng) -> EthernetFrame;
+
+    /// The flow tuple of the frame [`SizeGenerator::next_frame`] just
+    /// produced (the schedule builder calls the two back to back).
+    /// Defaults to the legacy all-zero flow, and **must not draw from
+    /// any RNG** — flow assignment is a pure function of generator
+    /// state, so pre-RSS schedules are bit-for-bit unchanged.
+    fn next_flow(&mut self) -> FlowTuple {
+        FlowTuple::default()
+    }
 }
 
 /// Emits frames of one fixed size — the Figure 8 experiment ("four
@@ -157,6 +167,62 @@ impl SizeGenerator for BimodalMix {
     }
 }
 
+/// Wraps any size generator with a deterministic round-robin flow
+/// assignment: frame `k` of the stream belongs to
+/// `flows[k % flows.len()]` — a synthetic client population hitting
+/// one server, the shape RSS steering spreads across queues. Sizes
+/// (and every RNG draw) come from the inner generator unchanged.
+#[derive(Clone, Debug)]
+pub struct FlowCycle<G> {
+    inner: G,
+    flows: Vec<FlowTuple>,
+    next: usize,
+}
+
+impl<G: SizeGenerator> FlowCycle<G> {
+    /// Cycles `inner`'s frames through `flows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is empty.
+    pub fn new(inner: G, flows: Vec<FlowTuple>) -> Self {
+        assert!(!flows.is_empty(), "flow cycle needs at least one flow");
+        FlowCycle {
+            inner,
+            flows,
+            next: 0,
+        }
+    }
+
+    /// A population of `clients` synthetic clients (see
+    /// [`FlowTuple::client`]) talking to server port `dst_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn clients(inner: G, clients: u64, dst_port: u16) -> Self {
+        assert!(clients > 0, "client population must be non-empty");
+        FlowCycle::new(
+            inner,
+            (0..clients)
+                .map(|i| FlowTuple::client(i, dst_port))
+                .collect(),
+        )
+    }
+}
+
+impl<G: SizeGenerator> SizeGenerator for FlowCycle<G> {
+    fn next_frame(&mut self, rng: &mut SmallRng) -> EthernetFrame {
+        self.inner.next_frame(rng)
+    }
+
+    fn next_flow(&mut self) -> FlowTuple {
+        let f = self.flows[self.next];
+        self.next = (self.next + 1) % self.flows.len();
+        f
+    }
+}
+
 /// Replays a recorded trace of sizes once, then repeats it.
 #[derive(Clone, Debug)]
 pub struct TraceReplay {
@@ -270,5 +336,27 @@ mod tests {
     fn generators_are_object_safe() {
         let mut boxed: Box<dyn SizeGenerator> = Box::new(ConstantSize::blocks(2));
         assert_eq!(boxed.next_frame(&mut rng()).cache_blocks(), 2);
+        assert!(boxed.next_flow().is_legacy(), "default flow is legacy");
+    }
+
+    #[test]
+    fn flow_cycle_wraps_flows_without_touching_sizes() {
+        let mut plain = ConstantSize::blocks(3);
+        let mut cycled = FlowCycle::clients(ConstantSize::blocks(3), 4, 80);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut flows = Vec::new();
+        for _ in 0..10 {
+            assert_eq!(
+                cycled.next_frame(&mut r2),
+                plain.next_frame(&mut r1),
+                "sizes and RNG stream are the inner generator's"
+            );
+            flows.push(cycled.next_flow());
+        }
+        assert_eq!(r1, r2, "flow assignment draws nothing");
+        assert_eq!(flows[0], FlowTuple::client(0, 80));
+        assert_eq!(flows[4], flows[0], "round-robin over 4 clients");
+        assert_ne!(flows[0], flows[1]);
     }
 }

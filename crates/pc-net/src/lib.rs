@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flow;
 mod frame;
 mod generator;
 mod lfsr;
@@ -34,9 +35,10 @@ mod linerate;
 mod schedule;
 mod webtrace;
 
+pub use flow::FlowTuple;
 pub use frame::{EthernetFrame, FrameSizeError, MAX_FRAME_BYTES, MIN_FRAME_BYTES, MTU_BYTES};
 pub use generator::{
-    BimodalMix, ConstantSize, CyclingSizes, SizeGenerator, TraceReplay, UniformSizes,
+    BimodalMix, ConstantSize, CyclingSizes, FlowCycle, SizeGenerator, TraceReplay, UniformSizes,
 };
 pub use lfsr::Lfsr15;
 pub use linerate::{LineRate, CPU_FREQ_HZ, WIRE_OVERHEAD_BYTES};

@@ -7,6 +7,7 @@
 //! above a configurable utilization threshold, adjacent frames swap with a
 //! probability that grows with utilization.
 
+use crate::flow::FlowTuple;
 use crate::frame::EthernetFrame;
 use crate::generator::SizeGenerator;
 use crate::linerate::LineRate;
@@ -20,6 +21,26 @@ pub struct ScheduledFrame {
     pub at: u64,
     /// The frame itself.
     pub frame: EthernetFrame,
+    /// The transport flow the frame belongs to (RSS steering input;
+    /// the default all-zero tuple is the legacy single flow).
+    pub flow: FlowTuple,
+}
+
+impl ScheduledFrame {
+    /// A frame on the legacy (default) flow.
+    pub fn new(at: u64, frame: EthernetFrame) -> Self {
+        ScheduledFrame {
+            at,
+            frame,
+            flow: FlowTuple::default(),
+        }
+    }
+
+    /// Replaces the flow (builder style).
+    pub fn with_flow(mut self, flow: FlowTuple) -> Self {
+        self.flow = flow;
+        self
+    }
 }
 
 /// Builds time-stamped arrival streams.
@@ -121,6 +142,9 @@ impl ArrivalSchedule {
         let mut t = start;
         for _ in 0..count {
             let frame = gen.next_frame(rng);
+            // Flow assignment never draws from `rng`: the shared
+            // schedule stream is pinned by pre-RSS goldens.
+            let flow = gen.next_flow();
             let nominal = match self.frames_per_second {
                 Some(fps) => self.line.cycles_at_rate(frame.bytes(), fps),
                 None => self.line.cycles_for(frame),
@@ -132,7 +156,7 @@ impl ArrivalSchedule {
                 nominal
             };
             t += gap;
-            out.push(ScheduledFrame { at: t, frame });
+            out.push(ScheduledFrame { at: t, frame, flow });
         }
         self.apply_reordering(&mut out, rng);
         out
@@ -165,9 +189,13 @@ impl ArrivalSchedule {
         let p = self.reorder_prob_max * severity;
         for i in 1..frames.len() {
             if rng.gen_bool(p) {
-                let (a, b) = (frames[i - 1].frame, frames[i].frame);
-                frames[i - 1].frame = b;
-                frames[i].frame = a;
+                // The *content* (frame and its flow) swaps; the
+                // timestamps stay put, keeping the stream sorted.
+                let (a, b) = (frames[i - 1], frames[i]);
+                frames[i - 1].frame = b.frame;
+                frames[i - 1].flow = b.flow;
+                frames[i].frame = a.frame;
+                frames[i].flow = a.flow;
             }
         }
     }
@@ -273,6 +301,57 @@ mod tests {
             out_of_place > 0,
             "expected some reordering at high utilization"
         );
+    }
+
+    #[test]
+    fn flows_travel_with_their_frames_through_reordering() {
+        use crate::flow::FlowTuple;
+        use crate::generator::FlowCycle;
+        // Distinct sizes per flow, so a swap that moved a frame
+        // without its flow is detectable: every 2-block frame is
+        // client 0, every 3-block frame client 1, and so on.
+        let sizes = crate::generator::CyclingSizes::new(vec![
+            EthernetFrame::with_blocks(2),
+            EthernetFrame::with_blocks(3),
+            EthernetFrame::with_blocks(4),
+        ]);
+        let mut gen = FlowCycle::clients(sizes, 3, 80);
+        let s = ArrivalSchedule::new(LineRate::gigabit())
+            .frames_per_second(1_400_000)
+            .reordering(0.5, 0.2);
+        let frames = s.generate(&mut gen, 0, 3000, &mut rng());
+        let mut moved = 0;
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(
+                f.flow,
+                FlowTuple::client(u64::from(f.frame.cache_blocks()) - 2, 80),
+                "flow must ride with its frame through swaps"
+            );
+            if f.frame.cache_blocks() != (i as u32 % 3) + 2 {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the high-rate stream did reorder");
+    }
+
+    #[test]
+    fn flow_assignment_never_shifts_the_schedule_rng() {
+        // A flow-cycled generator and its plain inner generator must
+        // produce identical (at, frame) streams from identical RNGs.
+        let s = ArrivalSchedule::new(LineRate::gigabit()).frames_per_second(200_000);
+        let plain = s.generate(&mut ConstantSize::blocks(2), 0, 200, &mut rng());
+        let cycled = s.generate(
+            &mut crate::generator::FlowCycle::clients(ConstantSize::blocks(2), 8, 80),
+            0,
+            200,
+            &mut rng(),
+        );
+        assert_eq!(plain.len(), cycled.len());
+        for (p, c) in plain.iter().zip(&cycled) {
+            assert_eq!((p.at, p.frame), (c.at, c.frame));
+            assert!(p.flow.is_legacy());
+            assert!(!c.flow.is_legacy());
+        }
     }
 
     #[test]

@@ -21,10 +21,16 @@ pub enum RandomizeMode {
     EveryNPackets(u64),
 }
 
+/// The IGB hardware's descriptor cap: rings beyond 4096 descriptors
+/// do not exist, and `DriverConfig` validation (on construction)
+/// enforces it.
+pub const MAX_RING_DESCRIPTORS: usize = 4096;
+
 /// Driver tuning and modelling knobs.
 #[derive(Copy, Clone, Debug)]
 pub struct DriverConfig {
-    /// Descriptors in the rx ring. IGB default: 256 (max 4096).
+    /// Descriptors in the rx ring: a power of two, at most
+    /// [`MAX_RING_DESCRIPTORS`]. IGB default: 256 (max 4096).
     pub ring_size: usize,
     /// Copybreak (`IGB_RX_HDR_LEN`): frames at or below this are memcpy'd
     /// and the buffer reused as-is. Default 256 bytes.
@@ -186,9 +192,23 @@ impl DriverConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `ring_size` is zero or `copybreak` exceeds a buffer.
+    /// Panics if `ring_size` is zero, exceeds the IGB descriptor cap
+    /// (4096), or is not a power of two (the hardware constraint the
+    /// ring's wrap-around indexing assumes), or if `copybreak`
+    /// exceeds a buffer.
     fn validate(&self) {
         assert!(self.ring_size > 0, "ring must have descriptors");
+        assert!(
+            self.ring_size <= MAX_RING_DESCRIPTORS,
+            "ring size {} exceeds the IGB descriptor cap of {}",
+            self.ring_size,
+            MAX_RING_DESCRIPTORS
+        );
+        assert!(
+            self.ring_size.is_power_of_two(),
+            "ring size {} must be a power of two",
+            self.ring_size
+        );
         assert!(
             self.copybreak <= HALF_PAGE_BYTES,
             "copybreak exceeds buffer size"
@@ -855,5 +875,38 @@ mod tests {
             ..Default::default()
         };
         IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the IGB descriptor cap")]
+    fn oversized_ring_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = DriverConfig {
+            ring_size: 8192,
+            ..Default::default()
+        };
+        IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a power of two")]
+    fn non_power_of_two_ring_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = DriverConfig {
+            ring_size: 192,
+            ..Default::default()
+        };
+        IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
+    }
+
+    #[test]
+    fn max_ring_size_is_accepted() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = DriverConfig {
+            ring_size: MAX_RING_DESCRIPTORS,
+            ..Default::default()
+        };
+        let drv = IgbDriver::new(cfg, PageAllocator::new(17), &mut rng);
+        assert_eq!(drv.ring().len(), MAX_RING_DESCRIPTORS);
     }
 }

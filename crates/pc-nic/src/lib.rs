@@ -47,8 +47,12 @@ mod alloc;
 mod deferred;
 mod driver;
 mod ring;
+mod rss;
 
 pub use alloc::{PageAllocator, PageRef};
 pub use deferred::DeferredReads;
-pub use driver::{DriverConfig, FrameMeta, FusedRxEvent, IgbDriver, RandomizeMode, RxEvent};
+pub use driver::{
+    DriverConfig, FrameMeta, FusedRxEvent, IgbDriver, RandomizeMode, RxEvent, MAX_RING_DESCRIPTORS,
+};
 pub use ring::{RxBuffer, RxRing, HALF_PAGE_BYTES, RX_BUFFER_BLOCKS};
+pub use rss::{RssConfig, MAX_RSS_QUEUES};

@@ -1,0 +1,238 @@
+//! Receive-side scaling: the seeded Toeplitz steer that spreads flows
+//! across rx queues.
+//!
+//! Real multi-queue NICs hash each packet's flow tuple with a Toeplitz
+//! hash over a device-programmed secret key and use the low bits to
+//! pick an rx queue; all packets of one flow land on one queue (and
+//! so on one ring, one interrupt vector, one DDIO stream). This
+//! module reproduces that contract deterministically:
+//!
+//! * **Steering is a pure function of `(seed, flow tuple)`** — no RNG
+//!   stream is consulted, so the same schedule steers identically on
+//!   every engine, thread count and replay.
+//! * **The legacy (all-zero) flow pins to queue 0**: schedules built
+//!   before flows existed behave exactly like the single-ring model
+//!   whatever the queue count.
+//! * **Queue count 1 short-circuits to queue 0** for every flow.
+//!
+//! The fault site `swapped-queue-steer` hooks the steer: when armed it
+//! routes keyed flows to the next queue index, which the golden-pinned
+//! multi-queue scenarios must notice (`repro fault-matrix`).
+
+use pc_cache::fault::{self, FaultSite};
+use pc_net::FlowTuple;
+
+/// Upper bound on modelled rx queues (the 82576's 16 RSS queues).
+pub const MAX_RSS_QUEUES: usize = 16;
+
+/// Receive-side scaling configuration: how many rx queues the NIC
+/// exposes and the seed its Toeplitz key is derived from.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct RssConfig {
+    queues: usize,
+    seed: u64,
+    /// The 128-bit Toeplitz key expanded from the seed (the hash of a
+    /// 96-bit tuple consumes `96 + 32` key bits).
+    key: [u8; 16],
+}
+
+impl RssConfig {
+    /// The pre-RSS model: one queue, everything on it.
+    pub fn single_queue() -> Self {
+        RssConfig::new(1, 0)
+    }
+
+    /// `queues` rx queues steering with a Toeplitz key derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero or exceeds [`MAX_RSS_QUEUES`].
+    pub fn new(queues: usize, seed: u64) -> Self {
+        assert!(queues > 0, "RSS needs at least one queue");
+        assert!(
+            queues <= MAX_RSS_QUEUES,
+            "queue count {queues} exceeds the RSS cap of {MAX_RSS_QUEUES}"
+        );
+        RssConfig {
+            queues,
+            seed,
+            key: expand_key(seed),
+        }
+    }
+
+    /// Number of rx queues.
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
+    /// The steering seed the Toeplitz key was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw 32-bit Toeplitz hash of `flow` under this
+    /// configuration's key — a pure function of `(seed, flow)`.
+    pub fn hash(&self, flow: FlowTuple) -> u32 {
+        toeplitz(&self.key, &flow.hash_bytes())
+    }
+
+    /// The rx queue `flow` steers to: `hash % queues`, with the
+    /// legacy all-zero flow pinned to queue 0 (see the module docs).
+    /// Fault site `swapped-queue-steer` (keyed on the flow digest)
+    /// mutates the result to the next queue index; at queue count 1
+    /// the mutation is inert, so armed single-queue runs stay
+    /// byte-identical.
+    pub fn steer(&self, flow: FlowTuple) -> usize {
+        let q = if self.queues == 1 || flow.is_legacy() {
+            0
+        } else {
+            self.hash(flow) as usize % self.queues
+        };
+        if fault::fires_keyed(FaultSite::SwappedQueueSteer, flow.key()) {
+            (q + 1) % self.queues
+        } else {
+            q
+        }
+    }
+}
+
+impl Default for RssConfig {
+    fn default() -> Self {
+        RssConfig::single_queue()
+    }
+}
+
+/// Expands a 64-bit seed into the 128-bit Toeplitz key (splitmix64
+/// finalizer, twice — the same mixer the workspace's seed derivation
+/// uses, reimplemented locally so steering stays dependency-free).
+fn expand_key(seed: u64) -> [u8; 16] {
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let a = splitmix(seed);
+    let b = splitmix(a);
+    let mut key = [0u8; 16];
+    key[..8].copy_from_slice(&a.to_be_bytes());
+    key[8..].copy_from_slice(&b.to_be_bytes());
+    key
+}
+
+/// The 32-bit window of `key` starting at bit `bit` (big-endian bit
+/// order, as Toeplitz hardware shifts it).
+fn key_window(key: &[u8; 16], bit: usize) -> u32 {
+    let byte = bit / 8;
+    let shift = bit % 8;
+    let mut w = 0u64;
+    for j in 0..5 {
+        w = (w << 8) | u64::from(key[byte + j]);
+    }
+    ((w >> (8 - shift)) & 0xFFFF_FFFF) as u32
+}
+
+/// The classic Toeplitz hash: XOR, for every set bit `i` of `data`,
+/// the 32-bit key window starting at bit `i`.
+fn toeplitz(key: &[u8; 16], data: &[u8; 12]) -> u32 {
+    let mut h = 0u32;
+    for (i, &b) in data.iter().enumerate() {
+        for bit in 0..8 {
+            if b & (0x80 >> bit) != 0 {
+                h ^= key_window(key, i * 8 + bit);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steering_is_a_pure_function_of_seed_and_flow() {
+        let a = RssConfig::new(4, 2020);
+        let b = RssConfig::new(4, 2020);
+        for i in 0..256 {
+            let flow = FlowTuple::client(i, 80);
+            assert_eq!(a.steer(flow), b.steer(flow), "flow {i}");
+            assert_eq!(a.hash(flow), b.hash(flow), "flow {i}");
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_mapping() {
+        let a = RssConfig::new(8, 1);
+        let b = RssConfig::new(8, 2);
+        let moved = (0..256)
+            .filter(|&i| {
+                let flow = FlowTuple::client(i, 80);
+                a.steer(flow) != b.steer(flow)
+            })
+            .count();
+        assert!(moved > 64, "a reseeded key re-steers flows (moved {moved})");
+    }
+
+    #[test]
+    fn all_queues_receive_some_flows() {
+        for queues in [2usize, 4, 8, 16] {
+            let rss = RssConfig::new(queues, 2020);
+            let mut counts = vec![0usize; queues];
+            for i in 0..512 {
+                counts[rss.steer(FlowTuple::client(i, 80))] += 1;
+            }
+            for (q, &n) in counts.iter().enumerate() {
+                assert!(n > 0, "queue {q}/{queues} never steered to");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_flow_pins_to_queue_zero() {
+        for queues in [1usize, 2, 4, 16] {
+            for seed in [0u64, 1, 2020] {
+                assert_eq!(RssConfig::new(queues, seed).steer(FlowTuple::default()), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_queue_steers_everything_to_zero() {
+        let rss = RssConfig::single_queue();
+        for i in 0..64 {
+            assert_eq!(rss.steer(FlowTuple::client(i, 80)), 0);
+        }
+    }
+
+    #[test]
+    fn toeplitz_is_linear_in_the_input() {
+        // Toeplitz over GF(2) is linear: H(a ^ b) == H(a) ^ H(b).
+        // Pins that the windowed implementation really is the hash
+        // and not an ad-hoc mixer.
+        let key = expand_key(7);
+        let a = FlowTuple::new(0x0102_0304, 0x0a0b_0c0d, 80, 443).hash_bytes();
+        let b = FlowTuple::new(0xffff_0000, 0x1234_5678, 7, 9).hash_bytes();
+        let mut xored = [0u8; 12];
+        for i in 0..12 {
+            xored[i] = a[i] ^ b[i];
+        }
+        assert_eq!(
+            toeplitz(&key, &xored),
+            toeplitz(&key, &a) ^ toeplitz(&key, &b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue")]
+    fn zero_queues_rejected() {
+        RssConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the RSS cap")]
+    fn oversized_queue_count_rejected() {
+        RssConfig::new(17, 1);
+    }
+}

@@ -95,6 +95,12 @@ pub enum SeedDomain {
     /// Independent repetitions of one experiment (the `table1`-style
     /// "same setup, `runs` times" fan-outs).
     Repetition,
+    /// Per-rx-queue driver streams of the multi-queue NIC model
+    /// (`pc-core`'s RSS test bed): one allocator/driver RNG stream per
+    /// queue index. Queue 0 does **not** go through this domain — it
+    /// keeps the bed's legacy base-seed streams so a single-queue bed
+    /// is byte-identical to the pre-RSS model.
+    Queue,
 }
 
 impl SeedDomain {
@@ -105,6 +111,7 @@ impl SeedDomain {
             SeedDomain::Slice | SeedDomain::Capture => None,
             SeedDomain::Tenant => Some(0xF1EE_7000),
             SeedDomain::Repetition => Some(0x2E9E_A700),
+            SeedDomain::Queue => Some(0xA55E_0E00),
         }
     }
 }
@@ -468,9 +475,13 @@ mod tests {
         let slice = stream_seed(base, SeedDomain::Slice, 3);
         let tenant = stream_seed(base, SeedDomain::Tenant, 3);
         let rep = stream_seed(base, SeedDomain::Repetition, 3);
+        let queue = stream_seed(base, SeedDomain::Queue, 3);
         assert_ne!(slice, tenant);
         assert_ne!(slice, rep);
         assert_ne!(tenant, rep);
+        assert_ne!(queue, slice);
+        assert_ne!(queue, tenant);
+        assert_ne!(queue, rep);
     }
 
     #[test]
